@@ -1,0 +1,144 @@
+//! Microbenchmarks of the substrate components: the simulation event queue,
+//! the wire codec, quorum arithmetic, the sparse log, and the leader's
+//! possibleEntries structure. These establish that the simulator itself is
+//! not the bottleneck when regenerating the paper's figures.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use des::{EventQueue, SimRng, SimTime};
+use wire::{
+    classic_quorum, fast_quorum, Configuration, EntryId, LogEntry, LogIndex, NodeId, SparseLog,
+    Term, Wire,
+};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_1k", |b| {
+        let mut rng = SimRng::seed_from_u64(1);
+        let times: Vec<SimTime> = (0..1000)
+            .map(|_| SimTime::from_micros(rng.gen_range(0..1_000_000u64)))
+            .collect();
+        b.iter_batched(
+            EventQueue::new,
+            |mut q| {
+                for (i, &t) in times.iter().enumerate() {
+                    q.schedule(t, i);
+                }
+                while q.pop().is_some() {}
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("event_queue/cancel_heavy", |b| {
+        b.iter_batched(
+            EventQueue::new,
+            |mut q| {
+                let ids: Vec<_> = (0..512)
+                    .map(|i| q.schedule(SimTime::from_micros(i), i))
+                    .collect();
+                for id in ids.iter().step_by(2) {
+                    q.cancel(*id);
+                }
+                while q.pop().is_some() {}
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let entry = LogEntry::data(
+        Term(7),
+        EntryId::new(NodeId(3), 99),
+        Bytes::from(vec![0u8; 64]),
+    );
+    let msg = consensus_core::FastRaftMessage::AppendEntries {
+        term: Term(7),
+        leader: NodeId(1),
+        prev_index: LogIndex(41),
+        entries: (42..58).map(|i| (LogIndex(i), entry.clone())).collect(),
+        leader_commit: LogIndex(41),
+        global_commit: LogIndex(12),
+    };
+    let encoded = msg.to_bytes();
+    c.bench_function("codec/encode_append_entries_16", |b| {
+        b.iter(|| black_box(&msg).to_bytes())
+    });
+    c.bench_function("codec/decode_append_entries_16", |b| {
+        b.iter(|| consensus_core::FastRaftMessage::from_bytes(black_box(&encoded)).unwrap())
+    });
+    c.bench_function("codec/wire_size_append_entries_16", |b| {
+        b.iter(|| black_box(&msg).encoded_len())
+    });
+}
+
+fn bench_quorum(c: &mut Criterion) {
+    c.bench_function("quorum/sizes_1..128", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for m in 1..128usize {
+                acc += classic_quorum(black_box(m)) + fast_quorum(black_box(m));
+            }
+            acc
+        })
+    });
+    let cfg: Configuration = (0..20).map(NodeId).collect();
+    c.bench_function("quorum/config_lookups", |b| {
+        b.iter(|| {
+            (black_box(&cfg).classic_quorum(), cfg.fast_quorum(), cfg.len())
+        })
+    });
+}
+
+fn bench_sparse_log(c: &mut Criterion) {
+    let entry = LogEntry::noop(Term(1), EntryId::new(NodeId(1), 0));
+    c.bench_function("sparse_log/append_1k", |b| {
+        b.iter_batched(
+            SparseLog::new,
+            |mut log| {
+                for _ in 0..1000 {
+                    log.append(entry.clone());
+                }
+                log.last_index()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    let mut log = SparseLog::new();
+    for _ in 0..1000 {
+        log.append(entry.clone());
+    }
+    c.bench_function("sparse_log/range_collect_128", |b| {
+        b.iter(|| log.collect_range(LogIndex(437), LogIndex(437 + 127)))
+    });
+    c.bench_function("sparse_log/self_approved_scan_1k", |b| {
+        b.iter(|| log.self_approved().len())
+    });
+}
+
+fn bench_possible_entries(c: &mut Criterion) {
+    use consensus_core::PossibleEntries;
+    let entry = |seq: u64| LogEntry::noop(Term(1), EntryId::new(NodeId(100), seq));
+    c.bench_function("possible_entries/vote_and_decide", |b| {
+        b.iter_batched(
+            PossibleEntries::new,
+            |mut pe| {
+                for idx in 1..=32u64 {
+                    for voter in 0..5u64 {
+                        pe.record_vote(LogIndex(idx), entry(idx % 3), NodeId(voter));
+                    }
+                    black_box(pe.most_voted(LogIndex(idx)));
+                }
+                pe.release_through(LogIndex(32));
+                pe.len()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    name = components;
+    config = Criterion::default().sample_size(20);
+    targets = bench_event_queue, bench_codec, bench_quorum, bench_sparse_log, bench_possible_entries
+);
+criterion_main!(components);

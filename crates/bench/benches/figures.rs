@@ -1,0 +1,58 @@
+//! Scaled-down versions of every figure experiment, as criterion benches.
+//!
+//! `cargo bench -p bench --bench figures` regenerates each figure's shape
+//! with reduced trial counts (the full-scale series come from the `fig*`
+//! binaries). Criterion's timing here measures whole-experiment wall-clock,
+//! i.e. simulator throughput for each experiment class.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_rounds(c: &mut Criterion) {
+    c.bench_function("figures/rounds_fig1_2", |b| {
+        b.iter(|| {
+            let r = harness::experiments::rounds::run(42, 5);
+            assert!(r.fast_hops < r.raft_hops);
+            r
+        })
+    });
+}
+
+fn bench_fig3_cell(c: &mut Criterion) {
+    c.bench_function("figures/fig3_cell_0pct", |b| {
+        b.iter(|| {
+            let r = harness::experiments::fig3::run(&[1], &[0.0], 15);
+            assert!(r.speedup_at_zero_loss > 1.0);
+            r
+        })
+    });
+    c.bench_function("figures/fig3_cell_5pct", |b| {
+        b.iter(|| harness::experiments::fig3::run(&[1], &[5.0], 15))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("figures/fig4_silent_leave", |b| {
+        b.iter(|| {
+            let r = harness::experiments::fig4::run(4242, 5, 10);
+            assert!(r.safety_ok);
+            r
+        })
+    });
+}
+
+fn bench_fig5_cell(c: &mut Criterion) {
+    c.bench_function("figures/fig5_cell_4clusters", |b| {
+        b.iter(|| {
+            let r = harness::experiments::fig5::run(&[1], &[4], 20, 15);
+            assert!(r.rows[0].craft_tput > 0.0);
+            r
+        })
+    });
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_rounds, bench_fig3_cell, bench_fig4, bench_fig5_cell
+);
+criterion_main!(figures);

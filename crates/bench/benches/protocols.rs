@@ -1,0 +1,102 @@
+//! Protocol-step benchmarks: a full propose → commit cycle through each
+//! protocol's state machines via the lockstep driver (no simulated time, so
+//! this measures pure protocol computation cost per committed entry).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use des::SimRng;
+use raft::testkit::Lockstep;
+use raft::{RaftNode, Timing};
+use wire::{Configuration, NodeId, TimerKind};
+
+fn classic_cluster() -> Lockstep<RaftNode> {
+    let cfg: Configuration = (0..5).map(NodeId).collect();
+    let mut net = Lockstep::new((0..5).map(|i| {
+        RaftNode::new(
+            NodeId(i),
+            cfg.clone(),
+            Timing::lan(),
+            SimRng::seed_from_u64(900 + i),
+        )
+    }));
+    net.fire(NodeId(0), TimerKind::Election);
+    net.deliver_all();
+    net
+}
+
+fn fast_cluster() -> Lockstep<consensus_core::FastRaftNode> {
+    let cfg: Configuration = (0..5).map(NodeId).collect();
+    let mut net = Lockstep::new((0..5).map(|i| {
+        consensus_core::FastRaftNode::new(
+            NodeId(i),
+            cfg.clone(),
+            Timing::lan(),
+            SimRng::seed_from_u64(900 + i),
+        )
+    }));
+    net.fire(NodeId(0), TimerKind::Election);
+    net.deliver_all();
+    net
+}
+
+fn bench_commit_cycle(c: &mut Criterion) {
+    c.bench_function("protocol/classic_raft_commit_cycle", |b| {
+        b.iter_batched(
+            classic_cluster,
+            |mut net| {
+                for _ in 0..10 {
+                    net.propose(NodeId(1), b"bench");
+                    net.deliver_all();
+                    net.fire(NodeId(0), TimerKind::Heartbeat);
+                    net.deliver_all();
+                }
+                net.commits(NodeId(0)).len()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("protocol/fast_raft_commit_cycle", |b| {
+        b.iter_batched(
+            fast_cluster,
+            |mut net| {
+                for _ in 0..10 {
+                    net.propose(NodeId(1), b"bench");
+                    net.deliver_all();
+                    net.fire(NodeId(0), TimerKind::LeaderTick);
+                    net.deliver_all();
+                }
+                net.commits(NodeId(0)).len()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_election(c: &mut Criterion) {
+    c.bench_function("protocol/fast_raft_election_5", |b| {
+        let cfg: Configuration = (0..5).map(NodeId).collect();
+        b.iter_batched(
+            || {
+                Lockstep::new((0..5).map(|i| {
+                    consensus_core::FastRaftNode::new(
+                        NodeId(i),
+                        cfg.clone(),
+                        Timing::lan(),
+                        SimRng::seed_from_u64(i),
+                    )
+                }))
+            },
+            |mut net| {
+                net.fire(NodeId(0), TimerKind::Election);
+                net.deliver_all();
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    name = protocols;
+    config = Criterion::default().sample_size(20);
+    targets = bench_commit_cycle, bench_election
+);
+criterion_main!(protocols);

@@ -1,0 +1,66 @@
+//! Runs every experiment and prints the combined report (EXPERIMENTS.md
+//! source material).
+
+fn main() {
+    let opts = bench::BenchOpts::from_args();
+    let seeds = opts.seed_list();
+
+    println!("==============================================================");
+    let commits = if opts.quick { 10 } else { 50 };
+    print!("{}", harness::experiments::rounds::run(42, commits).render());
+
+    println!("==============================================================");
+    let (losses, commits): (Vec<f64>, u64) = if opts.quick {
+        (vec![0.0, 5.0, 10.0], 30)
+    } else {
+        ((0..=10).map(|p| p as f64).collect(), 100)
+    };
+    print!(
+        "{}",
+        harness::experiments::fig3::run(&seeds, &losses, commits).render()
+    );
+
+    println!("==============================================================");
+    let (leave_at, total) = if opts.quick { (6, 14) } else { (10, 30) };
+    print!("{}", harness::experiments::fig4::run(4242, leave_at, total).render());
+
+    println!("==============================================================");
+    let (clusters, secs): (Vec<u64>, u64) = if opts.quick {
+        (vec![1, 4, 10], 30)
+    } else {
+        (vec![1, 2, 4, 5, 10], 180)
+    };
+    print!(
+        "{}",
+        harness::experiments::fig5::run(&seeds, &clusters, 20, secs).render()
+    );
+
+    println!("==============================================================");
+    let secs = if opts.quick { 20 } else { 120 };
+    print!(
+        "{}",
+        harness::experiments::ext::batch_sweep(7, &[1, 5, 10, 20, 50], secs).render()
+    );
+
+    println!("==============================================================");
+    let secs = if opts.quick { 10 } else { 60 };
+    print!("{}", harness::experiments::ext::contention(7, 5, secs).render());
+
+    println!("==============================================================");
+    let (crash_at, total) = if opts.quick { (6, 14) } else { (10, 30) };
+    print!("{}", harness::experiments::ext::failover(4242, crash_at, total).render());
+
+    println!("==============================================================");
+    let secs = if opts.quick { 20 } else { 120 };
+    print!(
+        "{}",
+        harness::experiments::ext::mode_ablation(7, &[2, 4, 10], secs).render()
+    );
+
+    println!("==============================================================");
+    let commits = if opts.quick { 30 } else { 100 };
+    print!(
+        "{}",
+        harness::experiments::ext::burst(7, &[2.0, 5.0, 10.0], commits).render()
+    );
+}

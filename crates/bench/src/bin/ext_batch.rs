@@ -1,0 +1,8 @@
+//! Extension: C-Raft batch-size sweep.
+
+fn main() {
+    let opts = bench::BenchOpts::from_args();
+    let secs = if opts.quick { 20 } else { 120 };
+    let result = harness::experiments::ext::batch_sweep(7, &[1, 5, 10, 20, 50], secs);
+    print!("{}", result.render());
+}

@@ -1,0 +1,8 @@
+//! Extension: bursty vs i.i.d. loss at equal stationary rates (Ext-E).
+
+fn main() {
+    let opts = bench::BenchOpts::from_args();
+    let commits = if opts.quick { 30 } else { 100 };
+    let result = harness::experiments::ext::burst(7, &[2.0, 5.0, 10.0], commits);
+    print!("{}", result.render());
+}

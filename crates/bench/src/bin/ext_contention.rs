@@ -1,0 +1,8 @@
+//! Extension: concurrent proposers vs the fast track.
+
+fn main() {
+    let opts = bench::BenchOpts::from_args();
+    let secs = if opts.quick { 10 } else { 60 };
+    let result = harness::experiments::ext::contention(7, 5, secs);
+    print!("{}", result.render());
+}

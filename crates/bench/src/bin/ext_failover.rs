@@ -1,0 +1,8 @@
+//! Extension: leader-crash recovery gap in Fast Raft.
+
+fn main() {
+    let opts = bench::BenchOpts::from_args();
+    let (crash_at, total) = if opts.quick { (6, 14) } else { (10, 30) };
+    let result = harness::experiments::ext::failover(4242, crash_at, total);
+    print!("{}", result.render());
+}

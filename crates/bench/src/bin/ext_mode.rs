@@ -1,0 +1,8 @@
+//! Extension: C-Raft global proposal-mode ablation (Ext-A).
+
+fn main() {
+    let opts = bench::BenchOpts::from_args();
+    let secs = if opts.quick { 20 } else { 120 };
+    let result = harness::experiments::ext::mode_ablation(7, &[2, 4, 10], secs);
+    print!("{}", result.render());
+}

@@ -1,0 +1,12 @@
+//! Regenerates Fig. 5: global throughput vs cluster count, Raft vs C-Raft.
+
+fn main() {
+    let opts = bench::BenchOpts::from_args();
+    let (clusters, secs): (Vec<u64>, u64) = if opts.quick {
+        (vec![1, 4, 10], 30)
+    } else {
+        (vec![1, 2, 4, 5, 10], 180)
+    };
+    let result = harness::experiments::fig5::run(&opts.seed_list(), &clusters, 20, secs);
+    print!("{}", result.render());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figs. 1–2: message rounds per committed proposal.
+
+fn main() {
+    let opts = bench::BenchOpts::from_args();
+    let commits = if opts.quick { 10 } else { 50 };
+    let result = harness::experiments::rounds::run(42, commits);
+    print!("{}", result.render());
+}

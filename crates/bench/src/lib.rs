@@ -1,0 +1,74 @@
+//! # `bench` — the benchmark harness
+//!
+//! One binary per table/figure of the paper (`fig3`, `fig4`, `fig5`,
+//! `rounds`) plus extension studies (`ext_batch`, `ext_contention`,
+//! `ext_failover`) and `all` (everything, writing a combined report).
+//! Criterion benches live under `benches/` and exercise both the component
+//! layer (event queue, codec, quorum math) and scaled-down experiment runs.
+//!
+//! Every binary accepts `--quick` for a fast, reduced-parameter pass and
+//! `--seeds N` to control trial counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Shared command-line options for the figure binaries.
+#[derive(Clone, Debug)]
+pub struct BenchOpts {
+    /// Reduced parameters for a fast pass.
+    pub quick: bool,
+    /// Number of seeds (trials) per configuration.
+    pub seeds: u64,
+}
+
+impl BenchOpts {
+    /// Parses options from `std::env::args`.
+    pub fn from_args() -> Self {
+        let mut opts = BenchOpts {
+            quick: false,
+            seeds: 3,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => opts.quick = true,
+                "--seeds" => {
+                    opts.seeds = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(opts.seeds);
+                }
+                other => eprintln!("ignoring unknown argument: {other}"),
+            }
+        }
+        opts
+    }
+
+    /// The seed list for this options set.
+    pub fn seed_list(&self) -> Vec<u64> {
+        (0..self.seeds.max(1)).map(|i| 1000 + 7 * i).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_list_is_deterministic() {
+        let o = BenchOpts {
+            quick: true,
+            seeds: 3,
+        };
+        assert_eq!(o.seed_list(), vec![1000, 1007, 1014]);
+    }
+
+    #[test]
+    fn seed_list_never_empty() {
+        let o = BenchOpts {
+            quick: false,
+            seeds: 0,
+        };
+        assert_eq!(o.seed_list().len(), 1);
+    }
+}

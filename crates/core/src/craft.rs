@@ -1,0 +1,708 @@
+//! C-Raft: hierarchical consensus for globally distributed systems (§V).
+//!
+//! Every site runs intra-cluster Fast Raft on a **local log**. The site
+//! currently leading its cluster additionally participates in inter-cluster
+//! Fast Raft over the **global log**, whose membership is the set of cluster
+//! leaders. Locally committed data entries are accumulated into batches
+//! (default: 10, as in §VI-C) and proposed to the global log.
+//!
+//! ## Global state entries (§V-B)
+//!
+//! Every insert into a local leader's global log — from a proposer
+//! broadcast, the global decision loop, or a global AppendEntries — is
+//! *gated*: the leader first commits a [`wire::GlobalState`] entry in its
+//! cluster's local log recording `(global index, global entry, global
+//! commit)`. Only after that local commit does the global-level action
+//! (vote, fast-quorum check, ack) proceed. A successor local leader
+//! reconstructs the inter-cluster state from these entries, so a leader
+//! crash never loses the cluster's view of the global log.
+//!
+//! ## Leader changes
+//!
+//! A newly elected local leader (a) rebuilds its global log from the local
+//! log's global state entries, (b) re-registers its cluster's possibly
+//! uncommitted batches for retry, and (c) joins the global configuration via
+//! a global join request (§V-C); the global leader's member timeout evicts
+//! the crashed predecessor.
+
+use std::collections::{HashMap, HashSet};
+
+use bytes::Bytes;
+use des::SimRng;
+use raft::{Role, Timing};
+use storage::StableState;
+use wire::{
+    Actions, BatchItem, ClusterId, Configuration, EntryId, GlobalState, LogEntry, LogIndex,
+    LogScope, NodeId, Observation, Payload, Term, TimerKind,
+};
+
+use crate::engine::{FastRaftEngine, ProposalMode, TimerProfile};
+use crate::gate::{GateRecorder, GateToken, ProceedGate};
+use crate::message::{CRaftMessage, FastRaftMessage};
+
+/// Tuning parameters for a C-Raft deployment.
+#[derive(Clone, Debug)]
+pub struct CRaftConfig {
+    /// The cluster this site belongs to.
+    pub cluster: ClusterId,
+    /// Timing for intra-cluster consensus (paper: 100 ms heartbeat).
+    pub local_timing: Timing,
+    /// Timing for inter-cluster consensus (paper: 500 ms heartbeat).
+    pub global_timing: Timing,
+    /// Locally committed entries per global batch (paper §VI-C: 10).
+    pub batch_size: usize,
+    /// Flush a partial batch after this many milliseconds of inactivity
+    /// (0 disables time-based flushing).
+    pub batch_flush_ms: u64,
+    /// How batches are proposed at the global level. The default,
+    /// [`ProposalMode::LeaderForward`], serializes index assignment at the
+    /// global leader so concurrent per-cluster batches never collide;
+    /// [`ProposalMode::Broadcast`] is the paper-literal fast track, kept as
+    /// an ablation (it collapses under many-cluster contention — Ext-A).
+    pub global_proposal_mode: ProposalMode,
+}
+
+impl CRaftConfig {
+    /// The paper's evaluation configuration for a given cluster.
+    pub fn paper(cluster: ClusterId) -> Self {
+        CRaftConfig {
+            cluster,
+            local_timing: Timing::lan(),
+            global_timing: Timing::wan(),
+            batch_size: 10,
+            batch_flush_ms: 1000,
+            global_proposal_mode: ProposalMode::LeaderForward,
+        }
+    }
+}
+
+/// The inter-cluster half of a cluster leader.
+#[derive(Debug)]
+struct GlobalSide {
+    engine: FastRaftEngine,
+    gate: GateRecorder,
+    /// Local proposal id of a pending global-state entry → the gate token
+    /// to resume once it commits locally.
+    waiting: HashMap<EntryId, GateToken>,
+}
+
+/// A C-Raft site (§V).
+#[derive(Debug)]
+pub struct CRaftNode {
+    id: NodeId,
+    cfg: CRaftConfig,
+    local: FastRaftEngine,
+    local_gate: ProceedGate,
+    global: Option<GlobalSide>,
+    /// Bootstrap membership of the global level (the designated initial
+    /// leaders of each cluster).
+    global_bootstrap: Configuration,
+    /// Cached global-level persistent identity for (re)activation.
+    global_term: Term,
+    global_voted_for: Option<NodeId>,
+    /// Locally committed data entries awaiting batching (leader only).
+    batch_buf: Vec<(LogIndex, BatchItem)>,
+    batch_seq: u64,
+    /// Highest global commit index this site has learned (from its own
+    /// global engine or from global state entries).
+    global_commit_seen: LogIndex,
+    /// Designated initial leaders race their first election quickly so the
+    /// bootstrap global configuration (which names them) actually forms.
+    boost_first_election: bool,
+}
+
+impl CRaftNode {
+    /// Creates a C-Raft site.
+    ///
+    /// `local_members` is the bootstrap membership of this site's cluster;
+    /// `global_bootstrap` names the designated initial leader of every
+    /// cluster (the initial global configuration). A site that later wins
+    /// its cluster's election joins the global level dynamically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the local bootstrap omits `id`, either configuration is
+    /// empty, or a timing is invalid.
+    pub fn new(
+        id: NodeId,
+        local_members: Configuration,
+        global_bootstrap: Configuration,
+        cfg: CRaftConfig,
+        rng: SimRng,
+    ) -> Self {
+        assert!(
+            !global_bootstrap.is_empty(),
+            "global bootstrap configuration is empty"
+        );
+        let local_rng = rng.split("local");
+        let boost_first_election = global_bootstrap.contains(id);
+        CRaftNode {
+            id,
+            local: FastRaftEngine::new(
+                id,
+                local_members,
+                LogScope::Local,
+                TimerProfile::Base,
+                cfg.local_timing,
+                local_rng,
+            ),
+            local_gate: ProceedGate,
+            global: None,
+            global_bootstrap,
+            global_term: Term::ZERO,
+            global_voted_for: None,
+            batch_buf: Vec::new(),
+            batch_seq: 0,
+            global_commit_seen: LogIndex::ZERO,
+            cfg,
+            boost_first_election,
+        }
+    }
+
+    /// Rebuilds a site from stable storage after a crash. The site restarts
+    /// as a cluster follower; if it wins a local election again, the global
+    /// side reactivates from the persisted global identity plus the local
+    /// log's global state entries.
+    pub fn recover(
+        id: NodeId,
+        stable: &StableState,
+        local_bootstrap: Configuration,
+        global_bootstrap: Configuration,
+        cfg: CRaftConfig,
+        rng: SimRng,
+    ) -> Self {
+        let local_rng = rng.split("local");
+        let local = FastRaftEngine::recover(
+            id,
+            stable.local.current_term,
+            stable.local.voted_for,
+            stable.local.log.clone(),
+            local_bootstrap,
+            LogScope::Local,
+            TimerProfile::Base,
+            cfg.local_timing,
+            local_rng,
+        );
+        CRaftNode {
+            id,
+            local,
+            local_gate: ProceedGate,
+            global: None,
+            global_bootstrap,
+            global_term: stable.global.current_term,
+            global_voted_for: stable.global.voted_for,
+            batch_buf: Vec::new(),
+            batch_seq: 0,
+            global_commit_seen: LogIndex::ZERO,
+            cfg,
+            boost_first_election: false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The cluster this site belongs to.
+    pub fn cluster(&self) -> ClusterId {
+        self.cfg.cluster
+    }
+
+    /// Role at the **local** (intra-cluster) level.
+    pub fn local_role(&self) -> Role {
+        self.local.role()
+    }
+
+    /// `true` while this site leads its cluster.
+    pub fn is_local_leader(&self) -> bool {
+        self.local.is_leader()
+    }
+
+    /// `true` while this site leads the global level.
+    pub fn is_global_leader(&self) -> bool {
+        self.global.as_ref().is_some_and(|g| g.engine.is_leader())
+    }
+
+    /// The local (intra-cluster) log.
+    pub fn local_log(&self) -> &wire::SparseLog {
+        self.local.log()
+    }
+
+    /// Commit index of the local log.
+    pub fn local_commit_index(&self) -> LogIndex {
+        self.local.commit_index()
+    }
+
+    /// The global log as this site knows it: the live engine's log on an
+    /// active leader, otherwise a reconstruction from local global-state
+    /// entries.
+    pub fn global_log_view(&self) -> wire::SparseLog {
+        if let Some(g) = &self.global {
+            return g.engine.log().clone();
+        }
+        self.reconstruct_global_log()
+    }
+
+    /// The highest global commit index this site has learned.
+    pub fn global_commit_seen(&self) -> LogIndex {
+        let engine_commit = self
+            .global
+            .as_ref()
+            .map_or(LogIndex::ZERO, |g| g.engine.commit_index());
+        self.global_commit_seen.max(engine_commit)
+    }
+
+    /// The local consensus engine (read-only), for assertions.
+    pub fn local_engine(&self) -> &FastRaftEngine {
+        &self.local
+    }
+
+    /// The global consensus engine while active (leaders only).
+    pub fn global_engine(&self) -> Option<&FastRaftEngine> {
+        self.global.as_ref().map(|g| &g.engine)
+    }
+
+    /// Entries buffered toward the next batch.
+    pub fn batch_backlog(&self) -> usize {
+        self.batch_buf.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Global-side lifecycle
+    // ------------------------------------------------------------------
+
+    fn reconstruct_global_log(&self) -> wire::SparseLog {
+        let mut g = wire::SparseLog::new();
+        for (_, entry) in self.local.log().iter() {
+            if let Payload::GlobalState(gs) = &entry.payload {
+                g.insert(gs.index, (*gs.entry).clone());
+            }
+        }
+        g
+    }
+
+    fn activate_global(&mut self, out: &mut Actions<CRaftMessage>) {
+        if self.global.is_some() {
+            return;
+        }
+        let global_log = self.reconstruct_global_log();
+        let mut max_gc = LogIndex::ZERO;
+        let mut batched_ids: HashSet<EntryId> = HashSet::new();
+        for (_, entry) in self.local.log().iter() {
+            if let Payload::GlobalState(gs) = &entry.payload {
+                max_gc = max_gc.max(gs.global_commit);
+                if let Payload::Batch(b) = &gs.entry.payload {
+                    for item in &b.items {
+                        batched_ids.insert(item.id);
+                    }
+                }
+            }
+        }
+        self.global_commit_seen = self.global_commit_seen.max(max_gc);
+
+        let rng = SimRng::seed_from_u64(
+            self.id.as_u64() ^ self.local.current_term().as_u64().wrapping_mul(0x9E37),
+        );
+        let mut engine = FastRaftEngine::recover(
+            self.id,
+            self.global_term,
+            self.global_voted_for,
+            global_log,
+            self.global_bootstrap.clone(),
+            LogScope::Global,
+            TimerProfile::Global,
+            self.cfg.global_timing,
+            rng,
+        );
+        engine.set_proposal_mode(self.cfg.global_proposal_mode);
+        let mut ea: Actions<FastRaftMessage> = Actions::new();
+        engine.bootstrap(&mut ea);
+
+        // Recover this cluster's possibly-in-flight batches: any batch of
+        // ours sitting uncommitted in the reconstructed global log gets
+        // retried under its original id.
+        let commit_floor = self.global_commit_seen;
+        let mut inherited: Vec<(EntryId, Payload, LogIndex)> = Vec::new();
+        for (idx, entry) in engine.log().iter() {
+            if idx <= commit_floor {
+                continue;
+            }
+            if let Payload::Batch(b) = &entry.payload {
+                if b.cluster == self.cfg.cluster {
+                    inherited.push((entry.id, entry.payload.clone(), idx));
+                }
+            }
+        }
+        for (id, payload, idx) in inherited {
+            engine.track_pending_proposal(id, payload, idx, &mut ea);
+        }
+
+        let mut side = GlobalSide {
+            engine,
+            gate: GateRecorder::new(),
+            waiting: HashMap::new(),
+        };
+        let drained = side.gate.drain();
+        debug_assert!(drained.is_empty());
+        self.global = Some(side);
+        self.forward_global_actions(ea, out);
+
+        // Re-batch locally committed data entries not yet covered by any
+        // batch (the predecessor may have crashed mid-stream).
+        let mut rebatch: Vec<(LogIndex, BatchItem)> = Vec::new();
+        for (idx, entry) in self.local.log().iter() {
+            if idx > self.local.commit_index() {
+                break;
+            }
+            if let Payload::Data(data) = &entry.payload {
+                if !batched_ids.contains(&entry.id) {
+                    rebatch.push((
+                        idx,
+                        BatchItem {
+                            id: entry.id,
+                            data: data.clone(),
+                        },
+                    ));
+                }
+            }
+        }
+        self.batch_buf = rebatch;
+        self.maybe_flush_batch(out);
+    }
+
+    fn deactivate_global(&mut self, out: &mut Actions<CRaftMessage>) {
+        let Some(side) = self.global.take() else {
+            return;
+        };
+        self.global_term = side.engine.current_term();
+        self.global_voted_for = None; // conservatively forget; persisted copy rules
+        self.batch_buf.clear();
+        for kind in [
+            TimerKind::GlobalElection,
+            TimerKind::GlobalHeartbeat,
+            TimerKind::GlobalLeaderTick,
+            TimerKind::GlobalProposalRetry,
+            TimerKind::GlobalJoinRetry,
+            TimerKind::BatchFlush,
+        ] {
+            out.cancel_timer(kind);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Batching (§V-A)
+    // ------------------------------------------------------------------
+
+    fn maybe_flush_batch(&mut self, out: &mut Actions<CRaftMessage>) {
+        if self.global.is_none() {
+            return;
+        }
+        while self.batch_buf.len() >= self.cfg.batch_size {
+            let chunk: Vec<BatchItem> = self
+                .batch_buf
+                .drain(..self.cfg.batch_size)
+                .map(|(_, item)| item)
+                .collect();
+            self.propose_batch(chunk, out);
+        }
+        if !self.batch_buf.is_empty() && self.cfg.batch_flush_ms > 0 {
+            out.timers.push(wire::TimerCmd::Set {
+                kind: TimerKind::BatchFlush,
+                after: des::SimDuration::from_millis(self.cfg.batch_flush_ms),
+            });
+        }
+    }
+
+    fn flush_partial_batch(&mut self, out: &mut Actions<CRaftMessage>) {
+        if self.global.is_none() || self.batch_buf.is_empty() {
+            return;
+        }
+        let chunk: Vec<BatchItem> = self.batch_buf.drain(..).map(|(_, item)| item).collect();
+        self.propose_batch(chunk, out);
+    }
+
+    fn propose_batch(&mut self, items: Vec<BatchItem>, out: &mut Actions<CRaftMessage>) {
+        let batch = wire::Batch {
+            cluster: self.cfg.cluster,
+            batch_seq: self.batch_seq,
+            items,
+        };
+        self.batch_seq += 1;
+        let Some(side) = self.global.as_mut() else {
+            return;
+        };
+        let mut ea: Actions<FastRaftMessage> = Actions::new();
+        side.engine
+            .propose_payload(Payload::Batch(batch), &mut side.gate, &mut ea);
+        self.forward_global_actions(ea, out);
+    }
+
+    // ------------------------------------------------------------------
+    // Action plumbing
+    // ------------------------------------------------------------------
+
+    /// Processes effects produced by the **local** engine: reacts to
+    /// leadership changes, batches local data commits, resumes gated global
+    /// inserts, and wraps messages.
+    fn forward_local_actions(
+        &mut self,
+        mut ea: Actions<FastRaftMessage>,
+        out: &mut Actions<CRaftMessage>,
+    ) {
+        let mut became_leader = false;
+        let mut lost_leader = false;
+        for obs in &ea.observations {
+            match obs {
+                Observation::BecameLeader { .. } => became_leader = true,
+                Observation::BecameFollower { .. } => lost_leader = true,
+                _ => {}
+            }
+        }
+        let commits = std::mem::take(&mut ea.commits);
+        // Wrap and emit the raw effects first so message order stays causal.
+        let gc = self.global_commit_seen();
+        for (to, mut msg) in ea.sends.drain(..) {
+            // §V-B: cluster leaders piggyback their global commit index on
+            // local AppendEntries so members track global commits.
+            if let FastRaftMessage::AppendEntries { global_commit, .. } = &mut msg {
+                *global_commit = gc;
+            }
+            out.send(to, CRaftMessage::Local(msg));
+        }
+        out.timers.append(&mut ea.timers);
+        out.persists.append(&mut ea.persists);
+        out.observations.append(&mut ea.observations);
+
+        if became_leader {
+            self.activate_global(out);
+        }
+        if lost_leader && !self.local.is_leader() {
+            self.deactivate_global(out);
+        }
+
+        for commit in commits {
+            debug_assert_eq!(commit.scope, LogScope::Local);
+            self.on_local_commit(&commit.entry, commit.index, out);
+            out.commits.push(commit);
+        }
+        self.maybe_flush_batch(out);
+    }
+
+    fn on_local_commit(
+        &mut self,
+        entry: &LogEntry,
+        index: LogIndex,
+        out: &mut Actions<CRaftMessage>,
+    ) {
+        match &entry.payload {
+            Payload::Data(data)
+                if self.global.is_some() => {
+                    self.batch_buf.push((
+                        index,
+                        BatchItem {
+                            id: entry.id,
+                            data: data.clone(),
+                        },
+                    ));
+                }
+            Payload::GlobalState(gs) => {
+                self.global_commit_seen = self.global_commit_seen.max(gs.global_commit);
+                // Resume the gated global insert this entry replicated.
+                if let Some(side) = self.global.as_mut() {
+                    if let Some(token) = side.waiting.remove(&entry.id) {
+                        let mut ea: Actions<FastRaftMessage> = Actions::new();
+                        side.engine.gate_ready(token, &mut side.gate, &mut ea);
+                        self.forward_global_actions(ea, out);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Processes effects produced by the **global** engine: turns gate
+    /// requests into local global-state proposals, wraps messages.
+    fn forward_global_actions(
+        &mut self,
+        mut ea: Actions<FastRaftMessage>,
+        out: &mut Actions<CRaftMessage>,
+    ) {
+        for (to, msg) in ea.sends.drain(..) {
+            out.send(to, CRaftMessage::Global(msg));
+        }
+        out.timers.append(&mut ea.timers);
+        out.persists.append(&mut ea.persists);
+        for commit in ea.commits.drain(..) {
+            debug_assert_eq!(commit.scope, LogScope::Global);
+            self.global_commit_seen = self.global_commit_seen.max(commit.index);
+            out.commits.push(commit);
+        }
+        out.observations.append(&mut ea.observations);
+
+        // Gate requests become local global-state proposals (§V-B).
+        let requests = match self.global.as_mut() {
+            Some(side) => side.gate.drain(),
+            None => Vec::new(),
+        };
+        for req in requests {
+            let gc = self.global_commit_seen();
+            let gs = GlobalState {
+                index: req.index,
+                entry: Box::new(req.entry.clone()),
+                global_commit: gc,
+            };
+            let mut la: Actions<FastRaftMessage> = Actions::new();
+            let local_id =
+                self.local
+                    .propose_payload(Payload::GlobalState(gs), &mut self.local_gate, &mut la);
+            if let Some(side) = self.global.as_mut() {
+                side.waiting.insert(local_id, req.token);
+            }
+            self.forward_local_actions(la, out);
+        }
+    }
+}
+
+impl wire::ConsensusProtocol for CRaftNode {
+    type Message = CRaftMessage;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: CRaftMessage, out: &mut Actions<CRaftMessage>) {
+        match msg {
+            CRaftMessage::Local(m) => {
+                if let FastRaftMessage::AppendEntries { global_commit, .. } = &m {
+                    self.global_commit_seen = self.global_commit_seen.max(*global_commit);
+                }
+                let mut ea: Actions<FastRaftMessage> = Actions::new();
+                self.local.on_message(from, m, &mut self.local_gate, &mut ea);
+                self.forward_local_actions(ea, out);
+            }
+            CRaftMessage::Global(m) => {
+                let Some(side) = self.global.as_mut() else {
+                    out.observe(Observation::MessageIgnored {
+                        reason: "global traffic at non-leader",
+                    });
+                    return;
+                };
+                let mut ea: Actions<FastRaftMessage> = Actions::new();
+                side.engine.on_message(from, m, &mut side.gate, &mut ea);
+                self.forward_global_actions(ea, out);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, kind: TimerKind, out: &mut Actions<CRaftMessage>) {
+        if kind == TimerKind::BatchFlush {
+            self.flush_partial_batch(out);
+            return;
+        }
+        if let Some(base) = TimerProfile::Base.unmap(kind) {
+            let mut ea: Actions<FastRaftMessage> = Actions::new();
+            self.local.on_timer(base, &mut self.local_gate, &mut ea);
+            self.forward_local_actions(ea, out);
+            return;
+        }
+        if let Some(base) = TimerProfile::Global.unmap(kind) {
+            let Some(side) = self.global.as_mut() else {
+                return;
+            };
+            let mut ea: Actions<FastRaftMessage> = Actions::new();
+            side.engine.on_timer(base, &mut side.gate, &mut ea);
+            self.forward_global_actions(ea, out);
+        }
+    }
+
+    fn on_client_propose(&mut self, data: Bytes, out: &mut Actions<CRaftMessage>) -> EntryId {
+        let mut ea: Actions<FastRaftMessage> = Actions::new();
+        let id = self
+            .local
+            .propose_data(data, &mut self.local_gate, &mut ea);
+        self.forward_local_actions(ea, out);
+        id
+    }
+
+    fn bootstrap(&mut self, out: &mut Actions<CRaftMessage>) {
+        let mut ea: Actions<FastRaftMessage> = Actions::new();
+        self.local.bootstrap(&mut ea);
+        self.forward_local_actions(ea, out);
+        if self.boost_first_election {
+            // Overrides the randomized election timeout armed above (same
+            // kind replaces): the designated leader stands first.
+            let jitter = 50 + (self.id.as_u64() % 37);
+            out.set_timer(
+                TimerKind::Election,
+                des::SimDuration::from_millis(jitter),
+            );
+        }
+    }
+}
+
+/// Helper: builds the node set for a whole C-Raft deployment — `clusters`
+/// clusters of `per_cluster` sites each, node ids assigned row-major, the
+/// first site of each cluster designated as its initial leader.
+///
+/// Returns `(nodes, global_bootstrap)`.
+pub fn build_deployment(
+    clusters: u64,
+    per_cluster: u64,
+    cfg_for: impl Fn(ClusterId) -> CRaftConfig,
+    seed: u64,
+) -> (Vec<CRaftNode>, Configuration) {
+    assert!(clusters > 0 && per_cluster > 0, "empty deployment");
+    let global_bootstrap: Configuration = (0..clusters)
+        .map(|c| NodeId(c * per_cluster))
+        .collect();
+    let root = SimRng::seed_from_u64(seed);
+    let mut nodes = Vec::new();
+    for c in 0..clusters {
+        let members: Configuration = (0..per_cluster)
+            .map(|i| NodeId(c * per_cluster + i))
+            .collect();
+        for i in 0..per_cluster {
+            let id = NodeId(c * per_cluster + i);
+            nodes.push(CRaftNode::new(
+                id,
+                members.clone(),
+                global_bootstrap.clone(),
+                cfg_for(ClusterId(c)),
+                root.split_indexed("craft-node", id.as_u64()),
+            ));
+        }
+    }
+    (nodes, global_bootstrap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployment_builder_shapes() {
+        let (nodes, global) = build_deployment(4, 5, CRaftConfig::paper, 1);
+        assert_eq!(nodes.len(), 20);
+        assert_eq!(global.len(), 4);
+        assert!(global.contains(NodeId(0)));
+        assert!(global.contains(NodeId(5)));
+        assert!(global.contains(NodeId(10)));
+        assert!(global.contains(NodeId(15)));
+        assert_eq!(nodes[7].cluster(), ClusterId(1));
+        assert!(!nodes[0].is_local_leader());
+    }
+
+    #[test]
+    fn paper_config_values() {
+        let c = CRaftConfig::paper(ClusterId(2));
+        assert_eq!(c.batch_size, 10);
+        assert_eq!(c.local_timing.heartbeat.as_millis(), 100);
+        assert_eq!(c.global_timing.heartbeat.as_millis(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty deployment")]
+    fn empty_deployment_rejected() {
+        build_deployment(0, 5, CRaftConfig::paper, 1);
+    }
+}

@@ -1,0 +1,2251 @@
+//! The Fast Raft engine (§IV), reusable at both C-Raft levels.
+//!
+//! One engine instance runs one consensus level over one log. Plain Fast
+//! Raft wraps a single engine with the trivial [`ProceedGate`]; C-Raft runs
+//! a `Local`-scope engine inside each cluster and a `Global`-scope engine
+//! among cluster leaders whose inserts are deferred through a
+//! [`GateRecorder`] until a *global state entry* commits locally (§V-B).
+//!
+//! ## Protocol summary
+//!
+//! - **Fast track** (§IV-B): proposers broadcast `ProposeAt{index, entry}`
+//!   to all members; each site inserts the entry *self-approved* (if the
+//!   slot is free) and sends its `Vote` (its `log[index]` plus its commit
+//!   index) to the leader. The leader's periodic decision loop processes
+//!   index `commitIndex+1` once a classic quorum of votes arrived: it
+//!   inserts the most-voted entry leader-approved, and commits immediately
+//!   when a fast quorum (⌈3M/4⌉) voted for that same entry.
+//! - **Classic track**: when the fast quorum is missed, the inserted entry
+//!   replicates via `AppendEntries` (heartbeat-gated) and commits by the
+//!   usual matchIndex rule — one extra message round.
+//! - **Election** (§IV-C): up-to-dateness counts **leader-approved** entries
+//!   only; voters attach all their self-approved entries to granted votes,
+//!   and the new leader replays them into `possibleEntries` (the recovery
+//!   algorithm), guaranteeing any possibly-chosen entry is re-chosen.
+//! - **Membership** (§IV-D): sites announce joins/leaves themselves; the
+//!   leader serializes changes one at a time, catches joiners up as
+//!   non-voting learners, and detects **silent leaves** via a member
+//!   timeout of missed AppendEntries responses.
+//!
+//! ## Liveness guard (hole filling)
+//!
+//! If the index right above `commitIndex` never gathers a classic quorum of
+//! votes (e.g. the proposer vanished after a partial broadcast), the leader
+//! re-proposes a no-op **through the normal proposer path** after
+//! `hole_fill_ticks` stalled decision ticks. Sites already holding an entry
+//! at the index keep it and re-vote for it, so the decision rule still picks
+//! any possibly-chosen entry — safety is untouched while the log unblocks.
+//! This guard is implied but not spelled out by the paper; see DESIGN.md.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use bytes::Bytes;
+use des::SimRng;
+use raft::{Role, Timing};
+use wire::{
+    Actions, Approval, Configuration, EntryId, LogEntry, LogIndex, LogScope, NodeId, Observation,
+    Payload, PersistCmd, Term, TimerKind,
+};
+
+use crate::gate::{GatePurpose, GateToken, GateVerdict, InsertGate};
+use crate::message::FastRaftMessage;
+use crate::possible::PossibleEntries;
+
+/// Cached `ENGINE_TRACE` env check: protocol-step tracing to stderr for
+/// debugging runs (set the variable to any value to enable).
+fn trace_enabled() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("ENGINE_TRACE").is_some())
+}
+
+/// Which set of timer kinds an engine arms — base names for single-level
+/// protocols and C-Raft's local level, `Global*` for C-Raft's global level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimerProfile {
+    /// Election / Heartbeat / LeaderTick / ProposalRetry / JoinRetry.
+    Base,
+    /// GlobalElection / GlobalHeartbeat / ... (§V inter-cluster level).
+    Global,
+}
+
+impl TimerProfile {
+    /// Maps a base timer kind to this profile's concrete kind.
+    pub fn map(self, base: TimerKind) -> TimerKind {
+        match self {
+            TimerProfile::Base => base,
+            TimerProfile::Global => match base {
+                TimerKind::Election => TimerKind::GlobalElection,
+                TimerKind::Heartbeat => TimerKind::GlobalHeartbeat,
+                TimerKind::LeaderTick => TimerKind::GlobalLeaderTick,
+                TimerKind::ProposalRetry => TimerKind::GlobalProposalRetry,
+                TimerKind::JoinRetry => TimerKind::GlobalJoinRetry,
+                other => other,
+            },
+        }
+    }
+
+    /// Maps a concrete timer kind back to the base kind, if it belongs to
+    /// this profile.
+    pub fn unmap(self, kind: TimerKind) -> Option<TimerKind> {
+        match self {
+            TimerProfile::Base => match kind {
+                TimerKind::Election
+                | TimerKind::Heartbeat
+                | TimerKind::LeaderTick
+                | TimerKind::ProposalRetry
+                | TimerKind::JoinRetry => Some(kind),
+                _ => None,
+            },
+            TimerProfile::Global => match kind {
+                TimerKind::GlobalElection => Some(TimerKind::Election),
+                TimerKind::GlobalHeartbeat => Some(TimerKind::Heartbeat),
+                TimerKind::GlobalLeaderTick => Some(TimerKind::LeaderTick),
+                TimerKind::GlobalProposalRetry => Some(TimerKind::ProposalRetry),
+                TimerKind::GlobalJoinRetry => Some(TimerKind::JoinRetry),
+                _ => None,
+            },
+        }
+    }
+}
+
+/// How proposals reach the log (§IV-B vs the contention note in §IV-F).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ProposalMode {
+    /// The paper's fast track: broadcast to every member, who insert
+    /// self-approved and vote. Two message rounds without contention.
+    #[default]
+    Broadcast,
+    /// Forward to the leader, which assigns the next index and replicates
+    /// on the classic track. One extra round, but contention-free —
+    /// C-Raft's global level uses this so concurrent per-cluster batches
+    /// do not collide (see DESIGN.md "Known deviations").
+    LeaderForward,
+}
+
+/// A queued membership change awaiting its turn (one at a time, §IV-D).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ReconfigOp {
+    Add(NodeId),
+    Remove(NodeId),
+}
+
+/// A proposal issued at this site, tracked until committed.
+#[derive(Clone, Debug)]
+struct PendingProposal {
+    payload: Payload,
+    /// The log index last targeted for this proposal.
+    index: LogIndex,
+}
+
+/// Continuation parked while an insert is gated (C-Raft global level).
+#[derive(Clone, Debug)]
+enum GateCont {
+    /// Finish a proposer-broadcast insert, then vote.
+    ProposerVote { index: LogIndex, entry: LogEntry },
+    /// Finish a decision-loop insert, then run the fast-quorum check.
+    Decision { index: LogIndex, entry: LogEntry },
+    /// Finish an AppendEntries insert; ack when the whole batch landed.
+    Append {
+        index: LogIndex,
+        entry: LogEntry,
+        ack: u64,
+    },
+    /// Finish a leader-forwarded append (ProposalMode::LeaderForward).
+    LeaderAppend { index: LogIndex, entry: LogEntry },
+}
+
+/// Accumulated acknowledgement for one gated AppendEntries message.
+#[derive(Clone, Debug)]
+struct AckState {
+    from: NodeId,
+    match_index: LogIndex,
+    leader_commit: LogIndex,
+    remaining: usize,
+}
+
+/// One consensus level of Fast Raft: a sans-IO state machine.
+#[derive(Debug)]
+pub struct FastRaftEngine {
+    id: NodeId,
+    scope: LogScope,
+    timers: TimerProfile,
+    timing: Timing,
+    rng: SimRng,
+
+    // ---- persistent ----
+    current_term: Term,
+    voted_for: Option<NodeId>,
+    log: wire::SparseLog,
+
+    // ---- volatile ----
+    commit_index: LogIndex,
+    role: Role,
+    leader_hint: Option<NodeId>,
+    config: Configuration,
+    config_index: LogIndex,
+    election_votes: BTreeSet<NodeId>,
+    /// Self-approved entries shipped by granters during the election.
+    recovery_votes: Vec<(NodeId, Vec<(LogIndex, LogEntry)>)>,
+    /// Highest index verified to match the current leader (follower side).
+    verified: LogIndex,
+
+    // ---- leader volatile ----
+    possible: PossibleEntries,
+    next_index: BTreeMap<NodeId, LogIndex>,
+    match_index: BTreeMap<NodeId, LogIndex>,
+    fast_match: BTreeMap<NodeId, LogIndex>,
+    last_leader_index: LogIndex,
+    learners: BTreeSet<NodeId>,
+    missed_beats: BTreeMap<NodeId, u32>,
+    pending_config: Option<LogIndex>,
+    /// The site awaiting a JoinReply once `pending_config` commits.
+    pending_join_notify: Option<NodeId>,
+    reconfig_queue: VecDeque<ReconfigOp>,
+    stalled_ticks: u32,
+
+    // ---- proposer ----
+    next_seq: u64,
+    pending_proposals: BTreeMap<EntryId, PendingProposal>,
+
+    // ---- joiner ----
+    /// Contact sites while not yet a configuration member.
+    join_contacts: Option<Vec<NodeId>>,
+    /// Consecutive elections that drew no response at all — the signature
+    /// of having been silently evicted while away (§IV-D: such a site
+    /// "will need to send a join request to return to the configuration").
+    silent_elections: u32,
+
+    // ---- bookkeeping ----
+    id_index: HashMap<EntryId, LogIndex>,
+    proposal_mode: ProposalMode,
+    /// Next index handed to a leader-forwarded proposal (grows past
+    /// gate-pending assignments).
+    assign_cursor: LogIndex,
+    pending_gates: HashMap<GateToken, GateCont>,
+    /// Indices with an outstanding decision-insert gate.
+    gated_decisions: BTreeSet<LogIndex>,
+    acks: HashMap<u64, AckState>,
+    next_ack_id: u64,
+}
+
+impl FastRaftEngine {
+    /// Creates a member node with a bootstrap configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bootstrap` is empty or omits `id`, or on invalid timing.
+    pub fn new(
+        id: NodeId,
+        bootstrap: Configuration,
+        scope: LogScope,
+        timers: TimerProfile,
+        timing: Timing,
+        rng: SimRng,
+    ) -> Self {
+        timing.validate();
+        assert!(!bootstrap.is_empty(), "bootstrap configuration is empty");
+        assert!(bootstrap.contains(id), "node {id} not in bootstrap");
+        Self::construct(id, bootstrap, None, scope, timers, timing, rng)
+    }
+
+    /// Creates a node that is **not yet a member**: it will send join
+    /// requests to `contacts` until accepted (§IV-D).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contacts` is empty or on invalid timing.
+    pub fn joining(
+        id: NodeId,
+        contacts: Vec<NodeId>,
+        scope: LogScope,
+        timers: TimerProfile,
+        timing: Timing,
+        rng: SimRng,
+    ) -> Self {
+        timing.validate();
+        assert!(!contacts.is_empty(), "joining node needs contact sites");
+        Self::construct(
+            id,
+            Configuration::empty(),
+            Some(contacts),
+            scope,
+            timers,
+            timing,
+            rng,
+        )
+    }
+
+    fn construct(
+        id: NodeId,
+        config: Configuration,
+        join_contacts: Option<Vec<NodeId>>,
+        scope: LogScope,
+        timers: TimerProfile,
+        timing: Timing,
+        rng: SimRng,
+    ) -> Self {
+        FastRaftEngine {
+            id,
+            scope,
+            timers,
+            timing,
+            rng,
+            current_term: Term::ZERO,
+            voted_for: None,
+            log: wire::SparseLog::new(),
+            commit_index: LogIndex::ZERO,
+            role: Role::Follower,
+            leader_hint: None,
+            config,
+            config_index: LogIndex::ZERO,
+            election_votes: BTreeSet::new(),
+            recovery_votes: Vec::new(),
+            verified: LogIndex::ZERO,
+            possible: PossibleEntries::new(),
+            next_index: BTreeMap::new(),
+            match_index: BTreeMap::new(),
+            fast_match: BTreeMap::new(),
+            last_leader_index: LogIndex::ZERO,
+            learners: BTreeSet::new(),
+            missed_beats: BTreeMap::new(),
+            pending_config: None,
+            pending_join_notify: None,
+            reconfig_queue: VecDeque::new(),
+            stalled_ticks: 0,
+            next_seq: 0,
+            pending_proposals: BTreeMap::new(),
+            join_contacts,
+            silent_elections: 0,
+            id_index: HashMap::new(),
+            proposal_mode: ProposalMode::default(),
+            assign_cursor: LogIndex::ZERO,
+            pending_gates: HashMap::new(),
+            gated_decisions: BTreeSet::new(),
+            acks: HashMap::new(),
+            next_ack_id: 0,
+        }
+    }
+
+    /// Rebuilds an engine from persisted state after a crash. The
+    /// configuration is taken from the log's latest config entry, falling
+    /// back to `bootstrap`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn recover(
+        id: NodeId,
+        term: Term,
+        voted_for: Option<NodeId>,
+        log: wire::SparseLog,
+        bootstrap: Configuration,
+        scope: LogScope,
+        timers: TimerProfile,
+        timing: Timing,
+        rng: SimRng,
+    ) -> Self {
+        let mut e = Self::construct(id, bootstrap, None, scope, timers, timing, rng);
+        e.current_term = term;
+        e.voted_for = voted_for;
+        e.log = log;
+        if let Some((idx, cfg)) = e.log.latest_config() {
+            e.config = cfg.clone();
+            e.config_index = idx;
+        }
+        e.last_leader_index = e.log.last_leader_index();
+        for (idx, entry) in e.log.iter() {
+            e.id_index.insert(entry.id, idx);
+        }
+        if !e.config.contains(id) && !e.config.is_empty() {
+            // Removed while down: must rejoin explicitly.
+            e.join_contacts = Some(e.config.to_vec());
+        }
+        e
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current role at this level.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// `true` while this node leads its configuration.
+    pub fn is_leader(&self) -> bool {
+        self.role == Role::Leader
+    }
+
+    /// Current term at this level.
+    pub fn current_term(&self) -> Term {
+        self.current_term
+    }
+
+    /// Highest committed index.
+    pub fn commit_index(&self) -> LogIndex {
+        self.commit_index
+    }
+
+    /// The log at this level.
+    pub fn log(&self) -> &wire::SparseLog {
+        &self.log
+    }
+
+    /// The configuration currently obeyed.
+    pub fn config(&self) -> &Configuration {
+        &self.config
+    }
+
+    /// The believed leader.
+    pub fn leader_hint(&self) -> Option<NodeId> {
+        self.leader_hint
+    }
+
+    /// Highest leader-approved index (§IV-A `lastLeaderIndex`).
+    pub fn last_leader_index(&self) -> LogIndex {
+        self.last_leader_index
+    }
+
+    /// Proposals issued here and not yet known committed.
+    pub fn pending_proposals(&self) -> usize {
+        self.pending_proposals.len()
+    }
+
+    /// `true` while this node is still negotiating membership.
+    pub fn is_joining(&self) -> bool {
+        self.join_contacts.is_some()
+    }
+
+    /// The consensus scope this engine operates on.
+    pub fn scope(&self) -> LogScope {
+        self.scope
+    }
+
+    /// Selects how proposals reach the log (default:
+    /// [`ProposalMode::Broadcast`], the paper's fast track).
+    pub fn set_proposal_mode(&mut self, mode: ProposalMode) {
+        self.proposal_mode = mode;
+    }
+
+    /// The current proposal mode.
+    pub fn proposal_mode(&self) -> ProposalMode {
+        self.proposal_mode
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle
+    // ------------------------------------------------------------------
+
+    /// Arms initial timers; joiners start their join handshake instead.
+    pub fn bootstrap(&mut self, out: &mut Actions<FastRaftMessage>) {
+        if self.join_contacts.is_some() {
+            self.send_join_request(out);
+        } else {
+            self.reset_election_timer(out);
+        }
+    }
+
+    /// Announces departure (§IV-D): ask the leader to reconfigure us out.
+    pub fn request_leave(&mut self, out: &mut Actions<FastRaftMessage>) {
+        let msg = FastRaftMessage::LeaveRequest { node: self.id };
+        if let Some(leader) = self.leader_hint {
+            out.send(leader, msg);
+        } else {
+            let peers: Vec<NodeId> = self.config.peers(self.id).collect();
+            out.send_many(peers, msg);
+        }
+    }
+
+    fn send_join_request(&mut self, out: &mut Actions<FastRaftMessage>) {
+        let Some(contacts) = &self.join_contacts else {
+            return;
+        };
+        let msg = FastRaftMessage::JoinRequest { node: self.id };
+        if let Some(leader) = self.leader_hint {
+            out.send(leader, msg);
+        } else {
+            out.send_many(contacts.clone(), msg);
+        }
+        out.set_timer(
+            self.timers.map(TimerKind::JoinRetry),
+            self.timing.join_timeout,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    /// Handles a timer expressed in **base** kinds (the embedding unmaps
+    /// profile-specific kinds first; [`TimerProfile::unmap`]).
+    pub fn on_timer(
+        &mut self,
+        base: TimerKind,
+        gate: &mut dyn InsertGate,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        match base {
+            TimerKind::Election
+                if self.role != Role::Leader && self.join_contacts.is_none() => {
+                    self.start_election(out);
+                }
+            TimerKind::Heartbeat
+                if self.role == Role::Leader => {
+                    self.note_missed_beats(out);
+                    self.dispatch_append_entries(out);
+                    out.set_timer(
+                        self.timers.map(TimerKind::Heartbeat),
+                        self.timing.heartbeat,
+                    );
+                }
+            TimerKind::LeaderTick
+                if self.role == Role::Leader => {
+                    self.run_decision_loop(gate, out);
+                    self.maybe_fill_hole(out);
+                    self.start_next_reconfig(out);
+                    out.set_timer(
+                        self.timers.map(TimerKind::LeaderTick),
+                        self.timing.decision_tick,
+                    );
+                }
+            TimerKind::ProposalRetry => self.retry_proposals(out),
+            TimerKind::JoinRetry
+                if self.join_contacts.is_some() => {
+                    self.send_join_request(out);
+                }
+            _ => {}
+        }
+    }
+
+    fn reset_election_timer(&mut self, out: &mut Actions<FastRaftMessage>) {
+        let timeout = self.timing.election_timeout(&mut self.rng);
+        out.set_timer(self.timers.map(TimerKind::Election), timeout);
+    }
+
+    // ------------------------------------------------------------------
+    // Proposing (§IV-B "To propose an entry")
+    // ------------------------------------------------------------------
+
+    /// Issues a proposal for `payload` from this site, broadcasting it to
+    /// all configuration members. Returns the proposal id.
+    pub fn propose_payload(
+        &mut self,
+        payload: Payload,
+        gate: &mut dyn InsertGate,
+        out: &mut Actions<FastRaftMessage>,
+    ) -> EntryId {
+        let id = EntryId::new(self.id, self.next_seq);
+        self.next_seq += 1;
+        match self.proposal_mode {
+            ProposalMode::Broadcast => {
+                let index = self.pick_proposal_index();
+                self.pending_proposals.insert(
+                    id,
+                    PendingProposal {
+                        payload: payload.clone(),
+                        index,
+                    },
+                );
+                self.broadcast_proposal(id, payload, index, gate, out);
+            }
+            ProposalMode::LeaderForward => {
+                self.pending_proposals.insert(
+                    id,
+                    PendingProposal {
+                        payload: payload.clone(),
+                        index: LogIndex::ZERO,
+                    },
+                );
+                self.forward_proposal(id, payload, gate, out);
+            }
+        }
+        out.set_timer(
+            self.timers.map(TimerKind::ProposalRetry),
+            self.timing.proposal_timeout,
+        );
+        id
+    }
+
+    /// Sends a leader-forwarded proposal (index ZERO = "leader assigns").
+    fn forward_proposal(
+        &mut self,
+        id: EntryId,
+        payload: Payload,
+        gate: &mut dyn InsertGate,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        let entry = LogEntry {
+            term: self.current_term,
+            id,
+            payload,
+            approval: Approval::SelfApproved,
+        };
+        if self.role == Role::Leader {
+            self.leader_accept_forwarded(entry, gate, out);
+        } else if let Some(leader) = self.leader_hint {
+            out.send(
+                leader,
+                FastRaftMessage::ProposeAt {
+                    index: LogIndex::ZERO,
+                    entry,
+                },
+            );
+        } else {
+            let peers: Vec<NodeId> = self.config.peers(self.id).collect();
+            out.send_many(
+                peers,
+                FastRaftMessage::ProposeAt {
+                    index: LogIndex::ZERO,
+                    entry,
+                },
+            );
+        }
+    }
+
+    /// Leader side of a forwarded proposal: assign the next index and run
+    /// the (possibly gated) classic-track insert.
+    fn leader_accept_forwarded(
+        &mut self,
+        entry: LogEntry,
+        gate: &mut dyn InsertGate,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        // Dedup: retries of ids already in the log are ignored (commit
+        // notification flows from emit_commit_effects).
+        if let Some(&idx) = self.id_index.get(&entry.id) {
+            if idx <= self.commit_index {
+                out.send(
+                    entry.id.proposer,
+                    FastRaftMessage::ProposeReply {
+                        id: entry.id,
+                        committed: true,
+                        leader_hint: Some(self.id),
+                    },
+                );
+            }
+            return;
+        }
+        if !self.leader_log_settled() && self.assign_cursor <= self.last_leader_index {
+            // A fresh leader with an undecided backlog must not hand out
+            // slots yet; the proposer retries after its timeout.
+            return;
+        }
+        self.assign_cursor = self.assign_cursor.max(self.last_leader_index).next();
+        let k = self.assign_cursor;
+        if trace_enabled() {
+            eprintln!("FORWARD_ACCEPT {} k={} id={}", self.id, k.as_u64(), entry.id);
+        }
+        let chosen = entry
+            .with_term(self.current_term)
+            .with_approval(Approval::LeaderApproved);
+        match gate.begin(k, &chosen, GatePurpose::DecisionInsert) {
+            GateVerdict::Proceed => {
+                self.insert_leader_entry(k, chosen, out);
+                self.advance_commit_classic(out);
+            }
+            GateVerdict::Defer(token) => {
+                // Mark the id as assigned so duplicate retries don't claim
+                // another slot while the gate replicates.
+                self.id_index.insert(chosen.id, k);
+                self.pending_gates
+                    .insert(token, GateCont::LeaderAppend { index: k, entry: chosen });
+            }
+        }
+    }
+
+    /// Registers an externally recovered proposal for retry tracking
+    /// without re-broadcasting it now. Used by C-Raft when a new local
+    /// leader inherits batches its predecessor proposed globally but whose
+    /// commitment is unknown (§V-B): the proposal-retry timer re-broadcasts
+    /// them under the original id, so duplicates are suppressed.
+    pub fn track_pending_proposal(
+        &mut self,
+        id: EntryId,
+        payload: Payload,
+        index: LogIndex,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        self.pending_proposals
+            .insert(id, PendingProposal { payload, index });
+        out.set_timer(
+            self.timers.map(TimerKind::ProposalRetry),
+            self.timing.proposal_timeout,
+        );
+    }
+
+    /// Convenience wrapper for data payloads.
+    pub fn propose_data(
+        &mut self,
+        data: Bytes,
+        gate: &mut dyn InsertGate,
+        out: &mut Actions<FastRaftMessage>,
+    ) -> EntryId {
+        self.propose_payload(Payload::Data(data), gate, out)
+    }
+
+    fn pick_proposal_index(&self) -> LogIndex {
+        // Past everything this site has seen proposed or stored.
+        self.log.last_index().max(self.commit_index).next()
+    }
+
+    fn broadcast_proposal(
+        &mut self,
+        id: EntryId,
+        payload: Payload,
+        index: LogIndex,
+        gate: &mut dyn InsertGate,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        let entry = LogEntry {
+            term: self.current_term,
+            id,
+            payload,
+            approval: Approval::SelfApproved,
+        };
+        let peers: Vec<NodeId> = self.config.peers(self.id).collect();
+        out.send_many(
+            peers,
+            FastRaftMessage::ProposeAt {
+                index,
+                entry: entry.clone(),
+            },
+        );
+        // The proposer is itself a site: run the follower insert+vote path
+        // locally.
+        self.on_propose_at(self.id, index, entry, gate, out);
+    }
+
+    /// Event-driven re-targeting: when the log commits past a pending
+    /// proposal's target index with a *different* entry, the proposal lost
+    /// that slot — re-broadcast it at a fresh index immediately rather than
+    /// waiting for the proposal timeout. Keeps throughput stable under
+    /// concurrent proposers (§IV-F's contention scenario).
+    fn retarget_lost_proposals(&mut self, out: &mut Actions<FastRaftMessage>) {
+        if self.pending_proposals.is_empty() {
+            return;
+        }
+        let lost: Vec<(EntryId, Payload)> = self
+            .pending_proposals
+            .iter()
+            .filter(|(id, p)| {
+                !p.index.is_zero()
+                    && p.index <= self.commit_index
+                    && self.log.get(p.index).is_none_or(|e| e.id != **id)
+            })
+            .map(|(id, p)| (*id, p.payload.clone()))
+            .collect();
+        for (id, payload) in lost {
+            let index = self.pick_proposal_index();
+            if let Some(p) = self.pending_proposals.get_mut(&id) {
+                p.index = index;
+            }
+            let entry = LogEntry {
+                term: self.current_term,
+                id,
+                payload,
+                approval: Approval::SelfApproved,
+            };
+            let peers: Vec<NodeId> = self.config.peers(self.id).collect();
+            out.send_many(
+                peers,
+                FastRaftMessage::ProposeAt {
+                    index,
+                    entry: entry.clone(),
+                },
+            );
+            if self.log.get(index).is_none() {
+                let mut proceed = crate::gate::ProceedGate;
+                self.on_propose_at(self.id, index, entry, &mut proceed, out);
+            } else {
+                self.send_vote_for_slot(index, out);
+            }
+        }
+    }
+
+    fn retry_proposals(&mut self, out: &mut Actions<FastRaftMessage>) {
+        if self.pending_proposals.is_empty() {
+            return;
+        }
+        if self.proposal_mode == ProposalMode::LeaderForward {
+            let pendings: Vec<(EntryId, Payload)> = self
+                .pending_proposals
+                .iter()
+                .map(|(id, p)| (*id, p.payload.clone()))
+                .collect();
+            for (id, payload) in pendings {
+                let mut proceed = crate::gate::ProceedGate;
+                self.forward_proposal(id, payload, &mut proceed, out);
+            }
+            out.set_timer(
+                self.timers.map(TimerKind::ProposalRetry),
+                self.timing.proposal_timeout,
+            );
+            return;
+        }
+        let pendings: Vec<(EntryId, Payload, LogIndex)> = self
+            .pending_proposals
+            .iter()
+            .map(|(id, p)| (*id, p.payload.clone(), p.index))
+            .collect();
+        for (id, payload, old_index) in pendings {
+            // If our entry still occupies its slot, re-gather votes for the
+            // same index; if it was overwritten, re-target a fresh index.
+            let keep = self.log.get(old_index).is_some_and(|e| e.id == id);
+            let index = if keep { old_index } else { self.pick_proposal_index() };
+            if let Some(p) = self.pending_proposals.get_mut(&id) {
+                p.index = index;
+            }
+            let entry = LogEntry {
+                term: self.current_term,
+                id,
+                payload,
+                approval: Approval::SelfApproved,
+            };
+            let peers: Vec<NodeId> = self.config.peers(self.id).collect();
+            out.send_many(
+                peers,
+                FastRaftMessage::ProposeAt {
+                    index,
+                    entry: entry.clone(),
+                },
+            );
+            // Re-vote locally as well (ungated: slot content already gated
+            // when first inserted; occupied slots vote without insert).
+            if self.log.get(index).is_none() {
+                // Rare: our slot was truncated. Reinsert through the normal
+                // path; a no-op gate race here simply re-runs the gate.
+                let mut proceed = crate::gate::ProceedGate;
+                self.on_propose_at(self.id, index, entry, &mut proceed, out);
+            } else {
+                self.send_vote_for_slot(index, out);
+            }
+        }
+        out.set_timer(
+            self.timers.map(TimerKind::ProposalRetry),
+            self.timing.proposal_timeout,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Message handling
+    // ------------------------------------------------------------------
+
+    /// Handles one incoming message.
+    pub fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: FastRaftMessage,
+        gate: &mut dyn InsertGate,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        // Configuration filter (§III-A): consensus messages from sites
+        // outside the configuration are ignored. Exceptions: client-level
+        // traffic, and everything while we are not ourselves a member yet
+        // (joiners must accept catch-up AppendEntries).
+        let exempt = msg.is_client_traffic() || !self.config.contains(self.id);
+        if !exempt && !self.config.contains(from) && !self.learners.contains(&from) {
+            out.observe(Observation::MessageIgnored {
+                reason: "sender not in configuration",
+            });
+            return;
+        }
+        // Any message from a live member clears its missed-beat counter.
+        self.missed_beats.remove(&from);
+
+        match msg {
+            FastRaftMessage::ProposeAt { index, entry } => {
+                self.on_propose_at(from, index, entry, gate, out)
+            }
+            FastRaftMessage::Vote {
+                index,
+                entry,
+                commit_index,
+            } => self.on_vote(from, index, entry, commit_index, out),
+            FastRaftMessage::ProposeReply {
+                id,
+                committed,
+                leader_hint,
+            } => {
+                if let Some(hint) = leader_hint {
+                    self.leader_hint = Some(hint);
+                }
+                if committed && self.pending_proposals.remove(&id).is_some() {
+                    out.observe(Observation::ProposalCommitted {
+                        id,
+                        index: LogIndex::ZERO,
+                        scope: self.scope,
+                    });
+                }
+            }
+            FastRaftMessage::AppendEntries {
+                term,
+                leader,
+                prev_index,
+                entries,
+                leader_commit,
+                global_commit: _,
+            } => {
+                self.on_append_entries(from, term, leader, prev_index, entries, leader_commit, gate, out)
+            }
+            FastRaftMessage::AppendEntriesReply {
+                term,
+                success,
+                match_index,
+            } => self.on_append_reply(from, term, success, match_index, out),
+            FastRaftMessage::RequestVote {
+                term,
+                candidate,
+                last_leader_index,
+                last_leader_term,
+            } => self.on_request_vote(from, term, candidate, last_leader_index, last_leader_term, out),
+            FastRaftMessage::RequestVoteReply {
+                term,
+                granted,
+                self_approved,
+            } => self.on_vote_reply(from, term, granted, self_approved, gate, out),
+            FastRaftMessage::JoinRequest { node } => self.on_join_request(from, node, out),
+            FastRaftMessage::JoinReply {
+                accepted,
+                leader_hint,
+            } => {
+                if let Some(hint) = leader_hint {
+                    self.leader_hint = Some(hint);
+                }
+                if accepted && self.config.contains(self.id) {
+                    self.finish_joining(out);
+                } else if !accepted && self.join_contacts.is_some() {
+                    // Redirect noted; retry goes to the hinted leader.
+                }
+            }
+            FastRaftMessage::LeaveRequest { node } => self.on_leave_request(node, out),
+        }
+    }
+
+    /// Completes a previously deferred insert (C-Raft: the global state
+    /// entry committed locally).
+    pub fn gate_ready(
+        &mut self,
+        token: GateToken,
+        gate: &mut dyn InsertGate,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        let Some(cont) = self.pending_gates.remove(&token) else {
+            return;
+        };
+        match cont {
+            GateCont::ProposerVote { index, entry } => {
+                self.finish_proposer_insert(index, entry, out);
+            }
+            GateCont::Decision { index, entry } => {
+                self.gated_decisions.remove(&index);
+                let committed = self.finish_decision_insert(index, entry, out);
+                if committed {
+                    // Commit advanced: the loop may continue.
+                    self.run_decision_loop(gate, out);
+                }
+            }
+            GateCont::LeaderAppend { index, entry } => {
+                if self.role == Role::Leader {
+                    self.insert_leader_entry(index, entry, out);
+                    self.advance_commit_classic(out);
+                }
+            }
+            GateCont::Append { index, entry, ack } => {
+                self.apply_append_insert(index, entry, out);
+                let done = {
+                    let st = self.acks.get_mut(&ack).expect("ack state");
+                    st.remaining -= 1;
+                    st.remaining == 0
+                };
+                if done {
+                    let st = self.acks.remove(&ack).expect("ack state");
+                    self.finish_append_ack(st, out);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fast track: proposer broadcasts and votes
+    // ------------------------------------------------------------------
+
+    /// §IV-B "When follower receives a proposed entry e for index i".
+    fn on_propose_at(
+        &mut self,
+        _from: NodeId,
+        index: LogIndex,
+        entry: LogEntry,
+        gate: &mut dyn InsertGate,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        // Index ZERO marks a leader-forwarded proposal: the leader assigns
+        // the slot; non-leaders redirect.
+        if index.is_zero() {
+            if self.role == Role::Leader {
+                self.leader_accept_forwarded(entry, gate, out);
+            } else {
+                out.send(
+                    entry.id.proposer,
+                    FastRaftMessage::ProposeReply {
+                        id: entry.id,
+                        committed: false,
+                        leader_hint: self.leader_hint,
+                    },
+                );
+            }
+            return;
+        }
+        // Duplicate already committed? Notify the proposer (§IV-B step 1).
+        if let Some(&idx) = self.id_index.get(&entry.id) {
+            if idx <= self.commit_index && self.log.get(idx).is_some_and(|e| e.id == entry.id) {
+                out.send(
+                    entry.id.proposer,
+                    FastRaftMessage::ProposeReply {
+                        id: entry.id,
+                        committed: true,
+                        leader_hint: self.leader_hint,
+                    },
+                );
+                return;
+            }
+        }
+        if self.log.get(index).is_none() {
+            let e = entry.with_approval(Approval::SelfApproved);
+            match gate.begin(index, &e, GatePurpose::ProposerInsert) {
+                GateVerdict::Proceed => self.finish_proposer_insert(index, e, out),
+                GateVerdict::Defer(token) => {
+                    self.pending_gates
+                        .insert(token, GateCont::ProposerVote { index, entry: e });
+                }
+            }
+        } else {
+            // Slot occupied: do not overwrite (§IV-B step 2); vote for the
+            // occupant.
+            self.send_vote_for_slot(index, out);
+        }
+    }
+
+    fn finish_proposer_insert(
+        &mut self,
+        index: LogIndex,
+        entry: LogEntry,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        if self.log.get(index).is_some() {
+            // Raced with an AppendEntries insert while gated; vote for the
+            // now-present occupant instead.
+            self.send_vote_for_slot(index, out);
+            return;
+        }
+        self.id_index.insert(entry.id, index);
+        out.persist(PersistCmd::Insert {
+            scope: self.scope,
+            index,
+            entry: entry.clone(),
+        });
+        self.log.insert(index, entry);
+        self.send_vote_for_slot(index, out);
+    }
+
+    /// §IV-B step 4: "Send log\[i\] and commitIndex to leaderId".
+    fn send_vote_for_slot(&mut self, index: LogIndex, out: &mut Actions<FastRaftMessage>) {
+        let Some(entry) = self.log.get(index).cloned() else {
+            return;
+        };
+        if self.role == Role::Leader {
+            // The leader is treated as a follower here (§IV-B): its own
+            // vote goes straight into possibleEntries.
+            self.record_vote(self.id, index, entry, self.commit_index, out);
+        } else if let Some(leader) = self.leader_hint {
+            out.send(
+                leader,
+                FastRaftMessage::Vote {
+                    index,
+                    entry,
+                    commit_index: self.commit_index,
+                },
+            );
+        }
+        // No known leader: the vote is re-sent when the proposer retries or
+        // when a leader emerges and re-solicits via recovery.
+    }
+
+    /// §IV-B "When leader receives an entry e for index k from site i".
+    fn on_vote(
+        &mut self,
+        from: NodeId,
+        index: LogIndex,
+        entry: LogEntry,
+        voter_commit: LogIndex,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        if self.role != Role::Leader {
+            return;
+        }
+        self.record_vote(from, index, entry, voter_commit, out);
+    }
+
+    fn record_vote(
+        &mut self,
+        from: NodeId,
+        index: LogIndex,
+        entry: LogEntry,
+        voter_commit: LogIndex,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        // §IV-B step 2: nextIndex[i] tracks the voter's commit index so the
+        // classic track keeps it consistent with the leader.
+        if self.config.contains(from) || self.learners.contains(&from) {
+            self.next_index.insert(from, voter_commit.next());
+        }
+        if index <= self.commit_index {
+            // Slot already decided. If this vote names the committed entry,
+            // tell its proposer; otherwise the proposal lost this slot and
+            // its proposer will retry elsewhere.
+            if self.log.get(index).is_some_and(|e| e.id == entry.id) {
+                out.send(
+                    entry.id.proposer,
+                    FastRaftMessage::ProposeReply {
+                        id: entry.id,
+                        committed: true,
+                        leader_hint: Some(self.id),
+                    },
+                );
+            }
+            return;
+        }
+        // A vote for an entry that is already committed at a *different*
+        // index is a null vote (duplicate suppression).
+        if let Some(&idx) = self.id_index.get(&entry.id) {
+            if idx <= self.commit_index && idx != index {
+                self.possible.record_null_vote(index, from);
+                return;
+            }
+        }
+        self.possible.record_vote(index, entry, from);
+    }
+
+    // ------------------------------------------------------------------
+    // The decision loop (§IV-B "Periodically run by the leader")
+    // ------------------------------------------------------------------
+
+    /// `true` when no undecided index sits at or below the leader-approved
+    /// top of the log: every recovered vote and broadcast proposal known to
+    /// this leader has been decided, and no insert is gate-pending. Only
+    /// then may the leader create an entry at `lastLeaderIndex + 1` itself
+    /// (configuration changes, term no-ops, forwarded proposals) without
+    /// risking stomping a chosen-but-not-yet-re-decided slot (§IV-C).
+    fn leader_log_settled(&self) -> bool {
+        self.possible.max_index() <= self.last_leader_index
+            && self.log.last_index() <= self.last_leader_index
+            && self.gated_decisions.is_empty()
+    }
+
+    /// The smallest index above the commit point not yet decided by a
+    /// leader: the position the decision loop works on. Skips inherited
+    /// leader-approved entries (fixed decisions the classic track commits).
+    fn decision_point(&self) -> LogIndex {
+        let mut k = self.commit_index.next();
+        while self
+            .log
+            .get(k)
+            .is_some_and(|e| e.approval == Approval::LeaderApproved)
+        {
+            k = k.next();
+        }
+        k
+    }
+
+    fn run_decision_loop(
+        &mut self,
+        gate: &mut dyn InsertGate,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        if self.role != Role::Leader {
+            return;
+        }
+        // Fast-track check at the head of the log: the fast track may only
+        // commit commitIndex + 1 (§IV-B), and only for a current-term entry.
+        loop {
+            let k = self.commit_index.next();
+            let Some(existing) = self.log.get(k).cloned() else {
+                break;
+            };
+            if existing.approval != Approval::LeaderApproved
+                || existing.term != self.current_term
+            {
+                break;
+            }
+            self.update_fast_match(k, existing.id);
+            if self.fast_quorum_at(k) {
+                self.commit_through(k, true, out);
+            } else {
+                break;
+            }
+        }
+        // Decide-ahead: choose entries from votes at the first undecided
+        // index, keeping the leader-approved prefix contiguous. Inherited
+        // old-term entries below are skipped — they commit via the classic
+        // track once a current-term entry above them replicates (the same
+        // reason classic Raft commits a new-term no-op on election).
+        loop {
+            let k = self.decision_point();
+            if self.gated_decisions.contains(&k) {
+                break; // An insert for k is still replicating locally.
+            }
+            if self.possible.voters_at(k) < self.config.classic_quorum() {
+                break;
+            }
+            let chosen = match self.possible.most_voted(k) {
+                Some((e, _)) => e.clone(),
+                None => {
+                    // Every vote was nulled: any entry may be inserted
+                    // (§IV-B); use a no-op.
+                    LogEntry::noop(self.current_term, self.fresh_internal_id())
+                }
+            };
+            if trace_enabled() {
+                eprintln!(
+                    "DECIDE {}@{:?} k={} chose {} voters={} votes_for_chosen={}",
+                    self.id, self.scope, k.as_u64(), chosen.id,
+                    self.possible.voters_at(k),
+                    self.possible.votes_for(k, chosen.id)
+                );
+            }
+            let chosen = chosen
+                .with_term(self.current_term)
+                .with_approval(Approval::LeaderApproved);
+            match gate.begin(k, &chosen, GatePurpose::DecisionInsert) {
+                GateVerdict::Proceed => {
+                    let _ = self.finish_decision_insert(k, chosen, out);
+                }
+                GateVerdict::Defer(token) => {
+                    self.gated_decisions.insert(k);
+                    self.pending_gates
+                        .insert(token, GateCont::Decision { index: k, entry: chosen });
+                    break;
+                }
+            }
+        }
+        self.maybe_term_noop(gate, out);
+    }
+
+    /// Classic Raft commits a no-op at the start of every term so inherited
+    /// entries become committable; Fast Raft needs the same, but the no-op
+    /// may only go *above* every index that might hold a chosen entry —
+    /// i.e. above every recovered vote and every entry in our log. When the
+    /// system is quiet (no votes pending beyond the log), that point is
+    /// exactly `lastLeaderIndex + 1`.
+    fn maybe_term_noop(&mut self, gate: &mut dyn InsertGate, out: &mut Actions<FastRaftMessage>) {
+        if self.role != Role::Leader
+            || self.commit_index >= self.last_leader_index
+            || self.log.term_at(self.last_leader_index) == self.current_term
+            || !self.gated_decisions.is_empty()
+        {
+            return;
+        }
+        if !self.leader_log_settled() {
+            // Undecided proposals beyond the inherited region: the decision
+            // loop (plus hole filling) will produce the current-term entry.
+            return;
+        }
+        let k = self.last_leader_index.next();
+        if trace_enabled() {
+            eprintln!("TERMNOOP {} k={}", self.id, k.as_u64());
+        }
+        let noop = LogEntry::noop(self.current_term, self.fresh_internal_id());
+        match gate.begin(k, &noop, GatePurpose::DecisionInsert) {
+            GateVerdict::Proceed => {
+                self.insert_leader_entry(k, noop, out);
+                self.advance_commit_classic(out);
+            }
+            GateVerdict::Defer(token) => {
+                self.gated_decisions.insert(k);
+                self.pending_gates
+                    .insert(token, GateCont::LeaderAppend { index: k, entry: noop });
+            }
+        }
+    }
+
+    /// Inserts the chosen entry at `k`; returns `true` if it fast-committed.
+    fn finish_decision_insert(
+        &mut self,
+        k: LogIndex,
+        chosen: LogEntry,
+        out: &mut Actions<FastRaftMessage>,
+    ) -> bool {
+        if k != self.decision_point() || self.role != Role::Leader {
+            // Stale continuation (the slot was decided another way or
+            // leadership was lost while the gate replicated). Drop it; the
+            // current machinery re-decides.
+            return false;
+        }
+        self.insert_leader_entry(k, chosen.clone(), out);
+        self.possible.null_out_elsewhere(chosen.id, k);
+        self.update_fast_match(k, chosen.id);
+        // The fast track only ever commits the index right above the commit
+        // point (§IV-B "the fast track can only be taken here if the last
+        // index was committed").
+        if k == self.commit_index.next()
+            && chosen.term == self.current_term
+            && self.fast_quorum_at(k)
+        {
+            self.commit_through(k, true, out);
+            return true;
+        }
+        false
+    }
+
+    fn insert_leader_entry(
+        &mut self,
+        index: LogIndex,
+        entry: LogEntry,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        if trace_enabled() {
+            eprintln!("INSERT_LEADER {} k={} id={}", self.id, index.as_u64(), entry.id);
+        }
+        debug_assert_eq!(entry.approval, Approval::LeaderApproved);
+        self.id_index.insert(entry.id, index);
+        if let Some(cfg) = entry.as_config() {
+            if index >= self.config_index {
+                self.adopt_config(cfg.clone(), index, out);
+            }
+        }
+        out.persist(PersistCmd::Insert {
+            scope: self.scope,
+            index,
+            entry: entry.clone(),
+        });
+        self.log.insert(index, entry);
+        if index > self.last_leader_index {
+            self.last_leader_index = index;
+        }
+        self.match_index.insert(self.id, self.last_leader_index);
+    }
+
+    fn fresh_internal_id(&mut self) -> EntryId {
+        let id = EntryId::new(self.id, self.next_seq);
+        self.next_seq += 1;
+        id
+    }
+
+    fn update_fast_match(&mut self, k: LogIndex, chosen: EntryId) {
+        for voter in self.possible.voters_for(k, chosen) {
+            let fm = self.fast_match.entry(voter).or_insert(LogIndex::ZERO);
+            if k > *fm {
+                *fm = k;
+            }
+        }
+        // The leader holds the entry itself.
+        let fm = self.fast_match.entry(self.id).or_insert(LogIndex::ZERO);
+        if k > *fm {
+            *fm = k;
+        }
+    }
+
+    fn fast_quorum_at(&self, k: LogIndex) -> bool {
+        let count = self
+            .config
+            .iter()
+            .filter(|m| self.fast_match.get(m).copied().unwrap_or(LogIndex::ZERO) >= k)
+            .count();
+        count >= self.config.fast_quorum()
+    }
+
+    /// Liveness guard: re-propose a no-op at the blocked index after
+    /// `hole_fill_ticks` stalled decision ticks (see module docs).
+    fn maybe_fill_hole(&mut self, out: &mut Actions<FastRaftMessage>) {
+        let k = self.decision_point();
+        let work_above = self.log.last_index() >= k || self.possible.max_index() >= k;
+        let blocked = work_above
+            && self.log.get(k).is_none_or(|e| e.approval == Approval::SelfApproved)
+            && self.possible.voters_at(k) < self.config.classic_quorum()
+            && !self.gated_decisions.contains(&k);
+        if !blocked {
+            self.stalled_ticks = 0;
+            return;
+        }
+        self.stalled_ticks += 1;
+        if self.stalled_ticks < self.timing.hole_fill_ticks {
+            return;
+        }
+        self.stalled_ticks = 0;
+        if trace_enabled() {
+            eprintln!("HOLEFILL {} k={} voters={}", self.id, k.as_u64(), self.possible.voters_at(k));
+        }
+        // Broadcast a no-op proposal targeted at the blocked index. Sites
+        // holding an entry there keep it and re-vote for it, so any chosen
+        // entry still wins the decision rule.
+        let entry = LogEntry {
+            term: self.current_term,
+            id: self.fresh_internal_id(),
+            payload: Payload::Noop,
+            approval: Approval::SelfApproved,
+        };
+        let peers: Vec<NodeId> = self.config.peers(self.id).collect();
+        out.send_many(
+            peers,
+            FastRaftMessage::ProposeAt {
+                index: k,
+                entry: entry.clone(),
+            },
+        );
+        let mut proceed = crate::gate::ProceedGate;
+        self.on_propose_at(self.id, k, entry, &mut proceed, out);
+    }
+
+    // ------------------------------------------------------------------
+    // Classic track: AppendEntries
+    // ------------------------------------------------------------------
+
+    fn note_missed_beats(&mut self, out: &mut Actions<FastRaftMessage>) {
+        let peers: Vec<NodeId> = self.config.peers(self.id).collect();
+        let mut suspects = Vec::new();
+        for peer in peers {
+            let missed = self.missed_beats.entry(peer).or_insert(0);
+            *missed += 1;
+            if *missed >= self.timing.member_timeout_beats {
+                *missed = 0;
+                suspects.push(peer);
+            }
+        }
+        for peer in suspects {
+            out.observe(Observation::MemberSuspected { node: peer });
+            self.enqueue_reconfig(ReconfigOp::Remove(peer), out);
+        }
+    }
+
+    fn dispatch_append_entries(&mut self, out: &mut Actions<FastRaftMessage>) {
+        let targets: Vec<NodeId> = self
+            .config
+            .peers(self.id)
+            .chain(self.learners.iter().copied().filter(|l| *l != self.id))
+            .collect();
+        for peer in targets {
+            let next = *self
+                .next_index
+                .get(&peer)
+                .unwrap_or(&self.commit_index.next());
+            let mut entries = Vec::new();
+            // §IV-B: include entries from nextIndex through lastLeaderIndex.
+            if self.last_leader_index >= next {
+                for (idx, e) in self.log.range(next, self.last_leader_index) {
+                    if entries.len() >= self.timing.max_entries_per_append {
+                        break;
+                    }
+                    debug_assert_eq!(e.approval, Approval::LeaderApproved);
+                    entries.push((idx, e.clone()));
+                }
+            }
+            out.send(
+                peer,
+                FastRaftMessage::AppendEntries {
+                    term: self.current_term,
+                    leader: self.id,
+                    prev_index: next.prev_saturating(),
+                    entries,
+                    leader_commit: self.commit_index,
+                    global_commit: LogIndex::ZERO,
+                },
+            );
+        }
+    }
+
+    /// §IV-B "When a follower receives AppendEntries message".
+    #[allow(clippy::too_many_arguments)]
+    fn on_append_entries(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        leader: NodeId,
+        prev_index: LogIndex,
+        entries: Vec<(LogIndex, LogEntry)>,
+        leader_commit: LogIndex,
+        gate: &mut dyn InsertGate,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        if term < self.current_term {
+            out.send(
+                from,
+                FastRaftMessage::AppendEntriesReply {
+                    term: self.current_term,
+                    success: false,
+                    match_index: LogIndex::ZERO,
+                },
+            );
+            return;
+        }
+        let leader_changed = self.leader_hint != Some(leader) || term > self.current_term;
+        self.silent_elections = 0;
+        if term > self.current_term || self.role != Role::Follower {
+            self.become_follower(term, Some(leader), out);
+        } else {
+            self.leader_hint = Some(leader);
+            self.reset_election_timer(out);
+        }
+        if leader_changed {
+            // Entries verified against a previous leader may diverge above
+            // the commit point; re-verify against the new leader.
+            self.verified = self.commit_index;
+        }
+        // NOTE: prev_index is deliberately NOT trusted to raise `verified`.
+        // Mere presence of entries through prev_index proves nothing — a
+        // stale self-approved entry below prev could differ from the
+        // leader's log (the log-matching induction classic Raft gets from
+        // its prev-term check). Instead, a follower that cannot extend its
+        // verified prefix acks its true `verified`, and the leader rewinds
+        // nextIndex from the ack (see on_append_reply), resending the range
+        // and overwriting stale entries.
+        let _ = prev_index;
+
+        // Contiguity bookkeeping: entries arrive as an explicit index range.
+        let hi = entries.last().map(|(i, _)| *i).unwrap_or(LogIndex::ZERO);
+        let lo = entries.first().map(|(i, _)| *i).unwrap_or(LogIndex::ZERO);
+        let extends = !entries.is_empty()
+            && (lo <= self.verified.next() || lo <= self.commit_index.next());
+        let new_match = if extends { hi.max(self.verified) } else { self.verified };
+
+        // Apply inserts (§IV-B steps 4-5: overwrite conflicts, mark
+        // leader-approved), possibly gated.
+        let mut to_insert = Vec::new();
+        for (idx, entry) in entries {
+            let needs_write = match self.log.get(idx) {
+                None => true,
+                Some(existing) => {
+                    existing.id != entry.id
+                        || existing.approval != Approval::LeaderApproved
+                        || existing.term != entry.term
+                }
+            };
+            if needs_write {
+                to_insert.push((idx, entry.with_approval(Approval::LeaderApproved)));
+            }
+        }
+        if to_insert.is_empty() {
+            self.verified = new_match;
+            self.complete_append(from, new_match, leader_commit, out);
+            return;
+        }
+        let ack_id = self.next_ack_id;
+        self.next_ack_id += 1;
+        let mut remaining = 0usize;
+        let mut immediate = Vec::new();
+        for (idx, entry) in to_insert {
+            match gate.begin(idx, &entry, GatePurpose::AppendInsert) {
+                GateVerdict::Proceed => immediate.push((idx, entry)),
+                GateVerdict::Defer(token) => {
+                    remaining += 1;
+                    self.pending_gates.insert(
+                        token,
+                        GateCont::Append {
+                            index: idx,
+                            entry,
+                            ack: ack_id,
+                        },
+                    );
+                }
+            }
+        }
+        for (idx, entry) in immediate {
+            self.apply_append_insert(idx, entry, out);
+        }
+        self.verified = new_match;
+        if remaining == 0 {
+            self.complete_append(from, new_match, leader_commit, out);
+        } else {
+            self.acks.insert(
+                ack_id,
+                AckState {
+                    from,
+                    match_index: new_match,
+                    leader_commit,
+                    remaining,
+                },
+            );
+        }
+    }
+
+    fn apply_append_insert(
+        &mut self,
+        index: LogIndex,
+        entry: LogEntry,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        if let Some(old) = self.log.get(index) {
+            if old.id != entry.id {
+                self.id_index.remove(&old.id);
+            }
+        }
+        self.id_index.insert(entry.id, index);
+        if let Some(cfg) = entry.as_config() {
+            if index >= self.config_index {
+                self.adopt_config(cfg.clone(), index, out);
+            }
+        }
+        out.persist(PersistCmd::Insert {
+            scope: self.scope,
+            index,
+            entry: entry.clone(),
+        });
+        self.log.insert(index, entry);
+        // These entries are leader-approved: they advance lastLeaderIndex,
+        // which drives election up-to-dateness (§IV-C).
+        if index > self.last_leader_index {
+            self.last_leader_index = index;
+        }
+    }
+
+    fn complete_append(
+        &mut self,
+        from: NodeId,
+        match_index: LogIndex,
+        leader_commit: LogIndex,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        // §IV-B step 6: commitIndex follows the leader, clamped to what we
+        // verified (deviation from the paper's `lastLogIndex` clamp — see
+        // module docs; this keeps the committed prefix contiguous and
+        // leader-verified).
+        if leader_commit > self.commit_index {
+            let target = leader_commit.min(match_index);
+            if target > self.commit_index {
+                self.commit_through_follower(target, out);
+            }
+        }
+        out.send(
+            from,
+            FastRaftMessage::AppendEntriesReply {
+                term: self.current_term,
+                success: true,
+                match_index,
+            },
+        );
+    }
+
+    fn finish_append_ack(&mut self, st: AckState, out: &mut Actions<FastRaftMessage>) {
+        self.complete_append(st.from, st.match_index, st.leader_commit, out);
+    }
+
+    /// Leader handling of AppendEntries acknowledgements.
+    fn on_append_reply(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        success: bool,
+        match_index: LogIndex,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        if term > self.current_term {
+            self.become_follower(term, None, out);
+            return;
+        }
+        if self.role != Role::Leader || term < self.current_term {
+            return;
+        }
+        if success {
+            // match_index is monotone (acked entries are persisted at the
+            // follower), but nextIndex follows the ack exactly: a follower
+            // that restarted from stable storage reports a low verified
+            // match, and the leader must rewind and resend that range.
+            let m = self.match_index.entry(from).or_insert(LogIndex::ZERO);
+            if match_index > *m {
+                *m = match_index;
+            }
+            self.next_index.insert(from, match_index.next());
+            self.maybe_finish_join(from, out);
+            self.advance_commit_classic(out);
+        } else {
+            // Stale-term rejection carries no hint; rewind to the commit
+            // point so the next dispatch re-sends the suffix.
+            self.next_index.insert(from, self.commit_index.next());
+        }
+    }
+
+    /// Classic-track commit rule: highest `k` with a classic quorum of
+    /// matchIndex ≥ k and `log[k].term == currentTerm`.
+    fn advance_commit_classic(&mut self, out: &mut Actions<FastRaftMessage>) {
+        let quorum = self.config.classic_quorum();
+        let mut k = self.last_leader_index;
+        while k > self.commit_index {
+            if self.log.term_at(k) == self.current_term {
+                let acks = self
+                    .config
+                    .iter()
+                    .filter(|m| {
+                        self.match_index.get(m).copied().unwrap_or(LogIndex::ZERO) >= k
+                    })
+                    .count();
+                if acks >= quorum {
+                    break;
+                }
+            }
+            k = k.prev();
+        }
+        if k > self.commit_index {
+            self.commit_through(k, false, out);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commit bookkeeping
+    // ------------------------------------------------------------------
+
+    /// Leader-side commit: advance through `new_commit`, emitting effects.
+    fn commit_through(
+        &mut self,
+        new_commit: LogIndex,
+        fast: bool,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        let old = self.commit_index;
+        if new_commit <= old {
+            return;
+        }
+        self.commit_index = new_commit;
+        let mut k = old.next();
+        while k <= new_commit {
+            if fast {
+                out.observe(Observation::FastTrackCommit { index: k });
+            } else {
+                out.observe(Observation::ClassicTrackCommit { index: k });
+            }
+            self.emit_commit_effects(k, out);
+            k = k.next();
+        }
+        self.possible.release_through(new_commit);
+        self.retarget_lost_proposals(out);
+    }
+
+    /// Follower-side commit: no track observation (the leader decided).
+    fn commit_through_follower(
+        &mut self,
+        new_commit: LogIndex,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        let old = self.commit_index;
+        if new_commit <= old {
+            return;
+        }
+        self.commit_index = new_commit;
+        let mut k = old.next();
+        while k <= new_commit {
+            self.emit_commit_effects(k, out);
+            k = k.next();
+        }
+        self.possible.release_through(new_commit);
+        self.retarget_lost_proposals(out);
+    }
+
+    fn emit_commit_effects(&mut self, k: LogIndex, out: &mut Actions<FastRaftMessage>) {
+        let Some(entry) = self.log.get(k).cloned() else {
+            debug_assert!(false, "committing a hole at {k}");
+            return;
+        };
+        match &entry.payload {
+            Payload::Config(cfg) => {
+                out.observe(Observation::ConfigCommitted {
+                    members: cfg.len(),
+                });
+                if self.pending_config == Some(k) {
+                    self.pending_config = None;
+                    if let Some(joiner) = self.pending_join_notify.take() {
+                        self.learners.remove(&joiner);
+                        out.send(
+                            joiner,
+                            FastRaftMessage::JoinReply {
+                                accepted: true,
+                                leader_hint: Some(self.id),
+                            },
+                        );
+                        out.observe(Observation::JoinAccepted { node: joiner });
+                    }
+                    self.start_next_reconfig(out);
+                }
+                // A committed config naming us while we were joining
+                // finalizes membership.
+                if cfg.contains(self.id) && self.join_contacts.is_some() {
+                    self.finish_joining(out);
+                }
+            }
+            Payload::Data(_) | Payload::Batch(_) => {
+                let proposer = entry.id.proposer;
+                if proposer == self.id {
+                    if self.pending_proposals.remove(&entry.id).is_some() {
+                        out.observe(Observation::ProposalCommitted {
+                            id: entry.id,
+                            index: k,
+                            scope: self.scope,
+                        });
+                    }
+                } else if self.role == Role::Leader {
+                    out.send(
+                        proposer,
+                        FastRaftMessage::ProposeReply {
+                            id: entry.id,
+                            committed: true,
+                            leader_hint: Some(self.id),
+                        },
+                    );
+                }
+            }
+            Payload::Noop | Payload::GlobalState(_) => {
+                // Internal entries; GlobalState commits are consumed by the
+                // C-Raft layer through the Actions::commits channel.
+                if entry.id.proposer == self.id {
+                    self.pending_proposals.remove(&entry.id);
+                }
+            }
+        }
+        out.commit(self.scope, k, entry);
+    }
+
+    // ------------------------------------------------------------------
+    // Elections (§IV-C)
+    // ------------------------------------------------------------------
+
+    fn become_follower(
+        &mut self,
+        term: Term,
+        leader: Option<NodeId>,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        let was_leader = self.role == Role::Leader;
+        if term > self.current_term {
+            self.current_term = term;
+            self.voted_for = None;
+            self.persist_term_vote(out);
+            self.verified = self.commit_index;
+        }
+        self.role = Role::Follower;
+        if leader.is_some() {
+            self.leader_hint = leader;
+        }
+        self.election_votes.clear();
+        self.recovery_votes.clear();
+        if was_leader {
+            out.cancel_timer(self.timers.map(TimerKind::Heartbeat));
+            out.cancel_timer(self.timers.map(TimerKind::LeaderTick));
+        }
+        if self.join_contacts.is_none() {
+            self.reset_election_timer(out);
+        }
+        out.observe(Observation::BecameFollower {
+            term: self.current_term,
+        });
+    }
+
+    fn persist_term_vote(&self, out: &mut Actions<FastRaftMessage>) {
+        out.persist(PersistCmd::SetTermVote {
+            scope: self.scope,
+            term: self.current_term,
+            voted_for: self.voted_for,
+        });
+    }
+
+    fn start_election(&mut self, out: &mut Actions<FastRaftMessage>) {
+        if !self.config.contains(self.id) {
+            out.observe(Observation::MessageIgnored {
+                reason: "election by non-member suppressed",
+            });
+            self.reset_election_timer(out);
+            return;
+        }
+        // Elections without an intervening leader contact suggest we may
+        // have been silently evicted (our consensus messages are being
+        // ignored); probe with a join request. A leader that still counts
+        // us as a member answers `accepted` harmlessly, while one that
+        // evicted us starts the §IV-D rejoin flow. The counter resets on
+        // any authenticated leader contact.
+        self.silent_elections += 1;
+        if self.silent_elections >= 3 {
+            let peers: Vec<NodeId> = self.config.peers(self.id).collect();
+            out.send_many(peers, FastRaftMessage::JoinRequest { node: self.id });
+        }
+        self.role = Role::Candidate;
+        self.current_term = self.current_term.next();
+        self.voted_for = Some(self.id);
+        self.persist_term_vote(out);
+        self.election_votes.clear();
+        self.election_votes.insert(self.id);
+        self.recovery_votes.clear();
+        // Our own self-approved entries participate in recovery.
+        self.recovery_votes
+            .push((self.id, self.log.self_approved()));
+        out.observe(Observation::ElectionStarted {
+            term: self.current_term,
+        });
+        let msg = FastRaftMessage::RequestVote {
+            term: self.current_term,
+            candidate: self.id,
+            last_leader_index: self.last_leader_index,
+            last_leader_term: self.log.term_at(self.last_leader_index),
+        };
+        let peers: Vec<NodeId> = self.config.peers(self.id).collect();
+        out.send_many(peers, msg);
+        self.reset_election_timer(out);
+        self.maybe_win(out);
+    }
+
+    /// §IV-C "When receiving a RequestVote message from a candidate".
+    fn on_request_vote(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        candidate: NodeId,
+        cand_last_leader_index: LogIndex,
+        cand_last_leader_term: Term,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        if !self.config.contains(candidate) {
+            out.observe(Observation::MessageIgnored {
+                reason: "vote request from non-member",
+            });
+            return;
+        }
+        if term < self.current_term {
+            out.send(
+                from,
+                FastRaftMessage::RequestVoteReply {
+                    term: self.current_term,
+                    granted: false,
+                    self_approved: Vec::new(),
+                },
+            );
+            return;
+        }
+        if term > self.current_term {
+            self.become_follower(term, None, out);
+        }
+        // Up-to-dateness over leader-approved entries only (§IV-C).
+        let my_term = self.log.term_at(self.last_leader_index);
+        let up_to_date = (cand_last_leader_term, cand_last_leader_index)
+            >= (my_term, self.last_leader_index);
+        let can_vote = self.voted_for.is_none() || self.voted_for == Some(candidate);
+        let granted = up_to_date && can_vote;
+        let self_approved = if granted {
+            self.voted_for = Some(candidate);
+            self.persist_term_vote(out);
+            self.reset_election_timer(out);
+            self.log.self_approved()
+        } else {
+            Vec::new()
+        };
+        out.send(
+            from,
+            FastRaftMessage::RequestVoteReply {
+                term: self.current_term,
+                granted,
+                self_approved,
+            },
+        );
+    }
+
+    fn on_vote_reply(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        granted: bool,
+        self_approved: Vec<(LogIndex, LogEntry)>,
+        gate: &mut dyn InsertGate,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        if term > self.current_term {
+            self.become_follower(term, None, out);
+            return;
+        }
+        if self.role != Role::Candidate || term < self.current_term || !granted {
+            return;
+        }
+        self.election_votes.insert(from);
+        self.recovery_votes.push((from, self_approved));
+        self.maybe_win(out);
+        if self.role == Role::Leader {
+            // Run recovery + first decision pass immediately.
+            self.run_decision_loop(gate, out);
+        }
+    }
+
+    fn maybe_win(&mut self, out: &mut Actions<FastRaftMessage>) {
+        if self.role != Role::Candidate {
+            return;
+        }
+        let quorum = self.config.classic_quorum();
+        let valid = self
+            .election_votes
+            .iter()
+            .filter(|v| self.config.contains(**v))
+            .count();
+        if valid >= quorum {
+            self.become_leader(out);
+        }
+    }
+
+    fn become_leader(&mut self, out: &mut Actions<FastRaftMessage>) {
+        self.role = Role::Leader;
+        self.silent_elections = 0;
+        self.leader_hint = Some(self.id);
+        out.observe(Observation::BecameLeader {
+            term: self.current_term,
+        });
+        // §IV-A: nextIndex initialized to last committed entry + 1.
+        let start = self.commit_index.next();
+        self.next_index.clear();
+        self.match_index.clear();
+        self.fast_match.clear();
+        self.missed_beats.clear();
+        for peer in self.config.iter() {
+            self.next_index.insert(peer, start);
+            self.match_index.insert(peer, LogIndex::ZERO);
+        }
+        self.match_index.insert(self.id, self.last_leader_index);
+        self.assign_cursor = self.last_leader_index;
+        // Recovery (§IV-C): replay every voter's self-approved entries into
+        // possibleEntries so chosen entries are re-chosen.
+        let recovered: usize = self.recovery_votes.iter().map(|(_, v)| v.len()).sum();
+        let votes = std::mem::take(&mut self.recovery_votes);
+        for (voter, entries) in votes {
+            for (idx, entry) in entries {
+                if idx > self.commit_index {
+                    self.possible.record_vote(idx, entry, voter);
+                }
+            }
+        }
+        out.observe(Observation::RecoveryCompleted { entries: recovered });
+        out.cancel_timer(self.timers.map(TimerKind::Election));
+        self.dispatch_append_entries(out);
+        out.set_timer(self.timers.map(TimerKind::Heartbeat), self.timing.heartbeat);
+        out.set_timer(
+            self.timers.map(TimerKind::LeaderTick),
+            self.timing.decision_tick,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Membership (§IV-D)
+    // ------------------------------------------------------------------
+
+    fn adopt_config(
+        &mut self,
+        cfg: Configuration,
+        index: LogIndex,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        let was_member = self.config.contains(self.id);
+        self.config = cfg;
+        self.config_index = index;
+        let is_member = self.config.contains(self.id);
+        if is_member && !was_member && self.join_contacts.is_some() {
+            // We are in the configuration now; membership finalizes when the
+            // entry commits or a JoinReply arrives, but we can already vote.
+            self.finish_joining(out);
+        }
+        if !is_member && was_member {
+            if self.role == Role::Leader {
+                // A leader that removed itself steps down once the entry is
+                // inserted; remaining members elect a successor.
+                self.become_follower(self.current_term, None, out);
+            }
+            // Evicted (e.g. suspected of a silent leave while partitioned
+            // or crashed): stop campaigning and rejoin explicitly (§IV-D).
+            self.role = Role::Follower;
+            self.join_contacts = Some(self.config.to_vec());
+            out.cancel_timer(self.timers.map(TimerKind::Election));
+            self.send_join_request(out);
+        }
+    }
+
+    fn finish_joining(&mut self, out: &mut Actions<FastRaftMessage>) {
+        if self.join_contacts.take().is_some() {
+            out.cancel_timer(self.timers.map(TimerKind::JoinRetry));
+            self.reset_election_timer(out);
+        }
+    }
+
+    fn on_join_request(
+        &mut self,
+        from: NodeId,
+        node: NodeId,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        let _ = from;
+        if self.role != Role::Leader {
+            // §IV-D: redirect to the leader.
+            out.send(
+                node,
+                FastRaftMessage::JoinReply {
+                    accepted: false,
+                    leader_hint: self.leader_hint,
+                },
+            );
+            return;
+        }
+        if self.config.contains(node) {
+            out.send(
+                node,
+                FastRaftMessage::JoinReply {
+                    accepted: true,
+                    leader_hint: Some(self.id),
+                },
+            );
+            return;
+        }
+        if self.learners.contains(&node) {
+            return; // Duplicate request in progress (§IV-D).
+        }
+        // Catch the site up as a non-voting member: replicate from the
+        // beginning of the log.
+        self.learners.insert(node);
+        self.next_index.insert(node, LogIndex::FIRST);
+        self.match_index.insert(node, LogIndex::ZERO);
+    }
+
+    /// Once a learner catches up to the commit point, propose the
+    /// configuration including it (one change at a time).
+    fn maybe_finish_join(&mut self, node: NodeId, out: &mut Actions<FastRaftMessage>) {
+        if !self.learners.contains(&node) {
+            return;
+        }
+        let caught_up = self
+            .match_index
+            .get(&node)
+            .copied()
+            .unwrap_or(LogIndex::ZERO)
+            >= self.commit_index;
+        if caught_up {
+            self.enqueue_reconfig(ReconfigOp::Add(node), out);
+        }
+    }
+
+    fn on_leave_request(&mut self, node: NodeId, out: &mut Actions<FastRaftMessage>) {
+        if self.role != Role::Leader {
+            if let Some(leader) = self.leader_hint {
+                out.send(leader, FastRaftMessage::LeaveRequest { node });
+            }
+            return;
+        }
+        if node == self.id {
+            // Leader leaves: not supported in-place; callers should demote
+            // first. Ignored defensively.
+            out.observe(Observation::MessageIgnored {
+                reason: "leader self-leave ignored",
+            });
+            return;
+        }
+        if self.config.contains(node) {
+            self.enqueue_reconfig(ReconfigOp::Remove(node), out);
+        }
+    }
+
+    fn enqueue_reconfig(&mut self, op: ReconfigOp, out: &mut Actions<FastRaftMessage>) {
+        if !self.reconfig_queue.contains(&op) {
+            self.reconfig_queue.push_back(op);
+        }
+        self.start_next_reconfig(out);
+    }
+
+    fn start_next_reconfig(&mut self, out: &mut Actions<FastRaftMessage>) {
+        if self.pending_config.is_some() || self.role != Role::Leader {
+            return;
+        }
+        if !self.leader_log_settled() {
+            // A configuration entry goes at lastLeaderIndex + 1; with
+            // undecided indices below, that could overwrite a chosen entry.
+            // The queue drains from the leader tick once the log settles.
+            return;
+        }
+        while let Some(op) = self.reconfig_queue.pop_front() {
+            let (new_config, notify) = match op {
+                ReconfigOp::Add(n) => {
+                    if self.config.contains(n) {
+                        continue;
+                    }
+                    (self.config.with_member(n), Some(n))
+                }
+                ReconfigOp::Remove(n) => {
+                    if !self.config.contains(n) || n == self.id {
+                        continue;
+                    }
+                    (self.config.without_member(n), None)
+                }
+            };
+            let k = self.last_leader_index.next();
+            let entry = LogEntry::config(self.current_term, self.fresh_internal_id(), new_config);
+            self.insert_leader_entry(k, entry, out);
+            self.pending_config = Some(k);
+            self.pending_join_notify = notify;
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_profile_roundtrip() {
+        for base in [
+            TimerKind::Election,
+            TimerKind::Heartbeat,
+            TimerKind::LeaderTick,
+            TimerKind::ProposalRetry,
+            TimerKind::JoinRetry,
+        ] {
+            let g = TimerProfile::Global.map(base);
+            assert_ne!(g, base, "global profile must rename {base:?}");
+            assert_eq!(TimerProfile::Global.unmap(g), Some(base));
+            assert_eq!(TimerProfile::Base.map(base), base);
+            assert_eq!(TimerProfile::Base.unmap(base), Some(base));
+        }
+        assert_eq!(TimerProfile::Base.unmap(TimerKind::GlobalElection), None);
+        assert_eq!(TimerProfile::Global.unmap(TimerKind::Election), None);
+    }
+
+    #[test]
+    fn construction_validations() {
+        let cfg: Configuration = (0..3).map(NodeId).collect();
+        let e = FastRaftEngine::new(
+            NodeId(0),
+            cfg,
+            LogScope::Global,
+            TimerProfile::Base,
+            Timing::lan(),
+            SimRng::seed_from_u64(1),
+        );
+        assert_eq!(e.role(), Role::Follower);
+        assert!(!e.is_joining());
+        assert_eq!(e.commit_index(), LogIndex::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in bootstrap")]
+    fn new_requires_membership() {
+        let cfg: Configuration = (0..3).map(NodeId).collect();
+        FastRaftEngine::new(
+            NodeId(9),
+            cfg,
+            LogScope::Global,
+            TimerProfile::Base,
+            Timing::lan(),
+            SimRng::seed_from_u64(1),
+        );
+    }
+
+    #[test]
+    fn joining_node_has_no_config() {
+        let e = FastRaftEngine::joining(
+            NodeId(9),
+            vec![NodeId(0), NodeId(1)],
+            LogScope::Global,
+            TimerProfile::Base,
+            Timing::lan(),
+            SimRng::seed_from_u64(1),
+        );
+        assert!(e.is_joining());
+        assert!(e.config().is_empty());
+    }
+}

@@ -1,0 +1,274 @@
+//! The leader's `possibleEntries` structure (§IV-A).
+//!
+//! For each log index the leader tracks which entries sites voted for and by
+//! whom. The decision rule (§IV-B): once a classic quorum of votes exists
+//! for index `k`, insert the entry with the most votes; if a fast quorum
+//! voted for the same entry, it can be committed on the fast track.
+//!
+//! A *null vote* records that a site responded for an index but its vote no
+//! longer names a candidate (its entry was chosen elsewhere, §IV-B step d).
+//! Null votes count toward "a classic quorum of votes has been received" but
+//! never win.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use wire::{EntryId, LogEntry, LogIndex, NodeId};
+
+/// Votes gathered for one log index.
+#[derive(Clone, Debug, Default)]
+struct IndexVotes {
+    /// Candidate entries by proposal id, with their voters.
+    candidates: BTreeMap<EntryId, (LogEntry, BTreeSet<NodeId>)>,
+    /// Every site that has voted for this index (including null votes).
+    voters: BTreeSet<NodeId>,
+}
+
+/// The leader's per-index vote book.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use consensus_core::PossibleEntries;
+/// use wire::{EntryId, LogEntry, LogIndex, NodeId, Term};
+///
+/// let mut pe = PossibleEntries::new();
+/// let e = LogEntry::data(Term(1), EntryId::new(NodeId(9), 0), Bytes::from_static(b"v"));
+/// pe.record_vote(LogIndex(1), e.clone(), NodeId(1));
+/// pe.record_vote(LogIndex(1), e.clone(), NodeId(2));
+/// assert_eq!(pe.voters_at(LogIndex(1)), 2);
+/// let (winner, voters) = pe.most_voted(LogIndex(1)).unwrap();
+/// assert_eq!(winner.id, e.id);
+/// assert_eq!(voters.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PossibleEntries {
+    by_index: BTreeMap<LogIndex, IndexVotes>,
+}
+
+impl PossibleEntries {
+    /// An empty vote book.
+    pub fn new() -> Self {
+        PossibleEntries::default()
+    }
+
+    /// Records `voter`'s vote for `entry` at `index`. Re-votes by the same
+    /// site for a different entry at the same index replace its earlier vote
+    /// (a site's log slot holds one entry at a time).
+    pub fn record_vote(&mut self, index: LogIndex, entry: LogEntry, voter: NodeId) {
+        let slot = self.by_index.entry(index).or_default();
+        // Remove any previous candidate vote by this site at this index.
+        let previous: Vec<EntryId> = slot
+            .candidates
+            .iter()
+            .filter(|(id, (_, voters))| voters.contains(&voter) && **id != entry.id)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in previous {
+            if let Some((_, voters)) = slot.candidates.get_mut(&id) {
+                voters.remove(&voter);
+                if voters.is_empty() {
+                    slot.candidates.remove(&id);
+                }
+            }
+        }
+        slot.voters.insert(voter);
+        slot.candidates
+            .entry(entry.id)
+            .or_insert_with(|| (entry, BTreeSet::new()))
+            .1
+            .insert(voter);
+    }
+
+    /// Records a null vote: the site responded for `index` but names no
+    /// candidate.
+    pub fn record_null_vote(&mut self, index: LogIndex, voter: NodeId) {
+        self.by_index.entry(index).or_default().voters.insert(voter);
+    }
+
+    /// Number of distinct sites that have voted for `index` (null included).
+    pub fn voters_at(&self, index: LogIndex) -> usize {
+        self.by_index.get(&index).map_or(0, |s| s.voters.len())
+    }
+
+    /// The candidate with the most votes at `index`, ties broken by the
+    /// smallest proposal id (the paper allows arbitrary tie-breaks; a
+    /// deterministic one keeps simulations reproducible).
+    pub fn most_voted(&self, index: LogIndex) -> Option<(&LogEntry, &BTreeSet<NodeId>)> {
+        let slot = self.by_index.get(&index)?;
+        slot.candidates
+            .iter()
+            .max_by(|(id_a, (_, va)), (id_b, (_, vb))| {
+                va.len().cmp(&vb.len()).then_with(|| id_b.cmp(id_a))
+            })
+            .map(|(_, (e, v))| (e, v))
+    }
+
+    /// Vote count for a specific candidate at `index`.
+    pub fn votes_for(&self, index: LogIndex, id: EntryId) -> usize {
+        self.by_index
+            .get(&index)
+            .and_then(|s| s.candidates.get(&id))
+            .map_or(0, |(_, v)| v.len())
+    }
+
+    /// The voters for a specific candidate at `index`.
+    pub fn voters_for(&self, index: LogIndex, id: EntryId) -> Vec<NodeId> {
+        self.by_index
+            .get(&index)
+            .and_then(|s| s.candidates.get(&id))
+            .map(|(_, v)| v.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Step (d) of the decision rule: after choosing `id` at `chosen_index`,
+    /// convert its candidacies at **other** indices into null votes so the
+    /// same proposal is not inserted twice.
+    pub fn null_out_elsewhere(&mut self, id: EntryId, chosen_index: LogIndex) {
+        for (&idx, slot) in self.by_index.iter_mut() {
+            if idx == chosen_index {
+                continue;
+            }
+            slot.candidates.remove(&id);
+        }
+    }
+
+    /// Drops all state at and below `index` (already-committed indices).
+    pub fn release_through(&mut self, index: LogIndex) {
+        self.by_index = self.by_index.split_off(&index.next());
+    }
+
+    /// The highest index with any recorded vote.
+    pub fn max_index(&self) -> LogIndex {
+        self.by_index
+            .keys()
+            .next_back()
+            .copied()
+            .unwrap_or(LogIndex::ZERO)
+    }
+
+    /// Indices currently holding votes, ascending.
+    pub fn indices(&self) -> Vec<LogIndex> {
+        self.by_index.keys().copied().collect()
+    }
+
+    /// Total number of indices tracked.
+    pub fn len(&self) -> usize {
+        self.by_index.len()
+    }
+
+    /// `true` if no votes are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.by_index.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use wire::Term;
+
+    fn entry(seq: u64) -> LogEntry {
+        LogEntry::data(
+            Term(1),
+            EntryId::new(NodeId(100), seq),
+            Bytes::from_static(b"v"),
+        )
+    }
+
+    #[test]
+    fn majority_candidate_wins() {
+        let mut pe = PossibleEntries::new();
+        let e = entry(0);
+        let f = entry(1);
+        for v in 1..=3 {
+            pe.record_vote(LogIndex(1), e.clone(), NodeId(v));
+        }
+        pe.record_vote(LogIndex(1), f.clone(), NodeId(4));
+        let (winner, voters) = pe.most_voted(LogIndex(1)).unwrap();
+        assert_eq!(winner.id, e.id);
+        assert_eq!(voters.len(), 3);
+        assert_eq!(pe.voters_at(LogIndex(1)), 4);
+        assert_eq!(pe.votes_for(LogIndex(1), f.id), 1);
+    }
+
+    #[test]
+    fn tie_breaks_deterministically_by_smallest_id() {
+        let mut pe = PossibleEntries::new();
+        let e = entry(0);
+        let f = entry(1);
+        pe.record_vote(LogIndex(1), f.clone(), NodeId(1));
+        pe.record_vote(LogIndex(1), e.clone(), NodeId(2));
+        let (winner, _) = pe.most_voted(LogIndex(1)).unwrap();
+        assert_eq!(winner.id, e.id, "smallest id wins ties");
+    }
+
+    #[test]
+    fn revote_replaces_previous_choice() {
+        let mut pe = PossibleEntries::new();
+        let e = entry(0);
+        let f = entry(1);
+        pe.record_vote(LogIndex(1), e.clone(), NodeId(1));
+        pe.record_vote(LogIndex(1), f.clone(), NodeId(1));
+        assert_eq!(pe.votes_for(LogIndex(1), e.id), 0);
+        assert_eq!(pe.votes_for(LogIndex(1), f.id), 1);
+        assert_eq!(pe.voters_at(LogIndex(1)), 1, "one site, one voter slot");
+    }
+
+    #[test]
+    fn duplicate_vote_is_idempotent() {
+        let mut pe = PossibleEntries::new();
+        let e = entry(0);
+        pe.record_vote(LogIndex(1), e.clone(), NodeId(1));
+        pe.record_vote(LogIndex(1), e.clone(), NodeId(1));
+        assert_eq!(pe.votes_for(LogIndex(1), e.id), 1);
+    }
+
+    #[test]
+    fn null_votes_count_toward_quorum_but_never_win() {
+        let mut pe = PossibleEntries::new();
+        pe.record_null_vote(LogIndex(2), NodeId(1));
+        pe.record_null_vote(LogIndex(2), NodeId(2));
+        assert_eq!(pe.voters_at(LogIndex(2)), 2);
+        assert!(pe.most_voted(LogIndex(2)).is_none());
+        let e = entry(0);
+        pe.record_vote(LogIndex(2), e.clone(), NodeId(3));
+        assert_eq!(pe.most_voted(LogIndex(2)).unwrap().0.id, e.id);
+        assert_eq!(pe.voters_at(LogIndex(2)), 3);
+    }
+
+    #[test]
+    fn null_out_elsewhere_keeps_chosen_index() {
+        let mut pe = PossibleEntries::new();
+        let e = entry(0);
+        pe.record_vote(LogIndex(1), e.clone(), NodeId(1));
+        pe.record_vote(LogIndex(2), e.clone(), NodeId(2));
+        pe.null_out_elsewhere(e.id, LogIndex(1));
+        assert_eq!(pe.votes_for(LogIndex(1), e.id), 1);
+        assert_eq!(pe.votes_for(LogIndex(2), e.id), 0);
+        // The voter at index 2 still counts as having responded.
+        assert_eq!(pe.voters_at(LogIndex(2)), 1);
+    }
+
+    #[test]
+    fn release_through_gcs_committed_indices() {
+        let mut pe = PossibleEntries::new();
+        for i in 1..=5u64 {
+            pe.record_vote(LogIndex(i), entry(i), NodeId(1));
+        }
+        pe.release_through(LogIndex(3));
+        assert_eq!(pe.indices(), vec![LogIndex(4), LogIndex(5)]);
+        assert_eq!(pe.max_index(), LogIndex(5));
+        assert_eq!(pe.len(), 2);
+    }
+
+    #[test]
+    fn empty_book() {
+        let pe = PossibleEntries::new();
+        assert!(pe.is_empty());
+        assert_eq!(pe.max_index(), LogIndex::ZERO);
+        assert_eq!(pe.voters_at(LogIndex(1)), 0);
+        assert!(pe.most_voted(LogIndex(1)).is_none());
+    }
+}

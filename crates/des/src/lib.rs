@@ -1,0 +1,51 @@
+//! # `des` — deterministic discrete-event simulation kernel
+//!
+//! The substrate underneath every experiment in this workspace. It provides:
+//!
+//! - [`SimTime`] / [`SimDuration`]: exact microsecond-resolution virtual time;
+//! - [`EventQueue`]: a priority queue with **total, deterministic ordering**
+//!   (ties broken by scheduling order) and O(1) amortized cancellation;
+//! - [`SimRng`]: seeded randomness with labelled [`SimRng::split`]ting so
+//!   component streams stay independent as the code evolves;
+//! - [`Simulation`]: clock + queue + RNG with a step-limit livelock guard;
+//! - [`TraceBuffer`]: bounded trace capture for debugging runs.
+//!
+//! Determinism is the design center: the same seed must reproduce the same
+//! run bit-for-bit, because the consensus-safety test suite relies on
+//! replaying schedules that exhibit rare interleavings.
+//!
+//! # Examples
+//!
+//! ```
+//! use des::{SimDuration, Simulation};
+//!
+//! #[derive(Debug)]
+//! struct Arrival(u32);
+//!
+//! let mut sim = Simulation::new(7);
+//! for i in 0..3u64 {
+//!     let gap = sim.rng().exponential(SimDuration::from_millis(10));
+//!     sim.schedule_after(gap * (i + 1), Arrival(i as u32));
+//! }
+//! let mut seen = 0;
+//! while let Some(firing) = sim.next_event() {
+//!     let Arrival(_id) = firing.event;
+//!     seen += 1;
+//! }
+//! assert_eq!(seen, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod rng;
+mod sim;
+mod time;
+mod trace;
+
+pub use event::{EventId, EventQueue, Firing};
+pub use rng::SimRng;
+pub use sim::Simulation;
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceBuffer, TraceRecord};

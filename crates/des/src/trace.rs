@@ -1,0 +1,195 @@
+//! Bounded trace capture for debugging simulation runs.
+//!
+//! Protocol bugs in a discrete-event simulation are diagnosed from traces.
+//! [`TraceBuffer`] is a cheap, bounded, optionally-disabled recorder: when
+//! disabled, recording is a branch and nothing else, so traces can be left
+//! compiled into hot paths.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::SimTime;
+
+/// One recorded trace record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the record was emitted.
+    pub time: SimTime,
+    /// Which component emitted it (e.g. a node id rendered as a string).
+    pub scope: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {}] {}", self.time, self.scope, self.message)
+    }
+}
+
+/// A bounded ring buffer of trace records.
+///
+/// # Examples
+///
+/// ```
+/// use des::{SimTime, TraceBuffer};
+///
+/// let mut trace = TraceBuffer::with_capacity(2);
+/// trace.record(SimTime::ZERO, "n1", "hello");
+/// trace.record(SimTime::ZERO, "n1", "world");
+/// trace.record(SimTime::ZERO, "n2", "evicts-oldest");
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.iter().next().unwrap().message, "world");
+/// ```
+#[derive(Clone, Debug)]
+pub struct TraceBuffer {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        Self::with_capacity(4096)
+    }
+}
+
+impl TraceBuffer {
+    /// Creates an enabled buffer holding at most `capacity` records.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceBuffer {
+            records: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            enabled: true,
+            dropped: 0,
+        }
+    }
+
+    /// Creates a disabled buffer; records are counted but not stored.
+    pub fn disabled() -> Self {
+        let mut t = Self::with_capacity(0);
+        t.enabled = false;
+        t
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// `true` if records are being stored.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a message, evicting the oldest record when full.
+    pub fn record(&mut self, time: SimTime, scope: impl Into<String>, message: impl Into<String>) {
+        if !self.enabled {
+            self.dropped += 1;
+            return;
+        }
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord {
+            time,
+            scope: scope.into(),
+            message: message.into(),
+        });
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of records dropped (evicted or suppressed while disabled).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates stored records oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Renders all stored records, one per line — handy in test failures.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Removes all stored records (drop counter is preserved).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut t = TraceBuffer::with_capacity(10);
+        t.record(SimTime::from_millis(1), "a", "first");
+        t.record(SimTime::from_millis(2), "b", "second");
+        let msgs: Vec<&str> = t.iter().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, ["first", "second"]);
+    }
+
+    #[test]
+    fn evicts_oldest_when_full() {
+        let mut t = TraceBuffer::with_capacity(2);
+        t.record(SimTime::ZERO, "s", "1");
+        t.record(SimTime::ZERO, "s", "2");
+        t.record(SimTime::ZERO, "s", "3");
+        let msgs: Vec<&str> = t.iter().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, ["2", "3"]);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn disabled_buffer_stores_nothing() {
+        let mut t = TraceBuffer::disabled();
+        t.record(SimTime::ZERO, "s", "x");
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn render_is_line_per_record() {
+        let mut t = TraceBuffer::with_capacity(4);
+        t.record(SimTime::from_millis(1), "n1", "hello");
+        let rendered = t.render();
+        assert!(rendered.contains("n1"));
+        assert!(rendered.contains("hello"));
+        assert_eq!(rendered.lines().count(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_drop_count() {
+        let mut t = TraceBuffer::with_capacity(1);
+        t.record(SimTime::ZERO, "s", "1");
+        t.record(SimTime::ZERO, "s", "2");
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+}

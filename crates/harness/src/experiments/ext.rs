@@ -1,0 +1,417 @@
+//! Extension experiments beyond the paper's figures (ablations listed in
+//! DESIGN.md).
+
+use des::{SimDuration, SimTime};
+use serde::Serialize;
+use wire::NodeId;
+
+use crate::{
+    run_craft, run_fast_raft, CRaftScenario, FaultAction, NetworkKind, Scenario,
+};
+use raft::Timing;
+
+// ---------------------------------------------------------------------
+// Ext-B: C-Raft batch-size sweep
+// ---------------------------------------------------------------------
+
+/// One row of the batch-size sweep.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct BatchRow {
+    /// Local commits per global batch.
+    pub batch_size: usize,
+    /// Global throughput (entries/s).
+    pub tput: f64,
+    /// Mean proposer-visible (local commit) latency, ms.
+    pub local_latency_ms: f64,
+    /// Inter-region bytes per committed entry.
+    pub wan_bytes_per_entry: f64,
+}
+
+/// Sweep result.
+#[derive(Clone, Debug, Serialize)]
+pub struct BatchSweepResult {
+    /// One row per batch size.
+    pub rows: Vec<BatchRow>,
+}
+
+/// Runs the batch sweep on a 4-cluster, 20-site deployment.
+pub fn batch_sweep(seed: u64, batch_sizes: &[usize], secs: u64) -> BatchSweepResult {
+    let clusters = 4u64;
+    let sites = 20u64;
+    let per = sites / clusters;
+    let proposers: Vec<NodeId> = (0..clusters).map(|c| NodeId(c * per + 1)).collect();
+    let mut rows = Vec::new();
+    for &batch_size in batch_sizes {
+        let s = Scenario {
+            seed,
+            sites,
+            network: NetworkKind::Regions { regions: clusters },
+            loss: 0.0,
+            timing: Timing::lan(),
+            proposers: proposers.clone(),
+            payload_bytes: 64,
+            target_commits: None,
+            duration: SimDuration::from_secs(secs + 10),
+            warmup: SimDuration::from_secs(10),
+            faults: Vec::new(),
+            leader_bias: None,
+        };
+        let craft = CRaftScenario {
+            clusters,
+            batch_size,
+            global_timing: Timing::wan(),
+            global_proposal_mode: consensus_core::ProposalMode::LeaderForward,
+        };
+        let (report, _) = run_craft(&s, &craft);
+        assert!(report.safety_ok);
+        let entries = report.global_items.max(1);
+        rows.push(BatchRow {
+            batch_size,
+            tput: report.throughput_per_s,
+            local_latency_ms: report.latency.mean_ms,
+            wan_bytes_per_entry: report.net.inter_region_bytes as f64 / entries as f64,
+        });
+    }
+    BatchSweepResult { rows }
+}
+
+impl BatchSweepResult {
+    /// Renders the sweep.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Ext-B: C-Raft batch-size sweep (4 clusters, 20 sites)\n");
+        out.push_str("batch   tput(entries/s)  local-lat(ms)  wan-bytes/entry\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:5}   {:15.2}  {:13.2}  {:15.0}\n",
+                r.batch_size, r.tput, r.local_latency_ms, r.wan_bytes_per_entry
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ext-C: proposer contention on the fast track
+// ---------------------------------------------------------------------
+
+/// One row of the contention study.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ContentionRow {
+    /// Number of concurrent closed-loop proposers.
+    pub proposers: usize,
+    /// Mean commit latency (ms).
+    pub latency_ms: f64,
+    /// Fraction of leader commits on the fast track.
+    pub fast_track_ratio: f64,
+    /// Aggregate commit throughput (proposals/s).
+    pub tput: f64,
+}
+
+/// The contention study result.
+#[derive(Clone, Debug, Serialize)]
+pub struct ContentionResult {
+    /// One row per proposer count.
+    pub rows: Vec<ContentionRow>,
+}
+
+/// Measures how concurrent proposals erode Fast Raft's fast track
+/// (the liveness condition of §IV-F motivates this).
+pub fn contention(seed: u64, max_proposers: usize, secs: u64) -> ContentionResult {
+    let mut rows = Vec::new();
+    for k in 1..=max_proposers {
+        let proposers: Vec<NodeId> = (0..k as u64).map(NodeId).collect();
+        let s = Scenario {
+            seed,
+            sites: 5,
+            network: NetworkKind::SingleRegion,
+            loss: 0.0,
+            timing: Timing::lan(),
+            proposers,
+            payload_bytes: 64,
+            target_commits: None,
+            duration: SimDuration::from_secs(secs + 3),
+            warmup: SimDuration::from_secs(3),
+            faults: Vec::new(),
+            leader_bias: None,
+        };
+        let (report, metrics) = run_fast_raft(&s);
+        assert!(report.safety_ok);
+        rows.push(ContentionRow {
+            proposers: k,
+            latency_ms: report.latency.mean_ms,
+            fast_track_ratio: report.fast_track_ratio,
+            tput: metrics.samples.len() as f64 / secs as f64,
+        });
+    }
+    ContentionResult { rows }
+}
+
+impl ContentionResult {
+    /// Renders the study.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Ext-C: concurrent proposers vs the fast track (Fast Raft, 5 sites, 0% loss)\n");
+        out.push_str("proposers  latency(ms)  fast-track  commits/s\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:9}  {:11.2}  {:9.1}%  {:9.1}\n",
+                r.proposers,
+                r.latency_ms,
+                r.fast_track_ratio * 100.0,
+                r.tput
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ext-D: leader-failure recovery gap
+// ---------------------------------------------------------------------
+
+/// Result of the failover study.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct FailoverResult {
+    /// When the leader crashed (s).
+    pub crash_at_s: f64,
+    /// Largest gap between consecutive commits around the crash (ms) —
+    /// the unavailability window.
+    pub outage_ms: f64,
+    /// Mean latency before the crash (ms).
+    pub before_ms: f64,
+    /// Mean latency after recovery (ms).
+    pub after_ms: f64,
+    /// Elections observed.
+    pub elections: u64,
+    /// Whether safety held.
+    pub safety_ok: bool,
+}
+
+/// Crashes every plausible initial leader candidate at `crash_at_s` (the
+/// node that won the first election is the one whose crash matters; we
+/// crash node 0 and pick a seed where node 0 leads — asserted via the
+/// leadership count staying ≥ 2).
+pub fn failover(seed: u64, crash_at_s: u64, total_s: u64) -> FailoverResult {
+    let crash_at = SimTime::from_secs(crash_at_s);
+    let s = Scenario {
+        seed,
+        sites: 5,
+        network: NetworkKind::SingleRegion,
+        loss: 0.0,
+        timing: Timing::lan(),
+        proposers: vec![NodeId(2)],
+        payload_bytes: 64,
+        target_commits: None,
+        duration: SimDuration::from_secs(total_s),
+        warmup: SimDuration::from_secs(3),
+        faults: vec![(crash_at, FaultAction::Crash(NodeId(0)))],
+        leader_bias: Some(NodeId(0)),
+    };
+    let (report, metrics) = run_fast_raft(&s);
+    let crash_s = crash_at.as_secs_f64();
+    let mut outage_ms: f64 = 0.0;
+    let mut prev = crash_s;
+    for sample in &metrics.samples {
+        let t = sample.committed_at.as_secs_f64();
+        if t >= crash_s {
+            outage_ms = outage_ms.max((t - prev) * 1e3);
+            prev = t;
+        } else {
+            prev = t;
+        }
+    }
+    let mean = |f: &dyn Fn(f64) -> bool| {
+        let pts: Vec<f64> = metrics
+            .samples
+            .iter()
+            .filter(|p| f(p.committed_at.as_secs_f64()))
+            .map(|p| p.latency().as_millis_f64())
+            .collect();
+        if pts.is_empty() {
+            0.0
+        } else {
+            pts.iter().sum::<f64>() / pts.len() as f64
+        }
+    };
+    FailoverResult {
+        crash_at_s: crash_s,
+        outage_ms,
+        before_ms: mean(&|t| t < crash_s),
+        after_ms: mean(&|t| t > crash_s + 2.0),
+        elections: report.elections,
+        safety_ok: report.safety_ok,
+    }
+}
+
+impl FailoverResult {
+    /// Renders the study.
+    pub fn render(&self) -> String {
+        format!(
+            "Ext-D: leader crash at t={:.0}s (Fast Raft, 5 sites)\n\
+             outage window: {:.0}ms | elections: {} | latency before {:.1}ms, after {:.1}ms | safety: {}\n",
+            self.crash_at_s,
+            self.outage_ms,
+            self.elections,
+            self.before_ms,
+            self.after_ms,
+            if self.safety_ok { "OK" } else { "VIOLATED" }
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ext-A: global proposal-mode ablation
+// ---------------------------------------------------------------------
+
+/// One row of the proposal-mode ablation.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ModeRow {
+    /// Number of clusters.
+    pub clusters: u64,
+    /// Throughput with the paper-literal broadcast fast track.
+    pub broadcast_tput: f64,
+    /// Throughput with leader-forwarded batches.
+    pub forward_tput: f64,
+}
+
+/// The ablation result.
+#[derive(Clone, Debug, Serialize)]
+pub struct ModeAblationResult {
+    /// One row per cluster count.
+    pub rows: Vec<ModeRow>,
+}
+
+/// Compares C-Raft's global proposal modes: the paper-literal broadcast
+/// fast track collides under concurrent per-cluster batch proposals
+/// (§IV-F's liveness caveat), while leader forwarding keeps index
+/// assignment contention-free.
+pub fn mode_ablation(seed: u64, cluster_counts: &[u64], secs: u64) -> ModeAblationResult {
+    let sites = 20u64;
+    let mut rows = Vec::new();
+    for &clusters in cluster_counts {
+        let per = sites / clusters;
+        let proposers: Vec<NodeId> = (0..clusters).map(|c| NodeId(c * per + 1 % per)).collect();
+        let s = Scenario {
+            seed,
+            sites,
+            network: NetworkKind::Regions { regions: clusters },
+            loss: 0.0,
+            timing: Timing::lan(),
+            proposers,
+            payload_bytes: 64,
+            target_commits: None,
+            duration: SimDuration::from_secs(secs + 10),
+            warmup: SimDuration::from_secs(10),
+            faults: Vec::new(),
+            leader_bias: None,
+        };
+        let mut broadcast = CRaftScenario::paper(clusters);
+        broadcast.global_proposal_mode = consensus_core::ProposalMode::Broadcast;
+        let forward = CRaftScenario::paper(clusters);
+        let (b, _) = run_craft(&s, &broadcast);
+        let (f, _) = run_craft(&s, &forward);
+        assert!(b.safety_ok && f.safety_ok);
+        rows.push(ModeRow {
+            clusters,
+            broadcast_tput: b.throughput_per_s,
+            forward_tput: f.throughput_per_s,
+        });
+    }
+    ModeAblationResult { rows }
+}
+
+impl ModeAblationResult {
+    /// Renders the ablation.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "Ext-A: C-Raft global proposal mode (broadcast fast track vs leader forward)\n",
+        );
+        out.push_str("clusters  broadcast(entries/s)  leader-forward(entries/s)\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:8}  {:20.2}  {:25.2}\n",
+                r.clusters, r.broadcast_tput, r.forward_tput
+            ));
+        }
+        out.push_str(
+            "(broadcast collapses as concurrent clusters collide on global indices;\n\
+             leader forwarding matches the paper's scaling)\n",
+        );
+        out
+    }
+}
+
+
+// ---------------------------------------------------------------------
+// Ext-E: bursty vs i.i.d. loss at equal average rates
+// ---------------------------------------------------------------------
+
+/// One row of the burst study.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct BurstRow {
+    /// Stationary loss rate (%).
+    pub loss_pct: f64,
+    /// Fast Raft latency under i.i.d. loss (ms).
+    pub iid_ms: f64,
+    /// Fast Raft latency under bursty loss at the same rate (ms).
+    pub bursty_ms: f64,
+    /// Fast-track share under i.i.d. loss.
+    pub iid_fast_ratio: f64,
+    /// Fast-track share under bursty loss.
+    pub bursty_fast_ratio: f64,
+}
+
+/// Burst study result.
+#[derive(Clone, Debug, Serialize)]
+pub struct BurstResult {
+    /// One row per loss rate.
+    pub rows: Vec<BurstRow>,
+}
+
+/// Compares Fast Raft under Bernoulli vs Gilbert–Elliott loss with equal
+/// stationary rates (mean burst length 5) — correlated drops take out whole
+/// vote rounds at once, hurting the fast track more than their average rate
+/// suggests.
+pub fn burst(seed: u64, losses_pct: &[f64], commits: u64) -> BurstResult {
+    let mut rows = Vec::new();
+    for &loss_pct in losses_pct {
+        let loss = loss_pct / 100.0;
+        let mut iid = Scenario::fig3_base(seed, loss);
+        iid.target_commits = Some(commits);
+        let mut bursty = iid.clone();
+        bursty.network = NetworkKind::SingleRegionBursty { mean_burst: 5.0 };
+        let (iid_report, _) = run_fast_raft(&iid);
+        let (bursty_report, _) = run_fast_raft(&bursty);
+        assert!(iid_report.safety_ok && bursty_report.safety_ok);
+        rows.push(BurstRow {
+            loss_pct,
+            iid_ms: iid_report.latency.mean_ms,
+            bursty_ms: bursty_report.latency.mean_ms,
+            iid_fast_ratio: iid_report.fast_track_ratio,
+            bursty_fast_ratio: bursty_report.fast_track_ratio,
+        });
+    }
+    BurstResult { rows }
+}
+
+impl BurstResult {
+    /// Renders the study.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Ext-E: i.i.d. vs bursty loss (Fast Raft, equal stationary rates, burst~5)\n");
+        out.push_str("loss%   iid(ms)  bursty(ms)  iid-fast  bursty-fast\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:5.1} {:9.2} {:11.2} {:8.1}% {:11.1}%\n",
+                r.loss_pct,
+                r.iid_ms,
+                r.bursty_ms,
+                r.iid_fast_ratio * 100.0,
+                r.bursty_fast_ratio * 100.0
+            ));
+        }
+        out
+    }
+}

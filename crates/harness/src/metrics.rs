@@ -1,0 +1,243 @@
+//! Run metrics: commit latency, throughput, protocol-track counters.
+
+use std::collections::BTreeMap;
+
+use des::{SimDuration, SimTime};
+use serde::Serialize;
+use wire::{EntryId, LogIndex, NodeId};
+
+/// One completed proposal, as measured at its proposer (the paper's
+/// methodology: "the proposer started a timer when first proposing an entry
+/// and stopped the timer when ... notified ... that the entry was
+/// committed", §VI).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct LatencySample {
+    /// The proposing site.
+    pub proposer: NodeId,
+    /// When the value was first proposed.
+    pub proposed_at: SimTime,
+    /// When the proposer learned of the commit.
+    pub committed_at: SimTime,
+}
+
+impl LatencySample {
+    /// The commit latency.
+    pub fn latency(&self) -> SimDuration {
+        self.committed_at.saturating_since(self.proposed_at)
+    }
+}
+
+/// Aggregated statistics over a set of durations.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean, in milliseconds.
+    pub mean_ms: f64,
+    /// Median, in milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile, in milliseconds.
+    pub p95_ms: f64,
+    /// Maximum, in milliseconds.
+    pub max_ms: f64,
+}
+
+impl LatencyStats {
+    /// Computes stats from raw durations.
+    pub fn from_durations(mut v: Vec<SimDuration>) -> Self {
+        if v.is_empty() {
+            return LatencyStats::default();
+        }
+        v.sort_unstable();
+        let count = v.len();
+        let sum: u64 = v.iter().map(|d| d.as_micros()).sum();
+        let pct = |p: f64| -> f64 {
+            let idx = ((count as f64 - 1.0) * p).round() as usize;
+            v[idx].as_micros() as f64 / 1e3
+        };
+        LatencyStats {
+            count,
+            mean_ms: sum as f64 / count as f64 / 1e3,
+            p50_ms: pct(0.5),
+            p95_ms: pct(0.95),
+            max_ms: v[count - 1].as_micros() as f64 / 1e3,
+        }
+    }
+}
+
+/// Metrics collected over one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Completed proposals in completion order.
+    pub samples: Vec<LatencySample>,
+    /// Outstanding proposals by id.
+    inflight: BTreeMap<EntryId, SimTime>,
+    /// Items committed to the global log, by unique global index.
+    global_items: BTreeMap<LogIndex, u64>,
+    /// Leader fast-track commits observed.
+    pub fast_commits: u64,
+    /// Leader classic-track commits observed.
+    pub classic_commits: u64,
+    /// Elections started.
+    pub elections: u64,
+    /// Leaderships assumed.
+    pub leaderships: u64,
+    /// Members suspected of silent leaves.
+    pub member_suspected: u64,
+    /// Configuration entries committed.
+    pub config_commits: u64,
+    /// When measurement began (samples before this are ignored).
+    pub measure_from: SimTime,
+}
+
+impl Metrics {
+    /// Fresh metrics measuring from `measure_from`.
+    pub fn new(measure_from: SimTime) -> Self {
+        Metrics {
+            measure_from,
+            ..Metrics::default()
+        }
+    }
+
+    /// Records a proposal being issued.
+    pub fn proposal_started(&mut self, id: EntryId, now: SimTime) {
+        self.inflight.entry(id).or_insert(now);
+    }
+
+    /// Records the proposer learning of its commit. Returns the sample when
+    /// the proposal was tracked.
+    pub fn proposal_completed(
+        &mut self,
+        id: EntryId,
+        now: SimTime,
+    ) -> Option<LatencySample> {
+        let proposed_at = self.inflight.remove(&id)?;
+        let sample = LatencySample {
+            proposer: id.proposer,
+            proposed_at,
+            committed_at: now,
+        };
+        if now >= self.measure_from {
+            self.samples.push(sample);
+        }
+        Some(sample)
+    }
+
+    /// Records a committed global-log entry carrying `items` application
+    /// values. Deduplicated by index: each global slot counts once.
+    pub fn global_commit(&mut self, index: LogIndex, items: u64, now: SimTime) {
+        if now >= self.measure_from {
+            self.global_items.entry(index).or_insert(items);
+        }
+    }
+
+    /// Completed-proposal latency statistics.
+    pub fn latency_stats(&self) -> LatencyStats {
+        LatencyStats::from_durations(self.samples.iter().map(LatencySample::latency).collect())
+    }
+
+    /// Total application values committed to the global log in the
+    /// measurement window.
+    pub fn global_committed_items(&self) -> u64 {
+        self.global_items.values().sum()
+    }
+
+    /// Throughput in committed values per simulated second over `window`.
+    pub fn throughput(&self, window: SimDuration) -> f64 {
+        if window.is_zero() {
+            return 0.0;
+        }
+        self.global_committed_items() as f64 / window.as_secs_f64()
+    }
+
+    /// Fraction of leader commits that used the fast track.
+    pub fn fast_track_ratio(&self) -> f64 {
+        let total = self.fast_commits + self.classic_commits;
+        if total == 0 {
+            0.0
+        } else {
+            self.fast_commits as f64 / total as f64
+        }
+    }
+
+    /// Proposals still outstanding.
+    pub fn inflight(&self) -> usize {
+        self.inflight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64, s: u64) -> EntryId {
+        EntryId::new(NodeId(n), s)
+    }
+
+    #[test]
+    fn latency_roundtrip() {
+        let mut m = Metrics::new(SimTime::ZERO);
+        m.proposal_started(id(1, 0), SimTime::from_millis(10));
+        let s = m
+            .proposal_completed(id(1, 0), SimTime::from_millis(35))
+            .unwrap();
+        assert_eq!(s.latency(), SimDuration::from_millis(25));
+        assert_eq!(m.samples.len(), 1);
+        assert_eq!(m.inflight(), 0);
+    }
+
+    #[test]
+    fn unknown_completion_is_none() {
+        let mut m = Metrics::new(SimTime::ZERO);
+        assert!(m.proposal_completed(id(1, 0), SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn warmup_samples_are_dropped_from_stats() {
+        let mut m = Metrics::new(SimTime::from_secs(1));
+        m.proposal_started(id(1, 0), SimTime::from_millis(100));
+        m.proposal_completed(id(1, 0), SimTime::from_millis(200));
+        assert_eq!(m.samples.len(), 0, "pre-warmup sample recorded");
+        m.proposal_started(id(1, 1), SimTime::from_millis(999));
+        m.proposal_completed(id(1, 1), SimTime::from_millis(1500));
+        assert_eq!(m.samples.len(), 1);
+    }
+
+    #[test]
+    fn global_commits_deduplicate_by_index() {
+        let mut m = Metrics::new(SimTime::ZERO);
+        m.global_commit(LogIndex(1), 10, SimTime::from_millis(1));
+        m.global_commit(LogIndex(1), 10, SimTime::from_millis(2));
+        m.global_commit(LogIndex(2), 5, SimTime::from_millis(3));
+        assert_eq!(m.global_committed_items(), 15);
+        assert!((m.throughput(SimDuration::from_secs(3)) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_percentiles() {
+        let durations: Vec<SimDuration> =
+            (1..=100).map(SimDuration::from_millis).collect();
+        let s = LatencyStats::from_durations(durations);
+        assert_eq!(s.count, 100);
+        assert!((s.mean_ms - 50.5).abs() < 1e-9);
+        assert!((s.p50_ms - 50.0).abs() <= 1.0);
+        assert!((s.p95_ms - 95.0).abs() <= 1.0);
+        assert!((s.max_ms - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = LatencyStats::from_durations(Vec::new());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_ms, 0.0);
+    }
+
+    #[test]
+    fn fast_track_ratio() {
+        let mut m = Metrics::new(SimTime::ZERO);
+        assert_eq!(m.fast_track_ratio(), 0.0);
+        m.fast_commits = 3;
+        m.classic_commits = 1;
+        assert!((m.fast_track_ratio() - 0.75).abs() < 1e-12);
+    }
+}

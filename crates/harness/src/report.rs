@@ -1,0 +1,134 @@
+//! Run summaries.
+
+use serde::Serialize;
+
+use crate::{LatencyStats, Metrics, SafetyChecker};
+
+/// Network traffic summary for a run.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct NetSummary {
+    /// Messages offered to the network.
+    pub offered: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Messages dropped by random loss.
+    pub dropped_loss: u64,
+    /// Messages dropped by partitions.
+    pub dropped_partition: u64,
+    /// Messages dropped at down nodes.
+    pub dropped_down: u64,
+    /// Bytes on intra-region links.
+    pub intra_region_bytes: u64,
+    /// Bytes on inter-region links.
+    pub inter_region_bytes: u64,
+    /// Observed random-loss rate.
+    pub loss_rate: f64,
+}
+
+impl From<&simnet::NetStats> for NetSummary {
+    fn from(s: &simnet::NetStats) -> Self {
+        NetSummary {
+            offered: s.offered,
+            delivered: s.delivered,
+            dropped_loss: s.dropped_loss,
+            dropped_partition: s.dropped_partition,
+            dropped_down: s.dropped_node_down,
+            intra_region_bytes: s.intra_region_bytes,
+            inter_region_bytes: s.inter_region_bytes,
+            loss_rate: s.observed_loss_rate(),
+        }
+    }
+}
+
+/// The summary of one simulation run.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunReport {
+    /// Protocol name ("raft", "fast-raft", "c-raft").
+    pub protocol: String,
+    /// The run seed.
+    pub seed: u64,
+    /// Simulated duration in seconds.
+    pub sim_seconds: f64,
+    /// Proposals completed by the workload.
+    pub completed: u64,
+    /// Commit-latency statistics (proposer-measured).
+    pub latency: LatencyStats,
+    /// Values committed to the global log in the measurement window.
+    pub global_items: u64,
+    /// Global-log throughput in values per simulated second.
+    pub throughput_per_s: f64,
+    /// Fast-track commits at leaders.
+    pub fast_commits: u64,
+    /// Classic-track commits at leaders.
+    pub classic_commits: u64,
+    /// Fraction of leader commits on the fast track.
+    pub fast_track_ratio: f64,
+    /// Elections started.
+    pub elections: u64,
+    /// Leaderships assumed.
+    pub leaderships: u64,
+    /// Members suspected of silent leaves.
+    pub member_suspected: u64,
+    /// Network summary.
+    pub net: NetSummary,
+    /// Whether the safety property held.
+    pub safety_ok: bool,
+    /// Number of commit notifications checked.
+    pub commits_checked: u64,
+}
+
+impl RunReport {
+    /// Assembles a report from run components.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble(
+        protocol: &str,
+        seed: u64,
+        sim_seconds: f64,
+        measured_seconds: f64,
+        metrics: &Metrics,
+        net: &simnet::NetStats,
+        safety: &SafetyChecker,
+        completed: u64,
+    ) -> Self {
+        RunReport {
+            protocol: protocol.to_string(),
+            seed,
+            sim_seconds,
+            completed,
+            latency: metrics.latency_stats(),
+            global_items: metrics.global_committed_items(),
+            throughput_per_s: metrics
+                .throughput(des::SimDuration::from_secs_f64(measured_seconds.max(1e-9))),
+            fast_commits: metrics.fast_commits,
+            classic_commits: metrics.classic_commits,
+            fast_track_ratio: metrics.fast_track_ratio(),
+            elections: metrics.elections,
+            leaderships: metrics.leaderships,
+            member_suspected: metrics.member_suspected,
+            net: NetSummary::from(net),
+            safety_ok: safety.is_ok(),
+            commits_checked: safety.commits_seen(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use des::SimTime;
+
+    #[test]
+    fn assemble_carries_counters() {
+        let mut metrics = Metrics::new(SimTime::ZERO);
+        metrics.fast_commits = 7;
+        metrics.classic_commits = 3;
+        let net = simnet::NetStats::new();
+        let safety = SafetyChecker::new();
+        let r = RunReport::assemble("fast-raft", 9, 10.0, 10.0, &metrics, &net, &safety, 42);
+        assert_eq!(r.protocol, "fast-raft");
+        assert_eq!(r.completed, 42);
+        assert_eq!(r.fast_commits, 7);
+        assert!((r.fast_track_ratio - 0.7).abs() < 1e-12);
+        assert!(r.safety_ok);
+    }
+}

@@ -1,0 +1,432 @@
+//! The time-driven simulation runner.
+//!
+//! Hosts a set of protocol nodes on the deterministic event simulator:
+//! messages travel through the simulated network ([`simnet::Network`]),
+//! timers are armed/cancelled per the sans-IO contract, persistence commands
+//! apply to the simulated disk **before** messages are released
+//! (write-ahead), closed-loop proposers drive the workload exactly as in the
+//! paper's evaluation, and a fault injector executes scheduled silent
+//! leaves, crashes, recoveries, and partitions.
+
+use std::collections::{BTreeMap, HashMap};
+
+use bytes::Bytes;
+use des::{EventId, SimRng, SimTime, Simulation};
+use simnet::{Network, Verdict};
+use storage::{SimDisk, StableState};
+use wire::{
+    Actions, ConsensusProtocol, EntryId, LogScope, Message, NodeId, Observation, Payload,
+    TimerKind,
+};
+
+use crate::{Metrics, SafetyChecker};
+
+/// A scheduled fault.
+#[derive(Clone, Debug)]
+pub enum FaultAction {
+    /// The site disappears without announcement (§IV-D "silent leave").
+    SilentLeave(NodeId),
+    /// The site crashes; stable storage survives.
+    Crash(NodeId),
+    /// A crashed site restarts from stable storage.
+    Recover(NodeId),
+    /// The network splits into two sides.
+    Partition {
+        /// One side of the split.
+        side_a: Vec<NodeId>,
+        /// The other side.
+        side_b: Vec<NodeId>,
+    },
+    /// All partitions heal.
+    Heal,
+}
+
+/// Events flowing through the simulator.
+#[derive(Debug)]
+enum SimEvent<M> {
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Timer { node: NodeId, kind: TimerKind },
+    Propose { node: NodeId },
+    Fault(FaultAction),
+}
+
+/// Workload configuration: closed-loop proposers (each waits for its
+/// previous proposal to commit before issuing the next, §VI).
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The proposing sites.
+    pub proposers: Vec<NodeId>,
+    /// Payload size per proposal.
+    pub payload_bytes: usize,
+    /// Stop after this many completed proposals in total (None = run until
+    /// the deadline).
+    pub target_commits: Option<u64>,
+    /// When proposers start.
+    pub start_at: SimTime,
+}
+
+/// Runner-level configuration.
+#[derive(Clone, Debug)]
+pub struct RunnerConfig {
+    /// Seed for network and workload randomness.
+    pub seed: u64,
+    /// Which `ProposalCommitted` scope completes a workload item: `Global`
+    /// for classic/Fast Raft, `Local` for C-Raft (clients are acknowledged
+    /// at local commit, §V-A).
+    pub ack_scope: LogScope,
+    /// Samples completing before this instant are excluded from stats.
+    pub measure_from: SimTime,
+}
+
+struct Slot<P> {
+    node: P,
+    timers: HashMap<TimerKind, EventId>,
+    up: bool,
+}
+
+/// Factory rebuilding a node from persisted state after a crash.
+type RecoveryFn<P> = Box<dyn Fn(NodeId, &StableState) -> P>;
+
+/// A running simulation of one protocol deployment.
+pub struct Runner<P: ConsensusProtocol> {
+    sim: Simulation<SimEvent<P::Message>>,
+    net: Network,
+    disk: SimDisk,
+    slots: BTreeMap<NodeId, Slot<P>>,
+    metrics: Metrics,
+    safety: SafetyChecker,
+    workload: Workload,
+    cfg: RunnerConfig,
+    recover_fn: Option<RecoveryFn<P>>,
+    net_rng: SimRng,
+    payload_rng: SimRng,
+    /// Outstanding closed-loop proposal per proposer.
+    outstanding: HashMap<NodeId, EntryId>,
+    completed: u64,
+}
+
+impl<P: ConsensusProtocol> Runner<P> {
+    /// Builds a runner over `nodes`, bootstrapping each (initial timers
+    /// armed at t = 0) and scheduling the workload and `faults`.
+    pub fn new(
+        nodes: impl IntoIterator<Item = P>,
+        net: Network,
+        workload: Workload,
+        faults: Vec<(SimTime, FaultAction)>,
+        cfg: RunnerConfig,
+        safety: SafetyChecker,
+    ) -> Self {
+        let mut sim = Simulation::new(cfg.seed);
+        let net_rng = sim.rng().split("net");
+        let payload_rng = sim.rng().split("payload");
+        let mut runner = Runner {
+            sim,
+            net,
+            disk: SimDisk::new(),
+            slots: nodes
+                .into_iter()
+                .map(|n| {
+                    (
+                        n.id(),
+                        Slot {
+                            node: n,
+                            timers: HashMap::new(),
+                            up: true,
+                        },
+                    )
+                })
+                .collect(),
+            metrics: Metrics::new(cfg.measure_from),
+            safety,
+            workload,
+            cfg,
+            recover_fn: None,
+            net_rng,
+            payload_rng,
+            outstanding: HashMap::new(),
+            completed: 0,
+        };
+        let ids: Vec<NodeId> = runner.slots.keys().copied().collect();
+        for id in ids {
+            runner.with_node(id, |n, out| n.bootstrap(out));
+        }
+        for proposer in runner.workload.proposers.clone() {
+            let at = runner.workload.start_at;
+            runner
+                .sim
+                .schedule_at(at, SimEvent::Propose { node: proposer });
+        }
+        for (at, fault) in faults {
+            runner.sim.schedule_at(at, SimEvent::Fault(fault));
+        }
+        runner
+    }
+
+    /// Installs the crash-recovery factory used by [`FaultAction::Recover`].
+    pub fn set_recovery(&mut self, f: impl Fn(NodeId, &StableState) -> P + 'static) {
+        self.recover_fn = Some(Box::new(f));
+    }
+
+    /// Runs until `deadline` or until the workload target is reached.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while !self.workload_done() {
+            let Some(firing) = self.sim.next_event_before(deadline) else {
+                break;
+            };
+            self.dispatch(firing.id, firing.event);
+        }
+    }
+
+    /// `true` once the configured number of proposals completed.
+    pub fn workload_done(&self) -> bool {
+        self.workload
+            .target_commits
+            .is_some_and(|t| self.completed >= t)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The safety checker.
+    pub fn safety(&self) -> &SafetyChecker {
+        &self.safety
+    }
+
+    /// Network statistics.
+    pub fn net_stats(&self) -> &simnet::NetStats {
+        self.net.stats()
+    }
+
+    /// Completed workload proposals.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Read access to a node, if present and up.
+    pub fn node(&self, id: NodeId) -> Option<&P> {
+        self.slots.get(&id).filter(|s| s.up).map(|s| &s.node)
+    }
+
+    /// The disk farm (for recovery assertions).
+    pub fn disk(&self) -> &SimDisk {
+        &self.disk
+    }
+
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, firing_id: EventId, event: SimEvent<P::Message>) {
+        match event {
+            SimEvent::Deliver { from, to, msg } => {
+                self.with_node(to, |n, out| n.on_message(from, msg, out));
+            }
+            SimEvent::Timer { node, kind } => {
+                // Only fire if this is still the armed instance.
+                let armed = self
+                    .slots
+                    .get(&node)
+                    .and_then(|s| s.timers.get(&kind))
+                    .copied();
+                if armed == Some(firing_id) {
+                    if let Some(slot) = self.slots.get_mut(&node) {
+                        slot.timers.remove(&kind);
+                    }
+                    self.with_node(node, |n, out| n.on_timer(kind, out));
+                }
+            }
+            SimEvent::Propose { node } => self.issue_proposal(node),
+            SimEvent::Fault(fault) => self.apply_fault(fault),
+        }
+    }
+
+    fn with_node(&mut self, id: NodeId, f: impl FnOnce(&mut P, &mut Actions<P::Message>)) {
+        let Some(slot) = self.slots.get_mut(&id) else {
+            return;
+        };
+        if !slot.up {
+            return;
+        }
+        let mut out = Actions::new();
+        f(&mut slot.node, &mut out);
+        self.process_actions(id, out);
+    }
+
+    fn process_actions(&mut self, from: NodeId, out: Actions<P::Message>) {
+        // Write-ahead: persistence lands before any message is released.
+        self.disk.apply(from, out.persists.iter());
+
+        for cmd in out.timers {
+            match cmd {
+                wire::TimerCmd::Set { kind, after } => {
+                    let id = self
+                        .sim
+                        .schedule_after(after, SimEvent::Timer { node: from, kind });
+                    if let Some(slot) = self.slots.get_mut(&from) {
+                        if let Some(old) = slot.timers.insert(kind, id) {
+                            self.sim.cancel(old);
+                        }
+                    } else {
+                        self.sim.cancel(id);
+                    }
+                }
+                wire::TimerCmd::Cancel { kind } => {
+                    if let Some(slot) = self.slots.get_mut(&from) {
+                        if let Some(old) = slot.timers.remove(&kind) {
+                            self.sim.cancel(old);
+                        }
+                    }
+                }
+            }
+        }
+
+        for (to, msg) in out.sends {
+            let size = msg.wire_size();
+            match self.net.judge(from, to, size, &mut self.net_rng) {
+                Verdict::Deliver { after } => {
+                    self.sim
+                        .schedule_after(after, SimEvent::Deliver { from, to, msg });
+                }
+                Verdict::Drop { .. } => {}
+            }
+        }
+
+        let now = self.sim.now();
+        for commit in out.commits {
+            self.safety
+                .record(from, commit.scope, commit.index, commit.entry.id);
+            if commit.scope == LogScope::Global {
+                let items = match &commit.entry.payload {
+                    Payload::Data(_) => 1,
+                    Payload::Batch(b) => b.len() as u64,
+                    _ => 0,
+                };
+                if items > 0 {
+                    self.metrics.global_commit(commit.index, items, now);
+                }
+            }
+        }
+
+        let mut completions: Vec<EntryId> = Vec::new();
+        let trace = harness_trace_enabled();
+        for obs in out.observations {
+            if trace {
+                eprintln!("[{:.3}s] {} {:?}", self.sim.now().as_secs_f64(), from, obs);
+            }
+            match obs {
+                Observation::ProposalCommitted { id, scope, .. }
+                    if scope == self.cfg.ack_scope
+                        && id.proposer == from
+                        && self.outstanding.get(&from) == Some(&id)
+                    => {
+                        completions.push(id);
+                    }
+                Observation::ElectionStarted { .. } => self.metrics.elections += 1,
+                Observation::BecameLeader { .. } => self.metrics.leaderships += 1,
+                Observation::FastTrackCommit { .. } => self.metrics.fast_commits += 1,
+                Observation::ClassicTrackCommit { .. } => self.metrics.classic_commits += 1,
+                Observation::MemberSuspected { .. } => self.metrics.member_suspected += 1,
+                Observation::ConfigCommitted { .. } => self.metrics.config_commits += 1,
+                _ => {}
+            }
+        }
+        for id in completions {
+            let now = self.sim.now();
+            self.metrics.proposal_completed(id, now);
+            self.outstanding.remove(&from);
+            self.completed += 1;
+            if !self.workload_done() {
+                // Closed loop: propose the next value immediately.
+                self.issue_proposal(from);
+            }
+        }
+    }
+
+    fn issue_proposal(&mut self, node: NodeId) {
+        if self.workload_done() || self.outstanding.contains_key(&node) {
+            return;
+        }
+        let up = self.slots.get(&node).is_some_and(|s| s.up);
+        if !up {
+            return;
+        }
+        let mut payload = vec![0u8; self.workload.payload_bytes];
+        self.payload_rng.fill_bytes_infallible(&mut payload);
+        let data = Bytes::from(payload);
+        let now = self.sim.now();
+        let (id, actions) = {
+            let slot = self.slots.get_mut(&node).expect("checked above");
+            let mut out = Actions::new();
+            let id = slot.node.on_client_propose(data, &mut out);
+            (id, out)
+        };
+        self.metrics.proposal_started(id, now);
+        self.outstanding.insert(node, id);
+        self.process_actions(node, actions);
+    }
+
+    fn apply_fault(&mut self, fault: FaultAction) {
+        match fault {
+            FaultAction::SilentLeave(node) | FaultAction::Crash(node) => {
+                if let Some(slot) = self.slots.get_mut(&node) {
+                    slot.up = false;
+                    for (_, id) in slot.timers.drain() {
+                        self.sim.cancel(id);
+                    }
+                }
+                self.net.set_down(node);
+                self.outstanding.remove(&node);
+            }
+            FaultAction::Recover(node) => {
+                let Some(factory) = &self.recover_fn else {
+                    return;
+                };
+                let stable = self.disk.read(node).cloned().unwrap_or_default();
+                let fresh = factory(node, &stable);
+                if let Some(slot) = self.slots.get_mut(&node) {
+                    slot.node = fresh;
+                    slot.up = true;
+                }
+                self.net.set_up(node);
+                self.with_node(node, |n, out| n.bootstrap(out));
+                // A recovered proposer lost its in-flight proposal with its
+                // volatile state; restart its closed loop.
+                if self.workload.proposers.contains(&node)
+                    && !self.outstanding.contains_key(&node)
+                {
+                    let kick = des::SimDuration::from_millis(100);
+                    self.sim.schedule_after(kick, SimEvent::Propose { node });
+                }
+            }
+            FaultAction::Partition { side_a, side_b } => {
+                self.net.partitions_mut().split(&side_a, &side_b);
+            }
+            FaultAction::Heal => {
+                self.net.partitions_mut().heal_all();
+            }
+        }
+    }
+}
+
+/// Cached `HARNESS_TRACE` env check: per-observation tracing to stderr.
+fn harness_trace_enabled() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("HARNESS_TRACE").is_some())
+}
+
+/// Infallible byte filling for [`SimRng`] (extension helper).
+trait FillBytes {
+    fn fill_bytes_infallible(&mut self, dest: &mut [u8]);
+}
+
+impl FillBytes for SimRng {
+    fn fill_bytes_infallible(&mut self, dest: &mut [u8]) {
+        use rand::RngCore;
+        self.fill_bytes(dest);
+    }
+}

@@ -1,0 +1,183 @@
+//! Online safety checking (Definition 2.1).
+//!
+//! Every commit notification from every node flows through a
+//! [`SafetyChecker`]; if two sites ever commit different entries at the same
+//! index of the same log, the run records a violation with full context.
+//! Experiments assert [`SafetyChecker::assert_ok`] at the end of every run,
+//! including runs with crash/churn/partition schedules.
+
+use std::collections::HashMap;
+
+use wire::{EntryId, LogIndex, LogScope, NodeId};
+
+/// A detected violation of the safety property.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SafetyViolation {
+    /// The log scope disagreed on.
+    pub scope: LogScope,
+    /// The index disagreed on.
+    pub index: LogIndex,
+    /// First committer and its entry.
+    pub first: (NodeId, EntryId),
+    /// Conflicting committer and its entry.
+    pub second: (NodeId, EntryId),
+}
+
+impl std::fmt::Display for SafetyViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "safety violation at {:?} {}: {} committed {} but {} committed {}",
+            self.scope, self.index, self.first.0, self.first.1, self.second.0, self.second.1
+        )
+    }
+}
+
+/// Cross-site commit consistency checker.
+///
+/// Local-scope commits are compared within a *domain* (a cluster); Global
+/// commits are system-wide. The domain of a node is defined by a caller
+/// -provided mapping (identity/constant for single-cluster protocols).
+#[derive(Default)]
+pub struct SafetyChecker {
+    chosen: HashMap<(u64, LogScope, LogIndex), (NodeId, EntryId)>,
+    violations: Vec<SafetyViolation>,
+    domain_of: Option<Box<dyn Fn(NodeId) -> u64 + Send>>,
+    commits_seen: u64,
+}
+
+impl std::fmt::Debug for SafetyChecker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SafetyChecker")
+            .field("commits_seen", &self.commits_seen)
+            .field("violations", &self.violations)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SafetyChecker {
+    /// A checker with all nodes in one local domain.
+    pub fn new() -> Self {
+        SafetyChecker::default()
+    }
+
+    /// A checker with a cluster mapping for Local-scope commits.
+    pub fn with_domains(f: impl Fn(NodeId) -> u64 + Send + 'static) -> Self {
+        SafetyChecker {
+            domain_of: Some(Box::new(f)),
+            ..SafetyChecker::default()
+        }
+    }
+
+    /// Records a commit observed at `node`.
+    pub fn record(&mut self, node: NodeId, scope: LogScope, index: LogIndex, id: EntryId) {
+        self.commits_seen += 1;
+        let domain = match scope {
+            LogScope::Global => u64::MAX,
+            LogScope::Local => self.domain_of.as_ref().map_or(0, |f| f(node)),
+        };
+        match self.chosen.entry((domain, scope, index)) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert((node, id));
+            }
+            std::collections::hash_map::Entry::Occupied(o) => {
+                let first = *o.get();
+                if first.1 != id {
+                    self.violations.push(SafetyViolation {
+                        scope,
+                        index,
+                        first,
+                        second: (node, id),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Violations recorded so far.
+    pub fn violations(&self) -> &[SafetyViolation] {
+        &self.violations
+    }
+
+    /// Total commits checked.
+    pub fn commits_seen(&self) -> u64 {
+        self.commits_seen
+    }
+
+    /// `true` if no violation was recorded.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panics with diagnostics on any violation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the safety property was violated during the run.
+    pub fn assert_ok(&self) {
+        if let Some(v) = self.violations.first() {
+            panic!("{v} ({} more)", self.violations.len() - 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64, s: u64) -> EntryId {
+        EntryId::new(NodeId(n), s)
+    }
+
+    #[test]
+    fn agreeing_commits_pass() {
+        let mut c = SafetyChecker::new();
+        c.record(NodeId(1), LogScope::Global, LogIndex(1), id(9, 0));
+        c.record(NodeId(2), LogScope::Global, LogIndex(1), id(9, 0));
+        assert!(c.is_ok());
+        assert_eq!(c.commits_seen(), 2);
+        c.assert_ok();
+    }
+
+    #[test]
+    fn conflicting_commits_flagged() {
+        let mut c = SafetyChecker::new();
+        c.record(NodeId(1), LogScope::Global, LogIndex(1), id(9, 0));
+        c.record(NodeId(2), LogScope::Global, LogIndex(1), id(9, 1));
+        assert!(!c.is_ok());
+        assert_eq!(c.violations().len(), 1);
+        let v = &c.violations()[0];
+        assert_eq!(v.first, (NodeId(1), id(9, 0)));
+        assert_eq!(v.second, (NodeId(2), id(9, 1)));
+        assert!(v.to_string().contains("safety violation"));
+    }
+
+    #[test]
+    #[should_panic(expected = "safety violation")]
+    fn assert_ok_panics_on_violation() {
+        let mut c = SafetyChecker::new();
+        c.record(NodeId(1), LogScope::Global, LogIndex(1), id(9, 0));
+        c.record(NodeId(2), LogScope::Global, LogIndex(1), id(9, 1));
+        c.assert_ok();
+    }
+
+    #[test]
+    fn local_domains_are_independent() {
+        let mut c = SafetyChecker::with_domains(|n| n.as_u64() / 3);
+        // Nodes 0..2 are cluster 0; nodes 3..5 cluster 1.
+        c.record(NodeId(0), LogScope::Local, LogIndex(1), id(0, 0));
+        c.record(NodeId(3), LogScope::Local, LogIndex(1), id(3, 0));
+        assert!(c.is_ok(), "different clusters may differ at Local #1");
+        // Within a cluster they must agree.
+        c.record(NodeId(1), LogScope::Local, LogIndex(1), id(1, 5));
+        assert!(!c.is_ok());
+    }
+
+    #[test]
+    fn global_scope_ignores_domains() {
+        let mut c = SafetyChecker::with_domains(|n| n.as_u64());
+        c.record(NodeId(0), LogScope::Global, LogIndex(4), id(0, 0));
+        c.record(NodeId(9), LogScope::Global, LogIndex(4), id(0, 1));
+        assert!(!c.is_ok());
+    }
+}

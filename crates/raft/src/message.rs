@@ -1,0 +1,292 @@
+//! Classic Raft's message vocabulary (§III-A).
+
+use bytes::Bytes;
+use wire::{
+    DecodeError, Decoder, Encoder, EntryId, LogEntry, LogIndex, Message, NodeId, Term, Wire,
+};
+
+/// Messages exchanged by classic Raft sites.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RaftMessage {
+    /// Proposer → leader: please replicate this value.
+    Propose {
+        /// Proposal identity (proposer + sequence), used for deduplication.
+        id: EntryId,
+        /// The value.
+        data: Bytes,
+    },
+    /// Leader → proposer: the fate of a proposal.
+    ProposeReply {
+        /// The proposal this replies to.
+        id: EntryId,
+        /// `true` once the entry is committed.
+        committed: bool,
+        /// Where the proposer should send future proposals (set when the
+        /// recipient is not the leader).
+        leader_hint: Option<NodeId>,
+    },
+    /// Leader → follower: replicate entries / heartbeat.
+    AppendEntries {
+        /// Leader's term.
+        term: Term,
+        /// Leader's id, for redirecting proposers.
+        leader: NodeId,
+        /// Index of the entry immediately before `entries`.
+        prev_index: LogIndex,
+        /// Term of the entry at `prev_index`.
+        prev_term: Term,
+        /// Entries to replicate (empty for pure heartbeat).
+        entries: Vec<(LogIndex, LogEntry)>,
+        /// Leader's commit index.
+        leader_commit: LogIndex,
+    },
+    /// Follower → leader: AppendEntries outcome.
+    AppendEntriesReply {
+        /// Follower's term, so a stale leader steps down.
+        term: Term,
+        /// `true` if `prev_index`/`prev_term` matched and entries were
+        /// appended.
+        success: bool,
+        /// Highest index now known to match the leader (valid when
+        /// `success`); on failure, a hint for nextIndex back-off.
+        match_index: LogIndex,
+    },
+    /// Candidate → all: request a vote (§III-A).
+    RequestVote {
+        /// Candidate's term.
+        term: Term,
+        /// The candidate.
+        candidate: NodeId,
+        /// Index of candidate's last log entry.
+        last_log_index: LogIndex,
+        /// Term of candidate's last log entry.
+        last_log_term: Term,
+    },
+    /// Voter → candidate: the vote.
+    RequestVoteReply {
+        /// Voter's term.
+        term: Term,
+        /// Whether the vote was granted.
+        granted: bool,
+    },
+}
+
+impl RaftMessage {
+    /// Short tag for traces and metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RaftMessage::Propose { .. } => "propose",
+            RaftMessage::ProposeReply { .. } => "propose_reply",
+            RaftMessage::AppendEntries { .. } => "append_entries",
+            RaftMessage::AppendEntriesReply { .. } => "append_entries_reply",
+            RaftMessage::RequestVote { .. } => "request_vote",
+            RaftMessage::RequestVoteReply { .. } => "request_vote_reply",
+        }
+    }
+
+    /// The term carried by the message, if any (Propose/ProposeReply are
+    /// term-free client traffic).
+    pub fn term(&self) -> Option<Term> {
+        match self {
+            RaftMessage::AppendEntries { term, .. }
+            | RaftMessage::AppendEntriesReply { term, .. }
+            | RaftMessage::RequestVote { term, .. }
+            | RaftMessage::RequestVoteReply { term, .. } => Some(*term),
+            RaftMessage::Propose { .. } | RaftMessage::ProposeReply { .. } => None,
+        }
+    }
+}
+
+impl Wire for RaftMessage {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            RaftMessage::Propose { id, data } => {
+                e.put_u8(0);
+                id.encode(e);
+                data.encode(e);
+            }
+            RaftMessage::ProposeReply {
+                id,
+                committed,
+                leader_hint,
+            } => {
+                e.put_u8(1);
+                id.encode(e);
+                committed.encode(e);
+                leader_hint.encode(e);
+            }
+            RaftMessage::AppendEntries {
+                term,
+                leader,
+                prev_index,
+                prev_term,
+                entries,
+                leader_commit,
+            } => {
+                e.put_u8(2);
+                term.encode(e);
+                leader.encode(e);
+                prev_index.encode(e);
+                prev_term.encode(e);
+                entries.encode(e);
+                leader_commit.encode(e);
+            }
+            RaftMessage::AppendEntriesReply {
+                term,
+                success,
+                match_index,
+            } => {
+                e.put_u8(3);
+                term.encode(e);
+                success.encode(e);
+                match_index.encode(e);
+            }
+            RaftMessage::RequestVote {
+                term,
+                candidate,
+                last_log_index,
+                last_log_term,
+            } => {
+                e.put_u8(4);
+                term.encode(e);
+                candidate.encode(e);
+                last_log_index.encode(e);
+                last_log_term.encode(e);
+            }
+            RaftMessage::RequestVoteReply { term, granted } => {
+                e.put_u8(5);
+                term.encode(e);
+                granted.encode(e);
+            }
+        }
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(match d.u8()? {
+            0 => RaftMessage::Propose {
+                id: EntryId::decode(d)?,
+                data: Bytes::decode(d)?,
+            },
+            1 => RaftMessage::ProposeReply {
+                id: EntryId::decode(d)?,
+                committed: bool::decode(d)?,
+                leader_hint: Option::decode(d)?,
+            },
+            2 => RaftMessage::AppendEntries {
+                term: Term::decode(d)?,
+                leader: NodeId::decode(d)?,
+                prev_index: LogIndex::decode(d)?,
+                prev_term: Term::decode(d)?,
+                entries: Vec::decode(d)?,
+                leader_commit: LogIndex::decode(d)?,
+            },
+            3 => RaftMessage::AppendEntriesReply {
+                term: Term::decode(d)?,
+                success: bool::decode(d)?,
+                match_index: LogIndex::decode(d)?,
+            },
+            4 => RaftMessage::RequestVote {
+                term: Term::decode(d)?,
+                candidate: NodeId::decode(d)?,
+                last_log_index: LogIndex::decode(d)?,
+                last_log_term: Term::decode(d)?,
+            },
+            5 => RaftMessage::RequestVoteReply {
+                term: Term::decode(d)?,
+                granted: bool::decode(d)?,
+            },
+            tag => {
+                return Err(DecodeError::InvalidTag {
+                    ty: "RaftMessage",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Message for RaftMessage {
+    fn wire_size(&self) -> usize {
+        self.encoded_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: &RaftMessage) {
+        let b = m.to_bytes();
+        assert_eq!(b.len(), m.wire_size());
+        assert_eq!(&RaftMessage::from_bytes(&b).unwrap(), m);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(&RaftMessage::Propose {
+            id: EntryId::new(NodeId(1), 5),
+            data: Bytes::from_static(b"value"),
+        });
+        roundtrip(&RaftMessage::ProposeReply {
+            id: EntryId::new(NodeId(1), 5),
+            committed: true,
+            leader_hint: Some(NodeId(2)),
+        });
+        roundtrip(&RaftMessage::AppendEntries {
+            term: Term(3),
+            leader: NodeId(2),
+            prev_index: LogIndex(9),
+            prev_term: Term(2),
+            entries: vec![(
+                LogIndex(10),
+                LogEntry::data(Term(3), EntryId::new(NodeId(1), 5), Bytes::from_static(b"v")),
+            )],
+            leader_commit: LogIndex(9),
+        });
+        roundtrip(&RaftMessage::AppendEntriesReply {
+            term: Term(3),
+            success: false,
+            match_index: LogIndex(4),
+        });
+        roundtrip(&RaftMessage::RequestVote {
+            term: Term(4),
+            candidate: NodeId(3),
+            last_log_index: LogIndex(10),
+            last_log_term: Term(3),
+        });
+        roundtrip(&RaftMessage::RequestVoteReply {
+            term: Term(4),
+            granted: true,
+        });
+    }
+
+    #[test]
+    fn kind_and_term() {
+        let m = RaftMessage::RequestVoteReply {
+            term: Term(4),
+            granted: true,
+        };
+        assert_eq!(m.kind(), "request_vote_reply");
+        assert_eq!(m.term(), Some(Term(4)));
+        let p = RaftMessage::Propose {
+            id: EntryId::new(NodeId(1), 0),
+            data: Bytes::new(),
+        };
+        assert_eq!(p.term(), None);
+    }
+
+    #[test]
+    fn heartbeat_is_small() {
+        // An empty AppendEntries (pure heartbeat) should be compact —
+        // bandwidth accounting depends on realistic sizes.
+        let hb = RaftMessage::AppendEntries {
+            term: Term(1),
+            leader: NodeId(1),
+            prev_index: LogIndex(0),
+            prev_term: Term(0),
+            entries: vec![],
+            leader_commit: LogIndex(0),
+        };
+        assert!(hb.wire_size() < 64, "heartbeat {} bytes", hb.wire_size());
+    }
+}

@@ -1,0 +1,862 @@
+//! The classic Raft node (§III-A), sans-IO.
+//!
+//! Implements leader election, log replication, commitment, proposer
+//! redirection/retry, and administrator-driven membership change — the
+//! baseline the paper compares Fast Raft and C-Raft against.
+//!
+//! ## Event timing (matches the paper's evaluation setup)
+//!
+//! - AppendEntries dispatch is **heartbeat-gated**: the leader sends entries
+//!   and heartbeats only on its periodic [`TimerKind::Heartbeat`] tick, as in
+//!   the paper's "Periodically run by the leader" pseudocode.
+//! - Commit-index advancement is **event-driven** on acknowledgement receipt
+//!   ("When the leader receives AppendEntries message response"), and
+//!   proposers are notified immediately on commit.
+//!
+//! With the paper's closed-loop proposers this yields a commit latency of
+//! roughly one heartbeat period — the ~100 ms classic-Raft baseline of
+//! Fig. 3.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use bytes::Bytes;
+use des::SimRng;
+use storage::StableState;
+use wire::{
+    Actions, Configuration, ConsensusProtocol, EntryId, LogEntry, LogIndex, LogScope, NodeId,
+    Observation, Payload, PersistCmd, SparseLog, Term, TimerKind,
+};
+
+use crate::{RaftMessage, Timing};
+
+/// The role a site currently plays (§III-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Passive replica; votes in elections.
+    Follower,
+    /// Election in progress, requesting votes.
+    Candidate,
+    /// The unique coordinator of the current term.
+    Leader,
+}
+
+/// Error returned by leader-only administrative operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NotLeader {
+    /// The most recently observed leader, if any.
+    pub leader_hint: Option<NodeId>,
+}
+
+impl std::fmt::Display for NotLeader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "not the leader (hint: {:?})", self.leader_hint)
+    }
+}
+
+impl std::error::Error for NotLeader {}
+
+/// A classic Raft site.
+#[derive(Debug)]
+pub struct RaftNode {
+    id: NodeId,
+    timing: Timing,
+    rng: SimRng,
+
+    // ---- persistent state (mirrored to stable storage via PersistCmd) ----
+    current_term: Term,
+    voted_for: Option<NodeId>,
+    log: SparseLog,
+
+    // ---- volatile state ----
+    commit_index: LogIndex,
+    role: Role,
+    leader_hint: Option<NodeId>,
+    /// Last configuration *inserted* into the log (§III-A).
+    config: Configuration,
+    /// Index of that configuration entry (ZERO for the bootstrap config).
+    config_index: LogIndex,
+    /// Votes received while candidate.
+    votes: BTreeSet<NodeId>,
+
+    // ---- leader volatile state ----
+    next_index: BTreeMap<NodeId, LogIndex>,
+    match_index: BTreeMap<NodeId, LogIndex>,
+    /// Catch-up (non-voting) members being prepared to join.
+    learners: BTreeSet<NodeId>,
+
+    // ---- proposer state ----
+    next_seq: u64,
+    pending: BTreeMap<EntryId, Bytes>,
+
+    // ---- leader bookkeeping ----
+    /// Where each known proposal id sits in our log (dedup + notification).
+    id_index: HashMap<EntryId, LogIndex>,
+}
+
+impl RaftNode {
+    /// Creates a fresh node with a bootstrap configuration known to all
+    /// initial members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bootstrap` is empty or does not contain `id`, or if
+    /// `timing` is inconsistent (see [`Timing::validate`]).
+    pub fn new(id: NodeId, bootstrap: Configuration, timing: Timing, rng: SimRng) -> Self {
+        timing.validate();
+        assert!(!bootstrap.is_empty(), "bootstrap configuration is empty");
+        assert!(
+            bootstrap.contains(id),
+            "node {id} not in bootstrap configuration"
+        );
+        RaftNode {
+            id,
+            timing,
+            rng,
+            current_term: Term::ZERO,
+            voted_for: None,
+            log: SparseLog::new(),
+            commit_index: LogIndex::ZERO,
+            role: Role::Follower,
+            leader_hint: None,
+            config: bootstrap,
+            config_index: LogIndex::ZERO,
+            votes: BTreeSet::new(),
+            next_index: BTreeMap::new(),
+            match_index: BTreeMap::new(),
+            learners: BTreeSet::new(),
+            next_seq: 0,
+            pending: BTreeMap::new(),
+            id_index: HashMap::new(),
+        }
+    }
+
+    /// Rebuilds a node from stable storage after a crash (§II). Volatile
+    /// state — commit index, role, leader knowledge — is relearned from the
+    /// protocol.
+    pub fn recover(
+        id: NodeId,
+        stable: &StableState,
+        bootstrap: Configuration,
+        timing: Timing,
+        rng: SimRng,
+    ) -> Self {
+        let mut node = RaftNode::new(id, bootstrap, timing, rng);
+        node.current_term = stable.global.current_term;
+        node.voted_for = stable.global.voted_for;
+        node.log = stable.global.log.clone();
+        if let Some((idx, cfg)) = node.log.latest_config() {
+            node.config = cfg.clone();
+            node.config_index = idx;
+        }
+        for (idx, entry) in node.log.iter() {
+            node.id_index.insert(entry.id, idx);
+        }
+        node
+    }
+
+    /// This node's current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// The current term.
+    pub fn current_term(&self) -> Term {
+        self.current_term
+    }
+
+    /// The highest committed index.
+    pub fn commit_index(&self) -> LogIndex {
+        self.commit_index
+    }
+
+    /// The replicated log (read-only).
+    pub fn log(&self) -> &SparseLog {
+        &self.log
+    }
+
+    /// The configuration this node currently obeys.
+    pub fn config(&self) -> &Configuration {
+        &self.config
+    }
+
+    /// The node this site believes is leader.
+    pub fn leader_hint(&self) -> Option<NodeId> {
+        self.leader_hint
+    }
+
+    /// Number of proposals issued here and not yet known committed.
+    pub fn pending_proposals(&self) -> usize {
+        self.pending.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Administrative API (the paper assumes a system administrator drives
+    // classic-Raft membership changes, §III-A).
+    // ------------------------------------------------------------------
+
+    /// Registers a catch-up (non-voting) member the leader replicates to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotLeader`] when called on a non-leader.
+    pub fn admin_add_learner(&mut self, node: NodeId) -> Result<(), NotLeader> {
+        if self.role != Role::Leader {
+            return Err(NotLeader {
+                leader_hint: self.leader_hint,
+            });
+        }
+        self.learners.insert(node);
+        self.next_index.insert(node, self.commit_index.next());
+        self.match_index.insert(node, LogIndex::ZERO);
+        Ok(())
+    }
+
+    /// Proposes a new configuration (single-site change enforced), appending
+    /// a config entry to the leader's log. The change takes effect at each
+    /// site when *inserted* (§III-A) and is safe once committed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotLeader`] on a non-leader.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_config` differs from the current configuration by more
+    /// than one site (§IV-D safety precondition).
+    pub fn admin_propose_config(
+        &mut self,
+        new_config: Configuration,
+        out: &mut Actions<RaftMessage>,
+    ) -> Result<EntryId, NotLeader> {
+        if self.role != Role::Leader {
+            return Err(NotLeader {
+                leader_hint: self.leader_hint,
+            });
+        }
+        assert!(
+            self.config.diff_is_single_change(&new_config),
+            "configuration change must add or remove at most one site"
+        );
+        let id = self.fresh_id();
+        let entry = LogEntry::config(self.current_term, id, new_config);
+        self.leader_append(entry, out);
+        Ok(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn fresh_id(&mut self) -> EntryId {
+        let id = EntryId::new(self.id, self.next_seq);
+        self.next_seq += 1;
+        id
+    }
+
+    fn persist_term_vote(&self, out: &mut Actions<RaftMessage>) {
+        out.persist(PersistCmd::SetTermVote {
+            scope: LogScope::Global,
+            term: self.current_term,
+            voted_for: self.voted_for,
+        });
+    }
+
+    fn insert_entry(&mut self, index: LogIndex, entry: LogEntry, out: &mut Actions<RaftMessage>) {
+        self.id_index.insert(entry.id, index);
+        if let Some(cfg) = entry.as_config() {
+            // "Each site considers the last appended configuration entry to
+            // be its current configuration."
+            if index >= self.config_index {
+                self.config = cfg.clone();
+                self.config_index = index;
+            }
+        }
+        out.persist(PersistCmd::Insert {
+            scope: LogScope::Global,
+            index,
+            entry: entry.clone(),
+        });
+        self.log.insert(index, entry);
+    }
+
+    fn truncate_from(&mut self, from: LogIndex, out: &mut Actions<RaftMessage>) {
+        let removed: Vec<(LogIndex, EntryId)> = self
+            .log
+            .range(from, self.log.last_index())
+            .map(|(i, e)| (i, e.id))
+            .collect();
+        for (_, id) in &removed {
+            self.id_index.remove(id);
+        }
+        self.log.truncate_from(from);
+        out.persist(PersistCmd::Truncate {
+            scope: LogScope::Global,
+            from,
+        });
+        // A truncated config entry reverts the configuration to the latest
+        // surviving one.
+        if self.config_index >= from {
+            if let Some((idx, cfg)) = self.log.latest_config() {
+                self.config = cfg.clone();
+                self.config_index = idx;
+            }
+        }
+    }
+
+    fn leader_append(&mut self, entry: LogEntry, out: &mut Actions<RaftMessage>) -> LogIndex {
+        let index = self.log.last_index().next();
+        self.insert_entry(index, entry, out);
+        self.match_index.insert(self.id, index);
+        // A single-node configuration reaches quorum on its own ack.
+        self.advance_commit(out);
+        index
+    }
+
+    fn become_follower(
+        &mut self,
+        term: Term,
+        leader: Option<NodeId>,
+        out: &mut Actions<RaftMessage>,
+    ) {
+        let was_leader = self.role == Role::Leader;
+        if term > self.current_term {
+            self.current_term = term;
+            self.voted_for = None;
+            self.persist_term_vote(out);
+        }
+        self.role = Role::Follower;
+        if leader.is_some() {
+            self.leader_hint = leader;
+        }
+        self.votes.clear();
+        if was_leader {
+            out.cancel_timer(TimerKind::Heartbeat);
+        }
+        self.reset_election_timer(out);
+        out.observe(Observation::BecameFollower {
+            term: self.current_term,
+        });
+    }
+
+    fn reset_election_timer(&mut self, out: &mut Actions<RaftMessage>) {
+        let timeout = self.timing.election_timeout(&mut self.rng);
+        out.set_timer(TimerKind::Election, timeout);
+    }
+
+    fn start_election(&mut self, out: &mut Actions<RaftMessage>) {
+        if !self.config.contains(self.id) {
+            // A removed site must not start elections.
+            out.observe(Observation::MessageIgnored {
+                reason: "election by non-member suppressed",
+            });
+            self.reset_election_timer(out);
+            return;
+        }
+        self.role = Role::Candidate;
+        self.current_term = self.current_term.next();
+        self.voted_for = Some(self.id);
+        self.persist_term_vote(out);
+        self.votes.clear();
+        self.votes.insert(self.id);
+        out.observe(Observation::ElectionStarted {
+            term: self.current_term,
+        });
+        let last = self.log.last_index();
+        let msg = RaftMessage::RequestVote {
+            term: self.current_term,
+            candidate: self.id,
+            last_log_index: last,
+            last_log_term: self.log.term_at(last),
+        };
+        let peers: Vec<NodeId> = self.config.peers(self.id).collect();
+        out.send_many(peers, msg);
+        self.reset_election_timer(out);
+        self.maybe_win(out);
+    }
+
+    fn maybe_win(&mut self, out: &mut Actions<RaftMessage>) {
+        if self.role != Role::Candidate {
+            return;
+        }
+        let quorum = self.config.classic_quorum();
+        let valid_votes = self
+            .votes
+            .iter()
+            .filter(|v| self.config.contains(**v))
+            .count();
+        if valid_votes >= quorum {
+            self.become_leader(out);
+        }
+    }
+
+    fn become_leader(&mut self, out: &mut Actions<RaftMessage>) {
+        self.role = Role::Leader;
+        self.leader_hint = Some(self.id);
+        out.observe(Observation::BecameLeader {
+            term: self.current_term,
+        });
+        let start = self.log.last_index().next();
+        self.next_index.clear();
+        self.match_index.clear();
+        for peer in self.config.iter().chain(self.learners.iter().copied()) {
+            self.next_index.insert(peer, start);
+            self.match_index.insert(peer, LogIndex::ZERO);
+        }
+        // Standard practice (Raft dissertation §6.4): commit a no-op of the
+        // new term so earlier-term entries become committable.
+        let id = self.fresh_id();
+        let noop = LogEntry::noop(self.current_term, id);
+        self.leader_append(noop, out);
+        out.cancel_timer(TimerKind::Election);
+        // Initial heartbeat immediately; steady-state dispatch stays
+        // heartbeat-gated.
+        self.dispatch_append_entries(out);
+        out.set_timer(TimerKind::Heartbeat, self.timing.heartbeat);
+    }
+
+    fn dispatch_append_entries(&mut self, out: &mut Actions<RaftMessage>) {
+        let last = self.log.last_index();
+        let targets: Vec<NodeId> = self
+            .config
+            .peers(self.id)
+            .chain(self.learners.iter().copied().filter(|l| *l != self.id))
+            .collect();
+        for peer in targets {
+            let next = *self
+                .next_index
+                .get(&peer)
+                .unwrap_or(&self.commit_index.next());
+            let prev_index = next.prev_saturating();
+            let prev_term = self.log.term_at(prev_index);
+            let mut entries = Vec::new();
+            if last >= next {
+                for (idx, e) in self.log.range(next, last) {
+                    if entries.len() >= self.timing.max_entries_per_append {
+                        break;
+                    }
+                    entries.push((idx, e.clone()));
+                }
+            }
+            out.send(
+                peer,
+                RaftMessage::AppendEntries {
+                    term: self.current_term,
+                    leader: self.id,
+                    prev_index,
+                    prev_term,
+                    entries,
+                    leader_commit: self.commit_index,
+                },
+            );
+        }
+    }
+
+    /// Leader-side commit rule: the highest `k` with a classic quorum of
+    /// `matchIndex ≥ k` and `log[k].term == currentTerm` becomes committed.
+    fn advance_commit(&mut self, out: &mut Actions<RaftMessage>) {
+        if self.role != Role::Leader {
+            return;
+        }
+        let quorum = self.config.classic_quorum();
+        let mut k = self.log.last_index();
+        while k > self.commit_index {
+            if self.log.term_at(k) == self.current_term {
+                let acks = self
+                    .config
+                    .iter()
+                    .filter(|m| self.match_index.get(m).copied().unwrap_or(LogIndex::ZERO) >= k)
+                    .count();
+                if acks >= quorum {
+                    break;
+                }
+            }
+            k = k.prev();
+        }
+        if k > self.commit_index {
+            self.set_commit_index(k, out);
+        }
+    }
+
+    /// Advances the commit index and emits per-entry commit effects.
+    fn set_commit_index(&mut self, new_commit: LogIndex, out: &mut Actions<RaftMessage>) {
+        let old = self.commit_index;
+        if new_commit <= old {
+            return;
+        }
+        self.commit_index = new_commit;
+        let mut k = old.next();
+        while k <= new_commit {
+            if let Some(entry) = self.log.get(k).cloned() {
+                if entry.payload.is_config() {
+                    out.observe(Observation::ConfigCommitted {
+                        members: entry.as_config().map(Configuration::len).unwrap_or(0),
+                    });
+                }
+                self.resolve_commit_notifications(k, &entry, out);
+                out.commit(LogScope::Global, k, entry);
+            }
+            k = k.next();
+        }
+    }
+
+    fn resolve_commit_notifications(
+        &mut self,
+        index: LogIndex,
+        entry: &LogEntry,
+        out: &mut Actions<RaftMessage>,
+    ) {
+        if !matches!(entry.payload, Payload::Data(_)) {
+            return;
+        }
+        let proposer = entry.id.proposer;
+        if proposer == self.id {
+            if self.pending.remove(&entry.id).is_some() {
+                out.observe(Observation::ProposalCommitted {
+                    id: entry.id,
+                    index,
+                    scope: LogScope::Global,
+                });
+            }
+        } else if self.role == Role::Leader {
+            // "The leader then notifies the proposer."
+            out.send(
+                proposer,
+                RaftMessage::ProposeReply {
+                    id: entry.id,
+                    committed: true,
+                    leader_hint: Some(self.id),
+                },
+            );
+        }
+    }
+
+    fn on_propose(&mut self, from: NodeId, id: EntryId, data: Bytes, out: &mut Actions<RaftMessage>) {
+        if self.role != Role::Leader {
+            out.send(
+                from,
+                RaftMessage::ProposeReply {
+                    id,
+                    committed: false,
+                    leader_hint: self.leader_hint,
+                },
+            );
+            return;
+        }
+        if let Some(&idx) = self.id_index.get(&id) {
+            // Duplicate (proposer retried). If already committed, re-notify.
+            if idx <= self.commit_index {
+                out.send(
+                    from,
+                    RaftMessage::ProposeReply {
+                        id,
+                        committed: true,
+                        leader_hint: Some(self.id),
+                    },
+                );
+            }
+            return;
+        }
+        let entry = LogEntry::data(self.current_term, id, data);
+        self.leader_append(entry, out);
+        // Dispatch stays heartbeat-gated; the entry travels on the next tick.
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_append_entries(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        leader: NodeId,
+        prev_index: LogIndex,
+        prev_term: Term,
+        entries: Vec<(LogIndex, LogEntry)>,
+        leader_commit: LogIndex,
+        out: &mut Actions<RaftMessage>,
+    ) {
+        if term < self.current_term {
+            out.send(
+                from,
+                RaftMessage::AppendEntriesReply {
+                    term: self.current_term,
+                    success: false,
+                    match_index: LogIndex::ZERO,
+                },
+            );
+            return;
+        }
+        // Valid leader for this (possibly newer) term.
+        if term > self.current_term || self.role != Role::Follower {
+            self.become_follower(term, Some(leader), out);
+        } else {
+            self.leader_hint = Some(leader);
+            self.reset_election_timer(out);
+        }
+
+        // Log-matching check.
+        if !prev_index.is_zero() && self.log.term_at(prev_index) != prev_term {
+            out.send(
+                from,
+                RaftMessage::AppendEntriesReply {
+                    term: self.current_term,
+                    success: false,
+                    // Safe resume hint: everything committed here matches the
+                    // leader (Invariant 1), so the leader can restart there.
+                    match_index: self.commit_index,
+                },
+            );
+            return;
+        }
+
+        let mut last_new = prev_index;
+        for (idx, entry) in entries {
+            if self.log.term_at(idx) != entry.term {
+                if self.log.get(idx).is_some() {
+                    self.truncate_from(idx, out);
+                }
+                self.insert_entry(idx, entry, out);
+            }
+            last_new = idx;
+        }
+
+        if leader_commit > self.commit_index {
+            let new_commit = leader_commit.min(last_new);
+            self.set_commit_index(new_commit, out);
+        }
+
+        out.send(
+            from,
+            RaftMessage::AppendEntriesReply {
+                term: self.current_term,
+                success: true,
+                match_index: last_new,
+            },
+        );
+    }
+
+    fn on_append_reply(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        success: bool,
+        match_index: LogIndex,
+        out: &mut Actions<RaftMessage>,
+    ) {
+        if term > self.current_term {
+            self.become_follower(term, None, out);
+            return;
+        }
+        if self.role != Role::Leader || term < self.current_term {
+            return;
+        }
+        if success {
+            let m = self.match_index.entry(from).or_insert(LogIndex::ZERO);
+            if match_index > *m {
+                *m = match_index;
+            }
+            self.next_index.insert(from, match_index.next());
+            self.advance_commit(out);
+        } else {
+            // Back off using the follower's hint (its commit index).
+            self.next_index.insert(from, match_index.next());
+        }
+    }
+
+    fn on_request_vote(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        candidate: NodeId,
+        last_log_index: LogIndex,
+        last_log_term: Term,
+        out: &mut Actions<RaftMessage>,
+    ) {
+        if !self.config.contains(candidate) {
+            out.observe(Observation::MessageIgnored {
+                reason: "vote request from non-member",
+            });
+            return;
+        }
+        if term < self.current_term {
+            out.send(
+                from,
+                RaftMessage::RequestVoteReply {
+                    term: self.current_term,
+                    granted: false,
+                },
+            );
+            return;
+        }
+        if term > self.current_term {
+            self.become_follower(term, None, out);
+        }
+        let my_last = self.log.last_index();
+        let my_last_term = self.log.term_at(my_last);
+        let up_to_date = (last_log_term, last_log_index) >= (my_last_term, my_last);
+        let can_vote = self.voted_for.is_none() || self.voted_for == Some(candidate);
+        let granted = up_to_date && can_vote;
+        if granted {
+            self.voted_for = Some(candidate);
+            self.persist_term_vote(out);
+            self.reset_election_timer(out);
+        }
+        out.send(
+            from,
+            RaftMessage::RequestVoteReply {
+                term: self.current_term,
+                granted,
+            },
+        );
+    }
+
+    fn on_vote_reply(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        granted: bool,
+        out: &mut Actions<RaftMessage>,
+    ) {
+        if term > self.current_term {
+            self.become_follower(term, None, out);
+            return;
+        }
+        if self.role != Role::Candidate || term < self.current_term || !granted {
+            return;
+        }
+        self.votes.insert(from);
+        self.maybe_win(out);
+    }
+
+    fn resend_pending(&mut self, out: &mut Actions<RaftMessage>) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let proposals: Vec<(EntryId, Bytes)> = self
+            .pending
+            .iter()
+            .map(|(id, d)| (*id, d.clone()))
+            .collect();
+        for (id, data) in proposals {
+            if self.role == Role::Leader {
+                self.on_propose(self.id, id, data, out);
+            } else if let Some(leader) = self.leader_hint {
+                out.send(leader, RaftMessage::Propose { id, data });
+            } else {
+                // Leader unknown: ask everyone; non-leaders answer with a
+                // hint.
+                let peers: Vec<NodeId> = self.config.peers(self.id).collect();
+                out.send_many(peers, RaftMessage::Propose { id, data });
+            }
+        }
+        out.set_timer(TimerKind::ProposalRetry, self.timing.proposal_timeout);
+    }
+}
+
+impl ConsensusProtocol for RaftNode {
+    type Message = RaftMessage;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: RaftMessage, out: &mut Actions<RaftMessage>) {
+        // Configuration filter: consensus messages from strangers are
+        // ignored (§III-A). Client traffic (Propose/ProposeReply) is exempt:
+        // proposers need not be voting members.
+        match &msg {
+            RaftMessage::Propose { .. } | RaftMessage::ProposeReply { .. } => {}
+            _ => {
+                if !self.config.contains(from) && !self.learners.contains(&from) {
+                    out.observe(Observation::MessageIgnored {
+                        reason: "sender not in configuration",
+                    });
+                    return;
+                }
+            }
+        }
+        match msg {
+            RaftMessage::Propose { id, data } => self.on_propose(from, id, data, out),
+            RaftMessage::ProposeReply {
+                id,
+                committed,
+                leader_hint,
+            } => {
+                if let Some(hint) = leader_hint {
+                    self.leader_hint = Some(hint);
+                }
+                if committed && self.pending.remove(&id).is_some() {
+                    out.observe(Observation::ProposalCommitted {
+                        id,
+                        index: LogIndex::ZERO,
+                        scope: LogScope::Global,
+                    });
+                }
+            }
+            RaftMessage::AppendEntries {
+                term,
+                leader,
+                prev_index,
+                prev_term,
+                entries,
+                leader_commit,
+            } => self.on_append_entries(
+                from,
+                term,
+                leader,
+                prev_index,
+                prev_term,
+                entries,
+                leader_commit,
+                out,
+            ),
+            RaftMessage::AppendEntriesReply {
+                term,
+                success,
+                match_index,
+            } => self.on_append_reply(from, term, success, match_index, out),
+            RaftMessage::RequestVote {
+                term,
+                candidate,
+                last_log_index,
+                last_log_term,
+            } => self.on_request_vote(from, term, candidate, last_log_index, last_log_term, out),
+            RaftMessage::RequestVoteReply { term, granted } => {
+                self.on_vote_reply(from, term, granted, out)
+            }
+        }
+    }
+
+    fn on_timer(&mut self, kind: TimerKind, out: &mut Actions<RaftMessage>) {
+        match kind {
+            TimerKind::Election
+                if self.role != Role::Leader => {
+                    self.start_election(out);
+                }
+            TimerKind::Heartbeat
+                if self.role == Role::Leader => {
+                    self.dispatch_append_entries(out);
+                    out.set_timer(TimerKind::Heartbeat, self.timing.heartbeat);
+                }
+            TimerKind::ProposalRetry => self.resend_pending(out),
+            _ => {}
+        }
+    }
+
+    fn on_client_propose(&mut self, data: Bytes, out: &mut Actions<RaftMessage>) -> EntryId {
+        let id = self.fresh_id();
+        self.pending.insert(id, data.clone());
+        if self.role == Role::Leader {
+            self.on_propose(self.id, id, data, out);
+        } else if let Some(leader) = self.leader_hint {
+            out.send(leader, RaftMessage::Propose { id, data });
+        } else {
+            let peers: Vec<NodeId> = self.config.peers(self.id).collect();
+            out.send_many(peers, RaftMessage::Propose { id, data });
+        }
+        out.set_timer(TimerKind::ProposalRetry, self.timing.proposal_timeout);
+        id
+    }
+
+    fn bootstrap(&mut self, out: &mut Actions<RaftMessage>) {
+        self.reset_election_timer(out);
+    }
+}

@@ -1,0 +1,151 @@
+//! Protocol timing parameters.
+//!
+//! Defaults follow the paper's evaluation (§VI): 100 ms leader heartbeat for
+//! intra-cluster consensus, 500 ms for inter-cluster consensus, member
+//! timeout of five missed heartbeat responses. Values the paper leaves
+//! unspecified (election timeout, proposal retry) get conservative defaults
+//! that keep elections rare at ≤10 % message loss.
+
+use des::{SimDuration, SimRng};
+
+/// Timing knobs shared by classic Raft, Fast Raft, and each C-Raft level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Timing {
+    /// Leader heartbeat / AppendEntries dispatch period (paper: 100 ms
+    /// intra-cluster, 500 ms inter-cluster).
+    pub heartbeat: SimDuration,
+    /// Period of Fast Raft's leader decision loop ("periodically run by the
+    /// leader", §IV-B). The paper does not fix it; we default to half the
+    /// heartbeat, which reproduces the reported 2× latency gap.
+    pub decision_tick: SimDuration,
+    /// Minimum election timeout. Must exceed `heartbeat` by enough margin
+    /// that a few lost heartbeats do not trigger spurious elections.
+    pub election_min: SimDuration,
+    /// Maximum election timeout (timeouts are drawn uniformly from
+    /// `[election_min, election_max]`, §III-A).
+    pub election_max: SimDuration,
+    /// Proposer-side retry period: resend an uncommitted proposal (§IV-B).
+    pub proposal_timeout: SimDuration,
+    /// Joining site's join-request retry period (§IV-D).
+    pub join_timeout: SimDuration,
+    /// Missed AppendEntries responses before the leader declares a silent
+    /// leave (paper fig. 4 uses five).
+    pub member_timeout_beats: u32,
+    /// Decision ticks without progress before the leader fills a blocked
+    /// log hole with a no-op proposal (liveness guard; see module docs of
+    /// `consensus-core::fastraft`).
+    pub hole_fill_ticks: u32,
+    /// Maximum entries carried by one AppendEntries message.
+    pub max_entries_per_append: usize,
+}
+
+impl Timing {
+    /// The paper's intra-cluster (single-region) configuration.
+    pub fn lan() -> Self {
+        Timing {
+            heartbeat: SimDuration::from_millis(100),
+            decision_tick: SimDuration::from_millis(50),
+            election_min: SimDuration::from_millis(500),
+            election_max: SimDuration::from_millis(1000),
+            proposal_timeout: SimDuration::from_millis(200),
+            join_timeout: SimDuration::from_millis(1000),
+            member_timeout_beats: 5,
+            hole_fill_ticks: 8,
+            max_entries_per_append: 128,
+        }
+    }
+
+    /// The paper's inter-cluster (global) configuration: 500 ms heartbeat,
+    /// election timeouts scaled accordingly.
+    pub fn wan() -> Self {
+        Timing {
+            heartbeat: SimDuration::from_millis(500),
+            decision_tick: SimDuration::from_millis(250),
+            election_min: SimDuration::from_millis(2500),
+            election_max: SimDuration::from_millis(5000),
+            proposal_timeout: SimDuration::from_millis(1500),
+            join_timeout: SimDuration::from_millis(5000),
+            member_timeout_beats: 5,
+            hole_fill_ticks: 8,
+            max_entries_per_append: 128,
+        }
+    }
+
+    /// Draws a randomized election timeout from `[election_min,
+    /// election_max]`.
+    pub fn election_timeout(&self, rng: &mut SimRng) -> SimDuration {
+        rng.duration_between(self.election_min, self.election_max)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration cannot sustain a stable leader (election
+    /// window shorter than two heartbeats, zero timeouts, ...).
+    pub fn validate(&self) {
+        assert!(!self.heartbeat.is_zero(), "heartbeat must be positive");
+        assert!(
+            !self.decision_tick.is_zero(),
+            "decision tick must be positive"
+        );
+        assert!(
+            self.election_min >= self.heartbeat * 2,
+            "election_min {} must be at least two heartbeats {}",
+            self.election_min,
+            self.heartbeat
+        );
+        assert!(
+            self.election_max >= self.election_min,
+            "election_max below election_min"
+        );
+        assert!(self.member_timeout_beats > 0, "member timeout of zero beats");
+        assert!(
+            self.max_entries_per_append > 0,
+            "append batch size must be positive"
+        );
+    }
+}
+
+impl Default for Timing {
+    /// Defaults to the paper's intra-cluster configuration.
+    fn default() -> Self {
+        Timing::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        Timing::lan().validate();
+        Timing::wan().validate();
+    }
+
+    #[test]
+    fn paper_values() {
+        assert_eq!(Timing::lan().heartbeat, SimDuration::from_millis(100));
+        assert_eq!(Timing::wan().heartbeat, SimDuration::from_millis(500));
+        assert_eq!(Timing::lan().member_timeout_beats, 5);
+    }
+
+    #[test]
+    fn election_timeout_in_range() {
+        let t = Timing::lan();
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let d = t.election_timeout(&mut rng);
+            assert!(d >= t.election_min && d <= t.election_max);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two heartbeats")]
+    fn validate_rejects_tight_election_window() {
+        let mut t = Timing::lan();
+        t.election_min = t.heartbeat;
+        t.validate();
+    }
+}

@@ -1,0 +1,394 @@
+//! Scenario tests for classic Raft driven through the lockstep testkit.
+
+use des::SimRng;
+use raft::testkit::Lockstep;
+use raft::{RaftNode, Role, Timing};
+use wire::{
+    Configuration, ConsensusProtocol, LogIndex, NodeId, Observation, Payload, TimerKind,
+};
+
+fn cluster(n: u64) -> Lockstep<RaftNode> {
+    let cfg: Configuration = (0..n).map(NodeId).collect();
+    Lockstep::new((0..n).map(|i| {
+        RaftNode::new(
+            NodeId(i),
+            cfg.clone(),
+            Timing::lan(),
+            SimRng::seed_from_u64(1000 + i),
+        )
+    }))
+}
+
+/// Elects node 0 as leader and settles the initial no-op.
+fn elect_leader(net: &mut Lockstep<RaftNode>) -> NodeId {
+    net.fire(NodeId(0), TimerKind::Election);
+    net.deliver_all();
+    assert_eq!(net.node(NodeId(0)).role(), Role::Leader);
+    // Heartbeat once so the no-op commits everywhere.
+    net.fire(NodeId(0), TimerKind::Heartbeat);
+    net.deliver_all();
+    net.fire(NodeId(0), TimerKind::Heartbeat);
+    net.deliver_all();
+    NodeId(0)
+}
+
+#[test]
+fn single_node_cluster_self_elects_and_commits() {
+    let mut net = cluster(1);
+    net.fire(NodeId(0), TimerKind::Election);
+    net.deliver_all();
+    assert_eq!(net.node(NodeId(0)).role(), Role::Leader);
+    net.propose(NodeId(0), b"solo");
+    net.deliver_all();
+    // Commit is ack-driven; a single node acks implicitly via match_index,
+    // which advances on append. Trigger evaluation via a heartbeat ack loop.
+    net.fire(NodeId(0), TimerKind::Heartbeat);
+    net.deliver_all();
+    let commits = net.commits(NodeId(0));
+    assert!(
+        commits.iter().any(|c| matches!(c.entry.payload, Payload::Data(_))),
+        "data entry should commit on a single-node cluster"
+    );
+    net.assert_safety();
+}
+
+#[test]
+fn three_nodes_elect_exactly_one_leader() {
+    let mut net = cluster(3);
+    net.fire(NodeId(0), TimerKind::Election);
+    net.deliver_all();
+    let leaders = net.leaders_by(|n| n.role() == Role::Leader);
+    assert_eq!(leaders, vec![NodeId(0)]);
+    assert!(net
+        .ids()
+        .iter()
+        .all(|&id| net.node(id).current_term() == net.node(NodeId(0)).current_term()));
+}
+
+#[test]
+fn proposal_commits_on_all_nodes_after_heartbeats() {
+    let mut net = cluster(3);
+    let leader = elect_leader(&mut net);
+    net.propose(leader, b"hello");
+    net.deliver_all();
+    // Entry travels on the next heartbeat; commit index propagates on the one
+    // after that.
+    net.fire(leader, TimerKind::Heartbeat);
+    net.deliver_all();
+    net.fire(leader, TimerKind::Heartbeat);
+    net.deliver_all();
+    for id in net.ids() {
+        assert!(
+            net.commits(id)
+                .iter()
+                .any(|c| matches!(c.entry.payload, Payload::Data(_))),
+            "{id} missing the data commit"
+        );
+    }
+    net.assert_safety();
+}
+
+#[test]
+fn proposer_observes_commit_notification() {
+    let mut net = cluster(3);
+    let leader = elect_leader(&mut net);
+    // Propose at a follower: it must reach the leader and come back.
+    let pid = net.propose(NodeId(1), b"via-follower");
+    net.deliver_all();
+    net.fire(leader, TimerKind::Heartbeat);
+    net.deliver_all();
+    net.fire(leader, TimerKind::Heartbeat);
+    net.deliver_all();
+    let committed = net.observations().iter().any(|(n, o)| {
+        *n == NodeId(1) && matches!(o, Observation::ProposalCommitted { id, .. } if *id == pid)
+    });
+    assert!(committed, "proposer never learned of its commit");
+    assert_eq!(net.node(NodeId(1)).pending_proposals(), 0);
+}
+
+#[test]
+fn follower_without_leader_hint_discovers_leader() {
+    let mut net = cluster(3);
+    elect_leader(&mut net);
+    // Node 2 now knows the leader from heartbeats; clear simulation: a fresh
+    // proposal from node 2 is sent directly to the leader.
+    assert_eq!(net.node(NodeId(2)).leader_hint(), Some(NodeId(0)));
+}
+
+#[test]
+fn stale_leader_steps_down_on_higher_term() {
+    let mut net = cluster(3);
+    let old = elect_leader(&mut net);
+    // Partition the old leader: deliverable messages only among {1,2}.
+    net.set_link_filter(|from, to| from != NodeId(0) && to != NodeId(0));
+    net.fire(NodeId(1), TimerKind::Election);
+    net.deliver_all();
+    assert_eq!(net.node(NodeId(1)).role(), Role::Leader);
+    // Heal; old leader hears the new term via the new leader's heartbeat.
+    net.set_link_filter(|_, _| true);
+    net.fire(NodeId(1), TimerKind::Heartbeat);
+    net.deliver_all();
+    assert_eq!(net.node(old).role(), Role::Follower);
+    assert_eq!(
+        net.node(old).current_term(),
+        net.node(NodeId(1)).current_term()
+    );
+    net.assert_safety();
+}
+
+#[test]
+fn divergent_follower_log_is_overwritten() {
+    let mut net = cluster(3);
+    let leader = elect_leader(&mut net);
+    // Cut node 2 off; commit entries among {0,1}.
+    net.set_link_filter(|from, to| from != NodeId(2) && to != NodeId(2));
+    net.propose(leader, b"a");
+    net.deliver_all();
+    net.fire(leader, TimerKind::Heartbeat);
+    net.deliver_all();
+    // Meanwhile node 2 becomes candidate in vain (its term rises).
+    net.fire(NodeId(2), TimerKind::Election);
+    net.deliver_all();
+    assert_eq!(net.node(NodeId(2)).role(), Role::Candidate);
+    // Heal. The leader's next heartbeats bring node 2 back in line. The
+    // leader first steps down? No — candidate term is higher, so the leader
+    // will learn it via the rejection reply and a re-election happens. Run
+    // the full exchange and let node 0 win again (it has the longer log).
+    net.set_link_filter(|_, _| true);
+    net.fire(leader, TimerKind::Heartbeat);
+    net.deliver_all();
+    // Whoever leads now must have the committed entry; node 2 eventually
+    // converges once a leader heartbeats twice.
+    let now_leader = net
+        .leaders_by(|n| n.role() == Role::Leader)
+        .first()
+        .copied();
+    if let Some(l) = now_leader {
+        net.fire(l, TimerKind::Heartbeat);
+        net.deliver_all();
+        net.fire(l, TimerKind::Heartbeat);
+        net.deliver_all();
+    } else {
+        // Term collision: let node 0 retry the election with its longer log.
+        net.fire(NodeId(0), TimerKind::Election);
+        net.deliver_all();
+        net.fire(NodeId(0), TimerKind::Heartbeat);
+        net.deliver_all();
+        net.fire(NodeId(0), TimerKind::Heartbeat);
+        net.deliver_all();
+    }
+    net.assert_safety();
+}
+
+#[test]
+fn candidate_with_stale_log_is_rejected() {
+    let mut net = cluster(3);
+    let leader = elect_leader(&mut net);
+    net.propose(leader, b"x");
+    net.deliver_all();
+    net.fire(leader, TimerKind::Heartbeat);
+    net.deliver_all();
+    net.fire(leader, TimerKind::Heartbeat);
+    net.deliver_all();
+    // Isolate node 2 before it sees anything further; commit one more entry.
+    net.set_link_filter(|from, to| from != NodeId(2) && to != NodeId(2));
+    net.propose(leader, b"y");
+    net.deliver_all();
+    net.fire(leader, TimerKind::Heartbeat);
+    net.deliver_all();
+    net.fire(leader, TimerKind::Heartbeat);
+    net.deliver_all();
+    // Crash the leader entirely, heal node 2, and let node 2 (stale log)
+    // race node 1 (fresh log).
+    net.crash(leader);
+    net.set_link_filter(move |from, to| from != leader && to != leader);
+    net.fire(NodeId(2), TimerKind::Election);
+    net.deliver_all();
+    // Node 1 must refuse node 2 (log not up-to-date).
+    assert_ne!(net.node(NodeId(2)).role(), Role::Leader);
+    // Node 1 can win.
+    net.fire(NodeId(1), TimerKind::Election);
+    net.deliver_all();
+    assert_eq!(net.node(NodeId(1)).role(), Role::Leader);
+    net.assert_safety();
+}
+
+#[test]
+fn commit_survives_leader_crash_and_reelection() {
+    let mut net = cluster(3);
+    let leader = elect_leader(&mut net);
+    net.propose(leader, b"durable");
+    net.deliver_all();
+    net.fire(leader, TimerKind::Heartbeat);
+    net.deliver_all();
+    net.fire(leader, TimerKind::Heartbeat);
+    net.deliver_all();
+    let committed_at: Vec<LogIndex> = net
+        .commits(NodeId(1))
+        .iter()
+        .filter(|c| matches!(c.entry.payload, Payload::Data(_)))
+        .map(|c| c.index)
+        .collect();
+    assert_eq!(committed_at.len(), 1);
+    net.crash(leader);
+    net.fire(NodeId(1), TimerKind::Election);
+    net.deliver_all();
+    assert_eq!(net.node(NodeId(1)).role(), Role::Leader);
+    // The committed entry must still be in the new leader's log at the same
+    // index.
+    let idx = committed_at[0];
+    let entry = net.node(NodeId(1)).log().get(idx).expect("entry survived");
+    assert!(matches!(entry.payload, Payload::Data(_)));
+    net.assert_safety();
+}
+
+#[test]
+fn crash_recovery_from_stable_storage() {
+    let mut net = cluster(3);
+    let leader = elect_leader(&mut net);
+    net.propose(leader, b"persisted");
+    net.deliver_all();
+    net.fire(leader, TimerKind::Heartbeat);
+    net.deliver_all();
+    // Crash follower 2 and recover it from disk.
+    net.crash(NodeId(2));
+    let stable = net.disk().read(NodeId(2)).expect("disk state").clone();
+    let cfg: Configuration = (0..3).map(NodeId).collect();
+    let recovered = RaftNode::recover(
+        NodeId(2),
+        &stable,
+        cfg,
+        Timing::lan(),
+        SimRng::seed_from_u64(77),
+    );
+    // Recovered node keeps its term and log but no commit index (volatile).
+    assert_eq!(recovered.current_term(), net.node(leader).current_term());
+    assert_eq!(recovered.commit_index(), LogIndex::ZERO);
+    net.restart(recovered);
+    net.fire(leader, TimerKind::Heartbeat);
+    net.deliver_all();
+    net.fire(leader, TimerKind::Heartbeat);
+    net.deliver_all();
+    // It relearns the commit index from the leader.
+    assert!(net.node(NodeId(2)).commit_index() >= LogIndex(1));
+    net.assert_safety();
+}
+
+#[test]
+fn reconfiguration_adds_a_member() {
+    let mut net = cluster(3);
+    let leader = elect_leader(&mut net);
+    // New node 3 starts as a learner (admin-driven in classic Raft).
+    let cfg: Configuration = (0..3).map(NodeId).collect();
+    let grown = cfg.with_member(NodeId(3));
+    let newcomer = RaftNode::new(
+        NodeId(3),
+        grown.clone(),
+        Timing::lan(),
+        SimRng::seed_from_u64(55),
+    );
+    net.restart(newcomer);
+    net.node_mut(leader).admin_add_learner(NodeId(3)).unwrap();
+    // Catch the learner up.
+    net.fire(leader, TimerKind::Heartbeat);
+    net.deliver_all();
+    // Propose the new configuration.
+    net.with_node(leader, |n, out| {
+        n.admin_propose_config(grown.clone(), out).unwrap();
+    });
+    net.fire(leader, TimerKind::Heartbeat);
+    net.deliver_all();
+    net.fire(leader, TimerKind::Heartbeat);
+    net.deliver_all();
+    assert_eq!(net.node(leader).config().len(), 4);
+    // The new member participates: a further proposal still commits.
+    net.propose(leader, b"with-4");
+    net.deliver_all();
+    net.fire(leader, TimerKind::Heartbeat);
+    net.deliver_all();
+    net.fire(leader, TimerKind::Heartbeat);
+    net.deliver_all();
+    assert!(net
+        .commits(NodeId(3))
+        .iter()
+        .any(|c| matches!(c.entry.payload, Payload::Data(_))));
+    net.assert_safety();
+}
+
+#[test]
+fn non_leader_rejects_admin_operations() {
+    let mut net = cluster(3);
+    elect_leader(&mut net);
+    let err = net.node_mut(NodeId(1)).admin_add_learner(NodeId(9));
+    assert!(err.is_err());
+    assert_eq!(err.unwrap_err().leader_hint, Some(NodeId(0)));
+}
+
+#[test]
+fn duplicate_proposal_is_committed_once() {
+    let mut net = cluster(3);
+    let leader = elect_leader(&mut net);
+    let pid = net.propose(NodeId(1), b"dup");
+    net.deliver_all();
+    // Proposer retries (e.g. timeout) — same id reaches the leader twice.
+    net.fire(NodeId(1), TimerKind::ProposalRetry);
+    net.deliver_all();
+    net.fire(leader, TimerKind::Heartbeat);
+    net.deliver_all();
+    net.fire(leader, TimerKind::Heartbeat);
+    net.deliver_all();
+    let data_commits = net
+        .commits(NodeId(0))
+        .iter()
+        .filter(|c| c.entry.id == pid)
+        .count();
+    assert_eq!(data_commits, 1, "duplicate proposal committed twice");
+    net.assert_safety();
+}
+
+#[test]
+fn messages_from_non_members_are_ignored() {
+    let mut net = cluster(3);
+    elect_leader(&mut net);
+    // A rogue node 9 (not in the config) sends a vote request by having a
+    // crafted node object — simulate by injecting via a node not in config:
+    // simplest check: the observation stream flags ignored messages when a
+    // removed node talks. Here we verify the config filter exists by
+    // checking RequestVote from non-member candidate id.
+    // (Direct injection path: node 1 processes a message "from" node 9.)
+    net.with_node(NodeId(1), |n, out| {
+        n.on_message(
+            NodeId(9),
+            raft::RaftMessage::RequestVoteReply {
+                term: wire::Term(99),
+                granted: true,
+            },
+            out,
+        );
+    });
+    assert!(net
+        .observations()
+        .iter()
+        .any(|(n, o)| *n == NodeId(1)
+            && matches!(o, Observation::MessageIgnored { reason } if reason.contains("configuration"))));
+    // Term must NOT have jumped to 99.
+    assert!(net.node(NodeId(1)).current_term() < wire::Term(99));
+}
+
+#[test]
+fn split_vote_resolves_on_retry() {
+    let mut net = cluster(5);
+    // Two candidates start simultaneously; votes split.
+    net.fire(NodeId(0), TimerKind::Election);
+    net.fire(NodeId(1), TimerKind::Election);
+    net.deliver_all();
+    let leaders = net.leaders_by(|n| n.role() == Role::Leader);
+    assert!(leaders.len() <= 1, "two leaders in one term: {leaders:?}");
+    if leaders.is_empty() {
+        // Retry: node 0 times out again with a fresh term.
+        net.fire(NodeId(0), TimerKind::Election);
+        net.deliver_all();
+        assert_eq!(net.node(NodeId(0)).role(), Role::Leader);
+    }
+    net.assert_safety();
+}

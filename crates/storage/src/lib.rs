@@ -1,0 +1,29 @@
+//! # `storage` — stable storage with crash/recovery semantics
+//!
+//! Implements the paper's §II assumption that every site has stable storage
+//! readable on recovery. Protocol cores emit [`wire::PersistCmd`] write-ahead
+//! commands; the embedding applies them to a [`StableState`] (per site,
+//! collected in a [`SimDisk`]) **before** releasing the same step's outgoing
+//! messages. A crash loses exactly the volatile state: a recovering node is
+//! rebuilt from its [`StableState`] alone.
+//!
+//! # Examples
+//!
+//! ```
+//! use storage::{SimDisk, StableState};
+//! use wire::{LogScope, NodeId, PersistCmd, Term};
+//!
+//! let mut disk = SimDisk::new();
+//! disk.apply(NodeId(7), &[PersistCmd::SetTermVote { scope: LogScope::Global, term: Term(1), voted_for: Some(NodeId(7)) }]);
+//! let recovered: StableState = disk.read(NodeId(7)).unwrap().clone();
+//! assert_eq!(recovered.global.voted_for, Some(NodeId(7)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod disk;
+mod stable;
+
+pub use disk::SimDisk;
+pub use stable::{ScopeState, StableState};

@@ -1,0 +1,381 @@
+//! The sans-IO protocol interface.
+//!
+//! Protocol cores (classic Raft, Fast Raft, C-Raft) are pure state machines:
+//! every input — a received message, a timer firing, a client proposal — is
+//! handled by a method that mutates the node and records its effects into an
+//! [`Actions`] buffer. The embedding (the simulation harness here; a real
+//! network runtime in production) then performs the effects: sends the
+//! messages, (re)arms the timers, applies the persistence commands to stable
+//! storage, and surfaces commits to the application.
+//!
+//! This split keeps every protocol step deterministic and unit-testable, and
+//! lets one harness drive all three protocols identically.
+
+use bytes::Bytes;
+use des::SimDuration;
+
+use crate::{EntryId, LogEntry, LogIndex, NodeId, Term};
+
+/// The kinds of timers a protocol node can arm. Setting a timer of a kind
+/// **replaces** any pending timer of the same kind on the same node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TimerKind {
+    /// Follower/candidate election timeout (§III-A).
+    Election,
+    /// Leader heartbeat + AppendEntries dispatch period.
+    Heartbeat,
+    /// Leader's periodic commit-decision loop (Fast Raft §IV-B).
+    LeaderTick,
+    /// Proposer-side proposal timeout: resend if not committed (§IV-B).
+    ProposalRetry,
+    /// Joining site's join-request retry (§IV-D).
+    JoinRetry,
+    /// C-Raft batch flush timer (§V-A).
+    BatchFlush,
+    /// Election timeout for the **global** level of C-Raft.
+    GlobalElection,
+    /// Heartbeat for the **global** level of C-Raft.
+    GlobalHeartbeat,
+    /// Leader tick for the **global** level of C-Raft.
+    GlobalLeaderTick,
+    /// Proposal retry at the **global** level of C-Raft.
+    GlobalProposalRetry,
+    /// Global-level join retry (new cluster formation, §V-C).
+    GlobalJoinRetry,
+}
+
+/// A timer instruction emitted by a protocol node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimerCmd {
+    /// Arm (or re-arm) the timer to fire `after` from now.
+    Set {
+        /// Which timer.
+        kind: TimerKind,
+        /// Delay from the current instant.
+        after: SimDuration,
+    },
+    /// Disarm the timer if pending.
+    Cancel {
+        /// Which timer.
+        kind: TimerKind,
+    },
+}
+
+/// Which replicated log a commit belongs to. Single-level protocols commit
+/// only to [`LogScope::Global`]; C-Raft commits to both levels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LogScope {
+    /// A cluster-local log (C-Raft intra-cluster consensus).
+    Local,
+    /// The system-wide totally ordered log.
+    Global,
+}
+
+/// Notification that an entry became committed at this site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Commit {
+    /// Which log.
+    pub scope: LogScope,
+    /// The committed index.
+    pub index: LogIndex,
+    /// The committed entry.
+    pub entry: LogEntry,
+}
+
+/// A write-ahead persistence command. The embedding **must** apply these to
+/// stable storage before releasing the accompanying outgoing messages;
+/// recovery rebuilds a node from the accumulated state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PersistCmd {
+    /// Persist the current term and vote (§IV-A persistent state).
+    ///
+    /// C-Raft sites participate in two consensus levels with independent
+    /// terms, so the command is scoped like log writes.
+    SetTermVote {
+        /// Which consensus level's term.
+        scope: LogScope,
+        /// Latest term seen.
+        term: Term,
+        /// Vote cast in that term, if any.
+        voted_for: Option<NodeId>,
+    },
+    /// Persist an entry at an index (insert or overwrite).
+    Insert {
+        /// Which log.
+        scope: LogScope,
+        /// Position written.
+        index: LogIndex,
+        /// The entry written.
+        entry: LogEntry,
+    },
+    /// Remove all entries at `from` and beyond.
+    Truncate {
+        /// Which log.
+        scope: LogScope,
+        /// First index removed.
+        from: LogIndex,
+    },
+}
+
+/// Observable protocol transitions, consumed by metrics and tests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Observation {
+    /// Node became candidate and started an election.
+    ElectionStarted {
+        /// The new term.
+        term: Term,
+    },
+    /// Node won an election.
+    BecameLeader {
+        /// The term led.
+        term: Term,
+    },
+    /// Node reverted to (or confirmed) follower state.
+    BecameFollower {
+        /// The current term.
+        term: Term,
+    },
+    /// A proposal issued *by this node* was acknowledged committed.
+    ProposalCommitted {
+        /// The proposal.
+        id: EntryId,
+        /// Where it landed.
+        index: LogIndex,
+        /// Which log it landed in.
+        scope: LogScope,
+    },
+    /// The leader committed via the fast track (fast quorum of identical
+    /// votes, §IV-B).
+    FastTrackCommit {
+        /// Committed index.
+        index: LogIndex,
+    },
+    /// The leader committed via the classic track.
+    ClassicTrackCommit {
+        /// Committed index.
+        index: LogIndex,
+    },
+    /// Leader suspects a member left silently (member timeout, §IV-D).
+    MemberSuspected {
+        /// The unresponsive member.
+        node: NodeId,
+    },
+    /// A configuration entry committed; quorum sizes now follow it.
+    ConfigCommitted {
+        /// New voting-member count.
+        members: usize,
+    },
+    /// A joining site finished catch-up and was proposed into the config.
+    JoinAccepted {
+        /// The joining site.
+        node: NodeId,
+    },
+    /// New-leader recovery finished (self-approved entries replayed).
+    RecoveryCompleted {
+        /// Number of self-approved entries received from voters.
+        entries: usize,
+    },
+    /// An incoming message was ignored, with the reason (not-in-config,
+    /// stale term, duplicate, ...). Useful in tests.
+    MessageIgnored {
+        /// Why it was dropped.
+        reason: &'static str,
+    },
+}
+
+/// Effect buffer filled by protocol handlers.
+///
+/// # Examples
+///
+/// ```
+/// use wire::{Actions, NodeId, TimerKind};
+/// use des::SimDuration;
+///
+/// let mut out: Actions<&'static str> = Actions::new();
+/// out.send(NodeId(2), "hello");
+/// out.set_timer(TimerKind::Election, SimDuration::from_millis(150));
+/// assert_eq!(out.sends.len(), 1);
+/// assert_eq!(out.timers.len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Actions<M> {
+    /// Messages to transmit, in emission order.
+    pub sends: Vec<(NodeId, M)>,
+    /// Timer commands, in emission order.
+    pub timers: Vec<TimerCmd>,
+    /// Entries that became committed during this step.
+    pub commits: Vec<Commit>,
+    /// Persistence commands; must be applied before releasing `sends`.
+    pub persists: Vec<PersistCmd>,
+    /// Observability events.
+    pub observations: Vec<Observation>,
+}
+
+impl<M> Default for Actions<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> Actions<M> {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Actions {
+            sends: Vec::new(),
+            timers: Vec::new(),
+            commits: Vec::new(),
+            persists: Vec::new(),
+            observations: Vec::new(),
+        }
+    }
+
+    /// Queues a message to `to`.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    /// Queues the same message to every node in `to` (cloning per recipient).
+    pub fn send_many(&mut self, to: impl IntoIterator<Item = NodeId>, msg: M)
+    where
+        M: Clone,
+    {
+        for n in to {
+            self.sends.push((n, msg.clone()));
+        }
+    }
+
+    /// Arms (or re-arms) a timer.
+    pub fn set_timer(&mut self, kind: TimerKind, after: SimDuration) {
+        self.timers.push(TimerCmd::Set { kind, after });
+    }
+
+    /// Disarms a timer.
+    pub fn cancel_timer(&mut self, kind: TimerKind) {
+        self.timers.push(TimerCmd::Cancel { kind });
+    }
+
+    /// Records a commit notification.
+    pub fn commit(&mut self, scope: LogScope, index: LogIndex, entry: LogEntry) {
+        self.commits.push(Commit {
+            scope,
+            index,
+            entry,
+        });
+    }
+
+    /// Records a persistence command.
+    pub fn persist(&mut self, cmd: PersistCmd) {
+        self.persists.push(cmd);
+    }
+
+    /// Records an observation.
+    pub fn observe(&mut self, obs: Observation) {
+        self.observations.push(obs);
+    }
+
+    /// `true` if the step produced no effects at all.
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty()
+            && self.timers.is_empty()
+            && self.commits.is_empty()
+            && self.persists.is_empty()
+            && self.observations.is_empty()
+    }
+
+    /// Clears all buffered effects (for buffer reuse).
+    pub fn clear(&mut self) {
+        self.sends.clear();
+        self.timers.clear();
+        self.commits.clear();
+        self.persists.clear();
+        self.observations.clear();
+    }
+
+    /// Moves all effects from `other` into `self`, preserving order.
+    pub fn absorb(&mut self, other: &mut Actions<M>) {
+        self.sends.append(&mut other.sends);
+        self.timers.append(&mut other.timers);
+        self.commits.append(&mut other.commits);
+        self.persists.append(&mut other.persists);
+        self.observations.append(&mut other.observations);
+    }
+}
+
+/// A message that knows its encoded size, for bandwidth accounting.
+pub trait Message: Clone + core::fmt::Debug {
+    /// Exact bytes this message occupies on the wire.
+    fn wire_size(&self) -> usize;
+}
+
+/// The uniform driving interface implemented by every protocol node.
+///
+/// The harness calls these handlers from the event loop; nodes must never
+/// block, sleep, or read clocks — time reaches them only through timers.
+pub trait ConsensusProtocol {
+    /// The protocol's message type.
+    type Message: Message;
+
+    /// This node's id.
+    fn id(&self) -> NodeId;
+
+    /// Handles a message received from `from`.
+    fn on_message(&mut self, from: NodeId, msg: Self::Message, out: &mut Actions<Self::Message>);
+
+    /// Handles a timer of `kind` firing.
+    fn on_timer(&mut self, kind: TimerKind, out: &mut Actions<Self::Message>);
+
+    /// Submits a client value at this node, returning the proposal id the
+    /// eventual [`Observation::ProposalCommitted`] will carry.
+    fn on_client_propose(&mut self, data: Bytes, out: &mut Actions<Self::Message>) -> EntryId;
+
+    /// Called once when the node starts (or restarts after a crash) to arm
+    /// initial timers.
+    fn bootstrap(&mut self, out: &mut Actions<Self::Message>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_many_clones_per_recipient() {
+        let mut a: Actions<u32> = Actions::new();
+        a.send_many([NodeId(1), NodeId(2), NodeId(3)], 9);
+        assert_eq!(a.sends.len(), 3);
+        assert!(a.sends.iter().all(|(_, m)| *m == 9));
+    }
+
+    #[test]
+    fn is_empty_and_clear() {
+        let mut a: Actions<u32> = Actions::new();
+        assert!(a.is_empty());
+        a.observe(Observation::MessageIgnored { reason: "test" });
+        assert!(!a.is_empty());
+        a.clear();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn absorb_preserves_order() {
+        let mut a: Actions<u32> = Actions::new();
+        let mut b: Actions<u32> = Actions::new();
+        a.send(NodeId(1), 1);
+        b.send(NodeId(2), 2);
+        b.set_timer(TimerKind::Election, SimDuration::from_millis(1));
+        a.absorb(&mut b);
+        assert_eq!(a.sends, vec![(NodeId(1), 1), (NodeId(2), 2)]);
+        assert_eq!(a.timers.len(), 1);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn commit_records_scope() {
+        use crate::{EntryId, LogEntry, Term};
+        let mut a: Actions<u32> = Actions::new();
+        let e = LogEntry::noop(Term(1), EntryId::new(NodeId(1), 0));
+        a.commit(LogScope::Global, LogIndex(1), e.clone());
+        a.commit(LogScope::Local, LogIndex(2), e);
+        assert_eq!(a.commits[0].scope, LogScope::Global);
+        assert_eq!(a.commits[1].scope, LogScope::Local);
+    }
+}

@@ -1,0 +1,275 @@
+//! Log entries and their payloads.
+
+use core::fmt;
+
+use bytes::Bytes;
+
+use crate::{ClusterId, Configuration, EntryId, LogIndex, Term};
+
+/// Who made an entry durable at a site: the site itself (fast track) or the
+/// leader (classic track). §IV-A, the `insertedBy` field.
+///
+/// Only **leader-approved** entries count towards up-to-dateness in leader
+/// election; **self-approved** entries must be resent to a new leader during
+/// recovery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Approval {
+    /// Inserted directly from a proposer broadcast (fast track).
+    SelfApproved,
+    /// Inserted or confirmed by the leader (classic track / AppendEntries).
+    LeaderApproved,
+}
+
+impl fmt::Display for Approval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Approval::SelfApproved => write!(f, "self"),
+            Approval::LeaderApproved => write!(f, "leader"),
+        }
+    }
+}
+
+/// One entry of a C-Raft global-log batch: a locally committed value being
+/// replicated globally.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct BatchItem {
+    /// Original proposal id (for deduplication and client notification).
+    pub id: EntryId,
+    /// The replicated value.
+    pub data: Bytes,
+}
+
+/// A batch of locally committed entries proposed to the global log by a
+/// cluster leader (§V-A).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Batch {
+    /// The cluster whose local log produced this batch.
+    pub cluster: ClusterId,
+    /// Sequence number of this batch within the cluster (for dedup).
+    pub batch_seq: u64,
+    /// The batched values, in local-log order.
+    pub items: Vec<BatchItem>,
+}
+
+impl Batch {
+    /// Number of values in the batch.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if the batch carries no values.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A C-Raft *global state entry*: a local-log entry that replicates, within a
+/// cluster, the fact that the cluster leader inserted `entry` at `index` of
+/// its **global** log (§V-B). Committing this locally before acting ensures a
+/// successor local leader inherits the inter-cluster state.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct GlobalState {
+    /// The global-log index the entry was inserted at.
+    pub index: LogIndex,
+    /// The global-log entry itself.
+    pub entry: Box<LogEntry>,
+    /// The global commit index known to the local leader when proposing,
+    /// so cluster members track global commits across leader changes.
+    pub global_commit: LogIndex,
+}
+
+/// What a log entry carries.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Payload {
+    /// A leader no-op, appended on election to commit an entry of the new
+    /// term (standard Raft practice; enables commit-index advancement).
+    Noop,
+    /// Application data.
+    Data(Bytes),
+    /// A membership change: the complete new configuration (§IV-D).
+    Config(Configuration),
+    /// A batch of locally committed entries (C-Raft global log).
+    Batch(Batch),
+    /// Replicated inter-cluster consensus state (C-Raft local log).
+    GlobalState(GlobalState),
+}
+
+impl Payload {
+    /// Short tag for traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Payload::Noop => "noop",
+            Payload::Data(_) => "data",
+            Payload::Config(_) => "config",
+            Payload::Batch(_) => "batch",
+            Payload::GlobalState(_) => "gstate",
+        }
+    }
+
+    /// `true` for configuration entries.
+    pub fn is_config(&self) -> bool {
+        matches!(self, Payload::Config(_))
+    }
+}
+
+/// A replicated log entry (§IV-A "Contents of a log entry").
+///
+/// Identity for vote-counting purposes is the [`EntryId`]: a re-proposal of
+/// the same value carries the same id, while two different proposals always
+/// differ. The `approval` field is site-local bookkeeping and is excluded
+/// from identity (two sites can hold the same entry with different approval).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct LogEntry {
+    /// Term in which the entry was created.
+    pub term: Term,
+    /// Unique id of the proposal that created the entry.
+    pub id: EntryId,
+    /// The replicated value.
+    pub payload: Payload,
+    /// How this site obtained the entry (site-local, not replicated).
+    pub approval: Approval,
+}
+
+impl LogEntry {
+    /// Creates a data entry.
+    pub fn data(term: Term, id: EntryId, data: Bytes) -> Self {
+        LogEntry {
+            term,
+            id,
+            payload: Payload::Data(data),
+            approval: Approval::LeaderApproved,
+        }
+    }
+
+    /// Creates a leader no-op entry.
+    pub fn noop(term: Term, id: EntryId) -> Self {
+        LogEntry {
+            term,
+            id,
+            payload: Payload::Noop,
+            approval: Approval::LeaderApproved,
+        }
+    }
+
+    /// Creates a configuration entry.
+    pub fn config(term: Term, id: EntryId, config: Configuration) -> Self {
+        LogEntry {
+            term,
+            id,
+            payload: Payload::Config(config),
+            approval: Approval::LeaderApproved,
+        }
+    }
+
+    /// Returns a copy with the given approval.
+    #[must_use]
+    pub fn with_approval(&self, approval: Approval) -> LogEntry {
+        let mut e = self.clone();
+        e.approval = approval;
+        e
+    }
+
+    /// Returns a copy with the given term (used when a leader adopts a
+    /// recovered entry into its own term).
+    #[must_use]
+    pub fn with_term(&self, term: Term) -> LogEntry {
+        let mut e = self.clone();
+        e.term = term;
+        e
+    }
+
+    /// `true` if both refer to the same proposed value (identity by id),
+    /// regardless of term or approval.
+    pub fn same_proposal(&self, other: &LogEntry) -> bool {
+        self.id == other.id
+    }
+
+    /// The configuration carried by this entry, if it is a config entry.
+    pub fn as_config(&self) -> Option<&Configuration> {
+        match &self.payload {
+            Payload::Config(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for LogEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{} {} {}]",
+            self.payload.kind(),
+            self.term,
+            self.id,
+            self.approval
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn id(n: u64, s: u64) -> EntryId {
+        EntryId::new(NodeId(n), s)
+    }
+
+    #[test]
+    fn constructors_set_expected_payloads() {
+        let d = LogEntry::data(Term(1), id(1, 0), Bytes::from_static(b"x"));
+        assert_eq!(d.payload.kind(), "data");
+        let n = LogEntry::noop(Term(2), id(1, 1));
+        assert_eq!(n.payload.kind(), "noop");
+        let c = LogEntry::config(Term(3), id(1, 2), Configuration::new([NodeId(1)]));
+        assert!(c.payload.is_config());
+        assert!(c.as_config().is_some());
+        assert!(d.as_config().is_none());
+    }
+
+    #[test]
+    fn same_proposal_ignores_term_and_approval() {
+        let a = LogEntry::data(Term(1), id(1, 0), Bytes::from_static(b"x"));
+        let b = a.with_term(Term(5)).with_approval(Approval::SelfApproved);
+        assert!(a.same_proposal(&b));
+        let c = LogEntry::data(Term(1), id(1, 1), Bytes::from_static(b"x"));
+        assert!(!a.same_proposal(&c));
+    }
+
+    #[test]
+    fn with_approval_does_not_mutate_original() {
+        let a = LogEntry::data(Term(1), id(1, 0), Bytes::from_static(b"x"));
+        let b = a.with_approval(Approval::SelfApproved);
+        assert_eq!(a.approval, Approval::LeaderApproved);
+        assert_eq!(b.approval, Approval::SelfApproved);
+    }
+
+    #[test]
+    fn batch_len() {
+        let batch = Batch {
+            cluster: ClusterId(1),
+            batch_seq: 0,
+            items: vec![BatchItem {
+                id: id(1, 0),
+                data: Bytes::from_static(b"v"),
+            }],
+        };
+        assert_eq!(batch.len(), 1);
+        assert!(!batch.is_empty());
+        assert!(Batch {
+            cluster: ClusterId(1),
+            batch_seq: 1,
+            items: vec![]
+        }
+        .is_empty());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = LogEntry::data(Term(1), id(2, 3), Bytes::from_static(b"x"));
+        let s = e.to_string();
+        assert!(s.contains("data"));
+        assert!(s.contains("T1"));
+        assert!(s.contains("n2:3"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Strongly-typed identifiers used throughout the consensus stack.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a site (a participant in consensus).
+///
+/// Sites are addressed by opaque 64-bit ids; the simulated network maps them
+/// to topology endpoints.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u64);
+
+impl NodeId {
+    /// The raw id.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(v: u64) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifier of a cluster in C-Raft's hierarchy.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ClusterId(pub u64);
+
+impl ClusterId {
+    /// The raw id.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<u64> for ClusterId {
+    fn from(v: u64) -> Self {
+        ClusterId(v)
+    }
+}
+
+/// A Raft term number. Terms increase monotonically; each term has at most
+/// one leader.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Term(pub u64);
+
+impl Term {
+    /// The initial term, before any election.
+    pub const ZERO: Term = Term(0);
+
+    /// The next term.
+    #[must_use]
+    pub const fn next(self) -> Term {
+        Term(self.0 + 1)
+    }
+
+    /// The raw term number.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// A 1-based position in a replicated log. Index 0 means "no entry" (the
+/// sentinel used for `prevLogIndex` at the log head and for "nothing
+/// committed yet").
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct LogIndex(pub u64);
+
+impl LogIndex {
+    /// The sentinel index, before the first entry.
+    pub const ZERO: LogIndex = LogIndex(0);
+
+    /// The first real log position.
+    pub const FIRST: LogIndex = LogIndex(1);
+
+    /// The next index.
+    #[must_use]
+    pub const fn next(self) -> LogIndex {
+        LogIndex(self.0 + 1)
+    }
+
+    /// The previous index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on [`LogIndex::ZERO`].
+    #[must_use]
+    pub fn prev(self) -> LogIndex {
+        assert!(self.0 > 0, "LogIndex::ZERO has no predecessor");
+        LogIndex(self.0 - 1)
+    }
+
+    /// Saturating predecessor: `ZERO.prev_saturating() == ZERO`.
+    #[must_use]
+    pub const fn prev_saturating(self) -> LogIndex {
+        LogIndex(self.0.saturating_sub(1))
+    }
+
+    /// The raw index.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// `true` for the sentinel.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for LogIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Globally unique identifier of a proposed value: the proposing site plus a
+/// proposer-local sequence number.
+///
+/// Used to deduplicate re-proposals (a proposer resends after its proposal
+/// timeout) and to correlate commit notifications back to proposals.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct EntryId {
+    /// The proposing site.
+    pub proposer: NodeId,
+    /// Proposer-local sequence number.
+    pub seq: u64,
+}
+
+impl EntryId {
+    /// Creates an id for `proposer`'s `seq`-th proposal.
+    pub const fn new(proposer: NodeId, seq: u64) -> Self {
+        EntryId { proposer, seq }
+    }
+}
+
+impl fmt::Display for EntryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.proposer, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_ordering_and_next() {
+        assert!(Term(1) < Term(2));
+        assert_eq!(Term::ZERO.next(), Term(1));
+        assert_eq!(Term(41).next().as_u64(), 42);
+    }
+
+    #[test]
+    fn log_index_navigation() {
+        assert_eq!(LogIndex::FIRST.prev(), LogIndex::ZERO);
+        assert_eq!(LogIndex(5).next(), LogIndex(6));
+        assert_eq!(LogIndex::ZERO.prev_saturating(), LogIndex::ZERO);
+        assert!(LogIndex::ZERO.is_zero());
+        assert!(!LogIndex::FIRST.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "no predecessor")]
+    fn log_index_zero_prev_panics() {
+        let _ = LogIndex::ZERO.prev();
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(ClusterId(1).to_string(), "c1");
+        assert_eq!(Term(7).to_string(), "T7");
+        assert_eq!(LogIndex(9).to_string(), "#9");
+        assert_eq!(EntryId::new(NodeId(2), 5).to_string(), "n2:5");
+    }
+
+    #[test]
+    fn entry_ids_are_distinct_per_proposer_and_seq() {
+        let a = EntryId::new(NodeId(1), 0);
+        let b = EntryId::new(NodeId(1), 1);
+        let c = EntryId::new(NodeId(2), 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, EntryId::new(NodeId(1), 0));
+    }
+}

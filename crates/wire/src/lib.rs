@@ -1,0 +1,50 @@
+//! # `wire` — consensus types and binary wire codec
+//!
+//! The shared vocabulary of the whole stack:
+//!
+//! - identifiers: [`NodeId`], [`ClusterId`], [`Term`], [`LogIndex`],
+//!   [`EntryId`];
+//! - quorum arithmetic: [`classic_quorum`], [`fast_quorum`] with the
+//!   intersection properties Fast Raft's safety proof rests on;
+//! - membership: [`Configuration`] (deterministically ordered);
+//! - the log: [`LogEntry`], [`Payload`], [`Approval`], and [`SparseLog`]
+//!   (Fast Raft logs may contain holes);
+//! - the sans-IO protocol interface: [`Actions`], [`ConsensusProtocol`],
+//!   [`TimerKind`], [`PersistCmd`], [`Observation`];
+//! - a compact binary codec ([`Wire`], [`Encoder`], [`Decoder`]) used for
+//!   exact bandwidth accounting and verified by roundtrip property tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use wire::{classic_quorum, fast_quorum, Configuration, NodeId};
+//!
+//! let cfg: Configuration = (0..5).map(NodeId).collect();
+//! assert_eq!(cfg.classic_quorum(), classic_quorum(5));
+//! assert_eq!(cfg.fast_quorum(), fast_quorum(5));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod actions;
+mod codec;
+mod config;
+mod entry;
+mod ids;
+mod log;
+mod quorum;
+
+pub use actions::{
+    Actions, Commit, ConsensusProtocol, LogScope, Message, Observation, PersistCmd, TimerCmd,
+    TimerKind,
+};
+pub use codec::{DecodeError, Decoder, Encoder, Wire};
+pub use config::Configuration;
+pub use entry::{Approval, Batch, BatchItem, GlobalState, LogEntry, Payload};
+pub use ids::{ClusterId, EntryId, LogIndex, NodeId, Term};
+pub use log::SparseLog;
+pub use quorum::{
+    classic_quorum, fast_quorum, is_classic_quorum, is_fast_quorum,
+    min_chosen_votes_in_classic_quorum,
+};

@@ -1,0 +1,323 @@
+//! The replicated log, allowing holes.
+//!
+//! Classic Raft treats the log as a dense, append-only list. Fast Raft lets
+//! proposers address specific indices directly, so a follower can hold an
+//! entry at index `i` while index `j < i` is still empty (§III-B). The log is
+//! therefore a sparse map from index to entry; classic Raft simply maintains
+//! the invariant that it never creates holes.
+
+use std::collections::BTreeMap;
+
+use crate::{Approval, LogEntry, LogIndex, Term};
+
+/// A 1-indexed replicated log that may contain holes.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use wire::{EntryId, LogEntry, LogIndex, NodeId, SparseLog, Term};
+///
+/// let mut log = SparseLog::new();
+/// let e = LogEntry::data(Term(1), EntryId::new(NodeId(1), 0), Bytes::from_static(b"v"));
+/// // Insert at index 3 directly; 1 and 2 are holes.
+/// log.insert(LogIndex(3), e.clone());
+/// assert_eq!(log.last_index(), LogIndex(3));
+/// assert_eq!(log.get(LogIndex(1)), None);
+/// assert_eq!(log.first_gap(), LogIndex(1));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SparseLog {
+    entries: BTreeMap<u64, LogEntry>,
+}
+
+impl SparseLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        SparseLog::default()
+    }
+
+    /// The entry at `index`, if present.
+    pub fn get(&self, index: LogIndex) -> Option<&LogEntry> {
+        self.entries.get(&index.as_u64())
+    }
+
+    /// Mutable access to the entry at `index`.
+    pub fn get_mut(&mut self, index: LogIndex) -> Option<&mut LogEntry> {
+        self.entries.get_mut(&index.as_u64())
+    }
+
+    /// Inserts (or replaces) the entry at `index`, returning the previous
+    /// occupant if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is the zero sentinel.
+    pub fn insert(&mut self, index: LogIndex, entry: LogEntry) -> Option<LogEntry> {
+        assert!(!index.is_zero(), "cannot insert at LogIndex::ZERO");
+        self.entries.insert(index.as_u64(), entry)
+    }
+
+    /// Appends after the current last index, returning the new entry's index.
+    pub fn append(&mut self, entry: LogEntry) -> LogIndex {
+        let index = self.last_index().next();
+        self.entries.insert(index.as_u64(), entry);
+        index
+    }
+
+    /// Removes the entry at `index`, returning it if present.
+    pub fn remove(&mut self, index: LogIndex) -> Option<LogEntry> {
+        self.entries.remove(&index.as_u64())
+    }
+
+    /// Removes all entries at `from` and beyond (classic-Raft conflict
+    /// truncation). Returns how many entries were removed.
+    pub fn truncate_from(&mut self, from: LogIndex) -> usize {
+        let removed: Vec<u64> = self
+            .entries
+            .range(from.as_u64()..)
+            .map(|(&i, _)| i)
+            .collect();
+        for i in &removed {
+            self.entries.remove(i);
+        }
+        removed.len()
+    }
+
+    /// The highest occupied index, or [`LogIndex::ZERO`] when empty.
+    pub fn last_index(&self) -> LogIndex {
+        self.entries
+            .keys()
+            .next_back()
+            .map_or(LogIndex::ZERO, |&i| LogIndex(i))
+    }
+
+    /// The term of the entry at `index`, or [`Term::ZERO`] for the sentinel
+    /// or a hole.
+    pub fn term_at(&self, index: LogIndex) -> Term {
+        self.get(index).map_or(Term::ZERO, |e| e.term)
+    }
+
+    /// The lowest unoccupied index ≥ 1. For a dense log this is
+    /// `last_index + 1`; with holes it is the first hole.
+    pub fn first_gap(&self) -> LogIndex {
+        let mut expect = 1u64;
+        for &i in self.entries.keys() {
+            if i != expect {
+                break;
+            }
+            expect += 1;
+        }
+        LogIndex(expect)
+    }
+
+    /// `true` if indices `1..=last_index` are all occupied.
+    pub fn is_dense(&self) -> bool {
+        self.first_gap() == self.last_index().next()
+    }
+
+    /// Number of occupied indices.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(index, entry)` pairs in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = (LogIndex, &LogEntry)> {
+        self.entries.iter().map(|(&i, e)| (LogIndex(i), e))
+    }
+
+    /// Iterates occupied `(index, entry)` pairs within `[from, to]`.
+    pub fn range(
+        &self,
+        from: LogIndex,
+        to: LogIndex,
+    ) -> impl Iterator<Item = (LogIndex, &LogEntry)> {
+        self.entries
+            .range(from.as_u64()..=to.as_u64())
+            .map(|(&i, e)| (LogIndex(i), e))
+    }
+
+    /// Collects clones of entries in `[from, to]` that are present,
+    /// preserving order — the payload of an AppendEntries message.
+    pub fn collect_range(&self, from: LogIndex, to: LogIndex) -> Vec<(LogIndex, LogEntry)> {
+        self.range(from, to).map(|(i, e)| (i, e.clone())).collect()
+    }
+
+    /// All self-approved entries, for Fast Raft's election recovery (§IV-C).
+    pub fn self_approved(&self) -> Vec<(LogIndex, LogEntry)> {
+        self.iter()
+            .filter(|(_, e)| e.approval == Approval::SelfApproved)
+            .map(|(i, e)| (i, e.clone()))
+            .collect()
+    }
+
+    /// The highest index holding a **leader-approved** entry, which is Fast
+    /// Raft's `lastLeaderIndex` (§IV-A).
+    pub fn last_leader_index(&self) -> LogIndex {
+        self.entries
+            .iter()
+            .rev()
+            .find(|(_, e)| e.approval == Approval::LeaderApproved)
+            .map_or(LogIndex::ZERO, |(&i, _)| LogIndex(i))
+    }
+
+    /// The configuration from the highest-indexed config entry, if any —
+    /// "the last configuration appended to the log" (§IV-A).
+    pub fn latest_config(&self) -> Option<(LogIndex, &crate::Configuration)> {
+        self.entries
+            .iter()
+            .rev()
+            .find_map(|(&i, e)| e.as_config().map(|c| (LogIndex(i), c)))
+    }
+}
+
+impl FromIterator<LogEntry> for SparseLog {
+    /// Builds a dense log from entries in order, starting at index 1.
+    fn from_iter<I: IntoIterator<Item = LogEntry>>(iter: I) -> Self {
+        let mut log = SparseLog::new();
+        for e in iter {
+            log.append(e);
+        }
+        log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Configuration, EntryId, NodeId};
+    use bytes::Bytes;
+
+    fn entry(term: u64, seq: u64) -> LogEntry {
+        LogEntry::data(
+            Term(term),
+            EntryId::new(NodeId(1), seq),
+            Bytes::from_static(b"v"),
+        )
+    }
+
+    #[test]
+    fn append_is_dense() {
+        let mut log = SparseLog::new();
+        assert_eq!(log.append(entry(1, 0)), LogIndex(1));
+        assert_eq!(log.append(entry(1, 1)), LogIndex(2));
+        assert!(log.is_dense());
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.first_gap(), LogIndex(3));
+    }
+
+    #[test]
+    fn sparse_insert_creates_holes() {
+        let mut log = SparseLog::new();
+        log.insert(LogIndex(5), entry(1, 0));
+        assert_eq!(log.last_index(), LogIndex(5));
+        assert_eq!(log.first_gap(), LogIndex(1));
+        assert!(!log.is_dense());
+        log.insert(LogIndex(1), entry(1, 1));
+        assert_eq!(log.first_gap(), LogIndex(2));
+    }
+
+    #[test]
+    fn insert_replaces_and_returns_previous() {
+        let mut log = SparseLog::new();
+        log.insert(LogIndex(1), entry(1, 0));
+        let old = log.insert(LogIndex(1), entry(2, 1));
+        assert_eq!(old.unwrap().term, Term(1));
+        assert_eq!(log.term_at(LogIndex(1)), Term(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "LogIndex::ZERO")]
+    fn insert_at_zero_panics() {
+        SparseLog::new().insert(LogIndex::ZERO, entry(1, 0));
+    }
+
+    #[test]
+    fn truncate_from_removes_suffix() {
+        let mut log: SparseLog = (0..5).map(|s| entry(1, s)).collect();
+        assert_eq!(log.truncate_from(LogIndex(3)), 3);
+        assert_eq!(log.last_index(), LogIndex(2));
+        assert_eq!(log.truncate_from(LogIndex(10)), 0);
+    }
+
+    #[test]
+    fn term_at_sentinel_and_hole() {
+        let mut log = SparseLog::new();
+        log.insert(LogIndex(3), entry(4, 0));
+        assert_eq!(log.term_at(LogIndex::ZERO), Term::ZERO);
+        assert_eq!(log.term_at(LogIndex(1)), Term::ZERO);
+        assert_eq!(log.term_at(LogIndex(3)), Term(4));
+    }
+
+    #[test]
+    fn collect_range_skips_holes() {
+        let mut log = SparseLog::new();
+        log.insert(LogIndex(1), entry(1, 0));
+        log.insert(LogIndex(3), entry(1, 1));
+        let got = log.collect_range(LogIndex(1), LogIndex(3));
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, LogIndex(1));
+        assert_eq!(got[1].0, LogIndex(3));
+    }
+
+    #[test]
+    fn self_approved_filter() {
+        let mut log = SparseLog::new();
+        log.insert(LogIndex(1), entry(1, 0)); // leader-approved
+        log.insert(
+            LogIndex(2),
+            entry(1, 1).with_approval(Approval::SelfApproved),
+        );
+        log.insert(
+            LogIndex(4),
+            entry(1, 2).with_approval(Approval::SelfApproved),
+        );
+        let sa = log.self_approved();
+        assert_eq!(sa.len(), 2);
+        assert_eq!(sa[0].0, LogIndex(2));
+        assert_eq!(sa[1].0, LogIndex(4));
+    }
+
+    #[test]
+    fn last_leader_index_ignores_self_approved_suffix() {
+        let mut log = SparseLog::new();
+        log.insert(LogIndex(1), entry(1, 0));
+        log.insert(
+            LogIndex(2),
+            entry(1, 1).with_approval(Approval::SelfApproved),
+        );
+        assert_eq!(log.last_leader_index(), LogIndex(1));
+        assert_eq!(log.last_index(), LogIndex(2));
+    }
+
+    #[test]
+    fn latest_config_finds_highest() {
+        let mut log = SparseLog::new();
+        let c1 = Configuration::new([NodeId(1)]);
+        let c2 = Configuration::new([NodeId(1), NodeId(2)]);
+        log.append(LogEntry::config(Term(1), EntryId::new(NodeId(1), 0), c1));
+        log.append(entry(1, 1));
+        log.append(LogEntry::config(
+            Term(1),
+            EntryId::new(NodeId(1), 2),
+            c2.clone(),
+        ));
+        let (idx, cfg) = log.latest_config().unwrap();
+        assert_eq!(idx, LogIndex(3));
+        assert_eq!(cfg, &c2);
+    }
+
+    #[test]
+    fn remove_entry() {
+        let mut log = SparseLog::new();
+        log.insert(LogIndex(2), entry(1, 0));
+        assert!(log.remove(LogIndex(2)).is_some());
+        assert!(log.remove(LogIndex(2)).is_none());
+        assert!(log.is_empty());
+    }
+}

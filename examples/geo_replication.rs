@@ -1,0 +1,70 @@
+//! Geo-replication with C-Raft — the paper's headline use case (§V).
+//!
+//! Three clusters of three sites each, spread across regions with AWS-like
+//! inter-region latency. Clients are acknowledged at **local** commit
+//! (sub-100 ms), while batches of ten flow into the totally ordered global
+//! log in the background.
+//!
+//! ```text
+//! cargo run --example geo_replication
+//! ```
+
+use hierarchical_consensus::bench::{
+    run_craft, CRaftScenario, NetworkKind, Scenario,
+};
+use hierarchical_consensus::protocols::{ProposalMode, Timing};
+use hierarchical_consensus::sim::SimDuration;
+use hierarchical_consensus::types::NodeId;
+
+fn main() {
+    let scenario = Scenario {
+        seed: 11,
+        sites: 9,
+        network: NetworkKind::Regions { regions: 3 },
+        loss: 0.0,
+        timing: Timing::lan(),
+        // One closed-loop client per cluster.
+        proposers: vec![NodeId(1), NodeId(4), NodeId(7)],
+        payload_bytes: 64,
+        target_commits: None,
+        duration: SimDuration::from_secs(70),
+        warmup: SimDuration::from_secs(10),
+        faults: Vec::new(),
+        leader_bias: None,
+    };
+    let craft = CRaftScenario {
+        clusters: 3,
+        batch_size: 10,
+        global_timing: Timing::wan(),
+        global_proposal_mode: ProposalMode::LeaderForward,
+    };
+
+    let (report, metrics) = run_craft(&scenario, &craft);
+
+    println!("c-raft: 3 clusters x 3 sites across regions, 60s measured");
+    println!("-----------------------------------------------------------");
+    println!(
+        "client-visible latency  : mean {:.1} ms (local commit ack)",
+        report.latency.mean_ms
+    );
+    println!(
+        "global log throughput   : {:.1} entries/s ({} total)",
+        report.throughput_per_s, report.global_items
+    );
+    println!(
+        "locally acked proposals : {}",
+        metrics.samples.len()
+    );
+    println!(
+        "wide-area traffic       : {} KiB inter-region, {} KiB intra-region",
+        report.net.inter_region_bytes / 1024,
+        report.net.intra_region_bytes / 1024
+    );
+    println!("safety                  : {}", if report.safety_ok { "OK" } else { "VIOLATED" });
+    println!();
+    println!(
+        "note: clients see ~50-100ms local acks while the global log absorbs \
+         {:.0} entries/s across {}ms-RTT links — the hierarchy at work.",
+        report.throughput_per_s, 150
+    );
+}

@@ -158,6 +158,8 @@ enum GateCont {
 #[derive(Clone, Debug)]
 struct AckState {
     from: NodeId,
+    /// Term the batch was verified under; the ack is dropped if it changed.
+    term: Term,
     match_index: LogIndex,
     leader_commit: LogIndex,
     remaining: usize,
@@ -954,12 +956,19 @@ impl FastRaftEngine {
                 }
             }
             GateCont::Append { index, entry, ack } => {
-                self.apply_append_insert(index, entry, out);
-                let done = {
+                // A continuation from a superseded term must not apply: the
+                // slot may since hold (even have committed) a newer leader's
+                // entry. The batch's AckState records the term it was
+                // verified under; skip the insert when it is stale and let
+                // finish_append_ack drop the ack for the same reason.
+                let (stale, done) = {
                     let st = self.acks.get_mut(&ack).expect("ack state");
                     st.remaining -= 1;
-                    st.remaining == 0
+                    (st.term != self.current_term, st.remaining == 0)
                 };
+                if !stale {
+                    self.apply_append_insert(index, entry, out);
+                }
                 if done {
                     let st = self.acks.remove(&ack).expect("ack state");
                     self.finish_append_ack(st, out);
@@ -1502,12 +1511,28 @@ impl FastRaftEngine {
         // and overwriting stale entries.
         let _ = prev_index;
 
-        // Contiguity bookkeeping: entries arrive as an explicit index range.
-        let hi = entries.last().map(|(i, _)| *i).unwrap_or(LogIndex::ZERO);
-        let lo = entries.first().map(|(i, _)| *i).unwrap_or(LogIndex::ZERO);
-        let extends = !entries.is_empty()
-            && (lo <= self.verified.next() || lo <= self.commit_index.next());
-        let new_match = if extends { hi.max(self.verified) } else { self.verified };
+        // Contiguity bookkeeping: entries arrive as an explicit ascending
+        // index range, but the range may contain interior holes — the leader
+        // collects the *occupied* slots of a sparse log, so a hole in the
+        // leader's log shows up as a skipped index here. matchIndex may only
+        // advance across indices this site verifies contiguously from its
+        // existing verified prefix; anything beyond the first skip is
+        // inserted (it is leader-approved data) but not counted as matched,
+        // so commits can never cross a hole. The hole itself is repaired by
+        // the leader's decision loop / hole filling, after which the resend
+        // from the acked matchIndex extends the prefix normally.
+        let anchor = self.verified.max(self.commit_index);
+        let mut new_match = anchor;
+        for (idx, _) in &entries {
+            if *idx <= new_match {
+                continue;
+            }
+            if *idx == new_match.next() {
+                new_match = *idx;
+            } else {
+                break;
+            }
+        }
 
         // Apply inserts (§IV-B steps 4-5: overwrite conflicts, mark
         // leader-approved), possibly gated.
@@ -1533,12 +1558,14 @@ impl FastRaftEngine {
         let ack_id = self.next_ack_id;
         self.next_ack_id += 1;
         let mut remaining = 0usize;
+        let mut deferred = BTreeSet::new();
         let mut immediate = Vec::new();
         for (idx, entry) in to_insert {
             match gate.begin(idx, &entry, GatePurpose::AppendInsert) {
                 GateVerdict::Proceed => immediate.push((idx, entry)),
                 GateVerdict::Defer(token) => {
                     remaining += 1;
+                    deferred.insert(idx);
                     self.pending_gates.insert(
                         token,
                         GateCont::Append {
@@ -1553,7 +1580,19 @@ impl FastRaftEngine {
         for (idx, entry) in immediate {
             self.apply_append_insert(idx, entry, out);
         }
-        self.verified = new_match;
+        // `verified` may only cover entries that actually landed: a deferred
+        // insert is not in the log (nor persisted) yet, so it must not be
+        // acked — not by this append's (deferred) ack, and not by a later
+        // empty heartbeat acking `verified` while the gate is still open.
+        // Otherwise the leader could count a non-durable replica toward a
+        // classic quorum and a crash of this site could lose a committed
+        // entry. The full `new_match` is acked by `finish_append_ack` once
+        // the last gate of the batch resolves.
+        let mut landed = anchor;
+        while landed < new_match && !deferred.contains(&landed.next()) {
+            landed = landed.next();
+        }
+        self.verified = landed;
         if remaining == 0 {
             self.complete_append(from, new_match, leader_commit, out);
         } else {
@@ -1561,6 +1600,7 @@ impl FastRaftEngine {
                 ack_id,
                 AckState {
                     from,
+                    term: self.current_term,
                     match_index: new_match,
                     leader_commit,
                     remaining,
@@ -1627,6 +1667,18 @@ impl FastRaftEngine {
     }
 
     fn finish_append_ack(&mut self, st: AckState, out: &mut Actions<FastRaftMessage>) {
+        // Every insert of the batch has landed (and persisted write-ahead).
+        // If the term changed while the gates were open, the verification is
+        // stale — entries at those slots may since belong to a newer leader;
+        // drop the ack and let the current leader re-establish the prefix.
+        if st.term != self.current_term {
+            return;
+        }
+        // The log is insert-only, so the contiguous run this batch verified
+        // is still present: `verified` may now cover it.
+        if st.match_index > self.verified {
+            self.verified = st.match_index;
+        }
         self.complete_append(st.from, st.match_index, st.leader_commit, out);
     }
 
@@ -1669,7 +1721,22 @@ impl FastRaftEngine {
     /// matchIndex ≥ k and `log[k].term == currentTerm`.
     fn advance_commit_classic(&mut self, out: &mut Actions<FastRaftMessage>) {
         let quorum = self.config.classic_quorum();
-        let mut k = self.last_leader_index;
+        // The committed prefix must stay contiguous and leader-approved, but
+        // `lastLeaderIndex` can sit *above* a hole (a non-extending append
+        // still inserts its leader-approved entries). Cap the scan at the
+        // end of the contiguous leader-approved run above commitIndex; the
+        // decision loop / hole filling repairs the hole, after which the run
+        // extends and the suffix becomes committable.
+        let mut reach = self.commit_index;
+        while reach < self.last_leader_index
+            && self
+                .log
+                .get(reach.next())
+                .is_some_and(|e| e.approval == Approval::LeaderApproved)
+        {
+            reach = reach.next();
+        }
+        let mut k = reach;
         while k > self.commit_index {
             if self.log.term_at(k) == self.current_term {
                 let acks = self

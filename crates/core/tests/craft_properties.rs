@@ -5,7 +5,7 @@
 //! full §V machinery: local consensus, global-state gating, batching, and
 //! global replication — asserting hierarchical safety at every step.
 
-use consensus_core::{build_deployment, CRaftConfig, CRaftNode};
+use consensus_core::{build_deployment, CRaftConfig};
 use proptest::prelude::*;
 use raft::testkit::Lockstep;
 use wire::{LogScope, NodeId, Payload, TimerKind};

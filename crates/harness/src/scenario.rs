@@ -73,7 +73,7 @@ impl Scenario {
     /// The paper's single-cluster base scenario: 5 sites, one region,
     /// one random proposer, 100 measured commits.
     pub fn fig3_base(seed: u64, loss: f64) -> Self {
-        let mut rng = SimRng::seed_from_u64(seed ^ 0xF16_3);
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xF163);
         let proposer = NodeId(rng.gen_range(0..5u64));
         Scenario {
             seed,

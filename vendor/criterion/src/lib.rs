@@ -1,0 +1,173 @@
+//! Offline shim for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking crate.
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! this shim provides a small but *functional* wall-clock harness behind the
+//! criterion API surface the workspace's benches use: [`Criterion`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros (both plain and
+//! `name = ...; config = ...; targets = ...` forms).
+//!
+//! Differences from the real crate: no statistical analysis, no HTML
+//! reports, no CLI filtering — each benchmark runs `sample_size` timed
+//! samples after a brief warm-up and prints the per-iteration mean, min, and
+//! max to stdout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-exported for `use criterion::black_box`; inhibits constant folding of
+/// benchmark inputs and outputs.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are grouped; only a hint in this shim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs (batched freely).
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver. Collects per-benchmark timings and prints a
+/// one-line summary for each.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// No-op in this shim (the real crate parses criterion CLI flags).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        // One untimed warm-up pass, then the timed samples.
+        f(&mut b);
+        b.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let (mean, min, max) = b.summary();
+        println!(
+            "{name:<40} mean {:>12?}  min {:>12?}  max {:>12?}  ({} samples)",
+            mean,
+            min,
+            max,
+            self.sample_size
+        );
+        self
+    }
+}
+
+/// Times closures for one benchmark; handed to the closure given to
+/// [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` once and records the sample.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+
+    /// Times `routine` on an input built by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.samples.push(start.elapsed());
+    }
+
+    fn summary(&self) -> (Duration, Duration, Duration) {
+        let n = self.samples.len().max(1) as u32;
+        let total: Duration = self.samples.iter().sum();
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        let max = self.samples.iter().max().copied().unwrap_or_default();
+        (total / n, min, max)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_summarizes() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0usize;
+        c.bench_function("noop", |b| {
+            runs += 1;
+            b.iter(|| 1 + 1);
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        });
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+}

@@ -1,0 +1,355 @@
+//! Offline shim for the [`rand`](https://crates.io/crates/rand) crate (0.8
+//! API surface).
+//!
+//! The container this workspace builds in has no access to crates.io, so this
+//! shim supplies the subset of rand 0.8 the workspace actually uses: the
+//! [`RngCore`] / [`SeedableRng`] / [`Rng`] traits, [`rngs::StdRng`], and
+//! uniform range sampling ([`distributions::uniform`]).
+//!
+//! Compatibility notes versus the real crate:
+//! - `StdRng` here is **xoshiro256++** seeded through SplitMix64, not ChaCha12.
+//!   Streams are deterministic per seed (everything the workspace's
+//!   reproducibility story needs) but produce different values than real
+//!   `StdRng`. No test in the workspace asserts specific draw values.
+//! - Integer range sampling uses 128-bit widening multiply (Lemire-style
+//!   without rejection), so an astronomically small modulo bias remains;
+//!   irrelevant for simulation workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Error type for fallible RNG operations. The shim's generators are
+/// infallible, so this is never constructed by this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: raw integer and byte output.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut i = 0;
+        while i < dest.len() {
+            let chunk = self.next_u64().to_le_bytes();
+            let n = (dest.len() - i).min(8);
+            dest[i..i + n].copy_from_slice(&chunk[..n]);
+            i += n;
+        }
+    }
+    /// Fallible version of [`RngCore::fill_bytes`]; never fails here.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Generators that can be constructed from seed material.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Values samplable from the "standard" distribution (for [`Rng::gen`]).
+pub trait StandardSample: Sized {
+    /// Draws one value from `rng`.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for u128 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl StandardSample for i128 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::standard_sample(rng) as i128
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Convenience methods layered over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution (`[0, 1)` for floats).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+    {
+        assert!(!range.is_empty(), "cannot sample from empty range");
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p out of range: {p}");
+        f64::standard_sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The shim's standard generator: xoshiro256++ seeded via SplitMix64.
+    ///
+    /// Deterministic per seed; see the crate docs for how this differs from
+    /// the real `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Expand the 64-bit seed into 256 bits of state with SplitMix64,
+            // the seeding procedure recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step.
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Distribution machinery (only the uniform part is provided).
+pub mod distributions {
+    /// Uniform sampling over ranges, mirroring `rand::distributions::uniform`.
+    pub mod uniform {
+        use crate::{RngCore, StandardSample};
+        use std::ops::{Range, RangeInclusive};
+
+        /// Types that can be sampled uniformly from a range.
+        pub trait SampleUniform: PartialOrd + Sized {
+            /// Samples uniformly from the half-open range `[lo, hi)`.
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+            /// Samples uniformly from the closed range `[lo, hi]`.
+            fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+        }
+
+        /// Range shapes accepted by `Rng::gen_range`.
+        pub trait SampleRange<T> {
+            /// Consumes the range and draws one sample.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+            /// `true` if the range contains no values.
+            fn is_empty(&self) -> bool;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_half_open(rng, self.start, self.end)
+            }
+            fn is_empty(&self) -> bool {
+                Range::is_empty(self)
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (lo, hi) = self.into_inner();
+                T::sample_closed(rng, lo, hi)
+            }
+            fn is_empty(&self) -> bool {
+                RangeInclusive::is_empty(self)
+            }
+        }
+
+        macro_rules! uniform_int {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                        debug_assert!(lo < hi);
+                        let span = (hi as i128 - lo as i128) as u128;
+                        let draw = u128::from(rng.next_u64());
+                        // Widening multiply maps [0, 2^64) onto [0, span).
+                        let off = ((draw * span) >> 64) as i128;
+                        (lo as i128 + off) as $t
+                    }
+                    fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                        debug_assert!(lo <= hi);
+                        let span = (hi as i128 - lo as i128) as u128 + 1;
+                        if span > u128::from(u64::MAX) {
+                            // Full-width range: every bit pattern is valid.
+                            return rng.next_u64() as $t;
+                        }
+                        let draw = u128::from(rng.next_u64());
+                        let off = ((draw * span) >> 64) as i128;
+                        (lo as i128 + off) as $t
+                    }
+                }
+            )*};
+        }
+        uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        macro_rules! uniform_float {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                        debug_assert!(lo < hi);
+                        let unit = <$t as StandardSample>::standard_sample(rng);
+                        lo + (hi - lo) * unit
+                    }
+                    fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                        debug_assert!(lo <= hi);
+                        // [0, 1) scaled across the closed span; the missing
+                        // exact-`hi` endpoint has measure zero.
+                        let unit = <$t as StandardSample>::standard_sample(rng);
+                        lo + (hi - lo) * unit
+                    }
+                }
+            )*};
+        }
+        uniform_float!(f32, f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::uniform::SampleUniform;
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: usize = rng.gen_range(0..=3);
+            assert!(y <= 3);
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let s: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn full_width_closed_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // Must not overflow or panic.
+        let _: u64 = u64::sample_closed(&mut rng, 0, u64::MAX);
+    }
+
+    #[test]
+    fn gen_and_bool_behave() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            let f = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&f));
+        }
+        assert!((0..1000).filter(|_| rng.gen_bool(0.5)).count() > 300);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

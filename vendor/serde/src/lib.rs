@@ -1,0 +1,36 @@
+//! Offline shim for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The container this workspace builds in has no access to crates.io. The
+//! workspace only uses serde to *derive* `Serialize`/`Deserialize` on report
+//! and identifier types (forward-looking, for an eventual JSON exporter); no
+//! code path actually serializes through serde today. This shim therefore
+//! provides the two trait names as blanket-implemented markers and re-exports
+//! no-op derive macros, which is sufficient for every `#[derive(Serialize,
+//! Deserialize)]` in the tree to compile and for bounds like `T: Serialize`
+//! to be satisfiable.
+//!
+//! When the workspace gains a real serialization consumer, replace this shim
+//! with the real crates (see `vendor/README.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Blanket-implemented stand-in for owned deserialization.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

@@ -1,8 +1,12 @@
-//! Extension: C-Raft batch-size sweep.
+//! Extension: C-Raft batch-size sweep (8 clusters, 40 sites).
+//!
+//! `--json <path>` additionally writes the machine-readable series consumed
+//! by the CI bench gate.
 
 fn main() {
     let opts = bench::BenchOpts::from_args();
     let secs = if opts.quick { 20 } else { 120 };
     let result = harness::experiments::ext::batch_sweep(7, &[1, 5, 10, 20, 50], secs);
     print!("{}", result.render());
+    opts.write_json(&result.to_json());
 }

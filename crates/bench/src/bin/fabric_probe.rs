@@ -1,0 +1,140 @@
+//! Allocation + throughput probe for the message fabric.
+//!
+//! Runs the fig. 5 cell at the paper sweep's largest cluster count (10
+//! clusters × 2 sites, every cluster proposing) under a counting global
+//! allocator, and prints machine-readable JSON: heap allocations, allocated
+//! bytes, committed items, and global throughput for classic Raft and
+//! C-Raft, plus a single-region Fast Raft cell. Used to record the
+//! before/after comparison in `BENCH_fabric.json`.
+//!
+//! Metric definitions: `allocs` counts allocator calls (alloc + realloc);
+//! `alloc_bytes` is cumulative bytes *requested* — a realloc charges its
+//! full new size without crediting the old block, so growing buffers are
+//! counted at every growth step. The same rule applies to both trees being
+//! compared, keeping the before/after deltas meaningful.
+//!
+//! The simulation is deterministic, so for a fixed seed the numbers are
+//! exactly reproducible.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use des::SimDuration;
+use harness::{run_classic_raft, run_craft, run_fast_raft, CRaftScenario, NetworkKind, Scenario};
+use raft::Timing;
+use wire::NodeId;
+
+/// Wraps the system allocator with relaxed atomic counters.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn snapshot() -> (u64, u64) {
+    (
+        ALLOC_CALLS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+struct Cell {
+    name: &'static str,
+    allocs: u64,
+    alloc_bytes: u64,
+    items: u64,
+    tput: f64,
+    wall_ms: u128,
+}
+
+fn measure(name: &'static str, run: impl FnOnce() -> (u64, f64)) -> Cell {
+    let (a0, b0) = snapshot();
+    let t0 = std::time::Instant::now();
+    let (items, tput) = run();
+    let wall_ms = t0.elapsed().as_millis();
+    let (a1, b1) = snapshot();
+    Cell {
+        name,
+        allocs: a1 - a0,
+        alloc_bytes: b1 - b0,
+        items,
+        tput,
+        wall_ms,
+    }
+}
+
+fn scenario(sites: u64, clusters: u64, seed: u64, secs: u64) -> Scenario {
+    let per = sites / clusters;
+    let proposers: Vec<NodeId> = (0..clusters).map(|c| NodeId(c * per)).collect();
+    Scenario {
+        seed,
+        sites,
+        network: NetworkKind::Regions { regions: clusters },
+        loss: 0.0,
+        timing: Timing::lan(),
+        proposers,
+        payload_bytes: 64,
+        target_commits: None,
+        duration: SimDuration::from_secs(secs + 10),
+        warmup: SimDuration::from_secs(10),
+        faults: Vec::new(),
+        leader_bias: None,
+    }
+}
+
+fn main() {
+    let seed = 4242;
+    let secs = 30;
+    let s = scenario(20, 10, seed, secs);
+    let cells = [
+        measure("raft_10c", || {
+            let (r, _) = run_classic_raft(&s);
+            assert!(r.safety_ok);
+            (r.global_items, r.throughput_per_s)
+        }),
+        measure("craft_10c", || {
+            let (r, _) = run_craft(&s, &CRaftScenario::paper(10));
+            assert!(r.safety_ok);
+            (r.global_items, r.throughput_per_s)
+        }),
+        measure("fast_raft_1c", || {
+            let mut f = Scenario::fig3_base(seed, 0.0);
+            f.target_commits = Some(2000);
+            let (r, _) = run_fast_raft(&f);
+            assert!(r.safety_ok);
+            (r.global_items, r.throughput_per_s)
+        }),
+    ];
+    println!("{{");
+    println!("  \"seed\": {seed},");
+    println!("  \"cells\": {{");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        println!(
+            "    \"{}\": {{\"allocs\": {}, \"alloc_bytes\": {}, \"items\": {}, \"tput\": {:.2}, \"wall_ms\": {}}}{}",
+            c.name, c.allocs, c.alloc_bytes, c.items, c.tput, c.wall_ms, comma
+        );
+    }
+    println!("  }}");
+    println!("}}");
+}

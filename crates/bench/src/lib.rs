@@ -12,6 +12,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 /// Shared command-line options for the figure binaries.
 #[derive(Clone, Debug)]
 pub struct BenchOpts {
@@ -19,6 +21,9 @@ pub struct BenchOpts {
     pub quick: bool,
     /// Number of seeds (trials) per configuration.
     pub seeds: u64,
+    /// Also write the machine-readable JSON result to this path (the CI
+    /// bench gate feeds these files to `bench_compare`).
+    pub json: Option<String>,
 }
 
 impl BenchOpts {
@@ -27,6 +32,7 @@ impl BenchOpts {
         let mut opts = BenchOpts {
             quick: false,
             seeds: 3,
+            json: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -38,10 +44,32 @@ impl BenchOpts {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or(opts.seeds);
                 }
+                "--json" => {
+                    // A following flag is a missing value, not a filename.
+                    opts.json = match args.next() {
+                        Some(v) if !v.starts_with("--") => Some(v),
+                        _ => {
+                            eprintln!("--json needs a file path");
+                            std::process::exit(2);
+                        }
+                    };
+                }
                 other => eprintln!("ignoring unknown argument: {other}"),
             }
         }
         opts
+    }
+
+    /// Writes `json` to the `--json` path, if one was given.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the file cannot be written (CI must fail loudly).
+    pub fn write_json(&self, json: &str) {
+        if let Some(path) = &self.json {
+            std::fs::write(path, json).expect("writing --json output");
+            eprintln!("wrote {path}");
+        }
     }
 
     /// The seed list for this options set.
@@ -59,6 +87,7 @@ mod tests {
         let o = BenchOpts {
             quick: true,
             seeds: 3,
+            json: None,
         };
         assert_eq!(o.seed_list(), vec![1000, 1007, 1014]);
     }
@@ -68,6 +97,7 @@ mod tests {
         let o = BenchOpts {
             quick: false,
             seeds: 0,
+            json: None,
         };
         assert_eq!(o.seed_list().len(), 1);
     }

@@ -51,6 +51,16 @@ pub struct CRaftConfig {
     pub global_timing: Timing,
     /// Locally committed entries per global batch (paper §VI-C: 10).
     pub batch_size: usize,
+    /// Byte budget per global batch: a batch is cut before the item whose
+    /// encoded size would push it past this many bytes, so one wide-area
+    /// proposal never exceeds the link budget — except a single over-sized
+    /// item, which ships alone (0 disables the byte cap). The budget counts
+    /// item bytes only; the Batch/GlobalState/LogEntry wrappers add ~70
+    /// bytes on top, so a batch cut exactly at a `max_bytes_per_append`-
+    /// sized budget can still exceed one AppendEntries byte budget by the
+    /// wrapper overhead and ship via the budget's always-admit-first rule.
+    /// Set this a little below `max_bytes_per_append` when that matters.
+    pub max_batch_bytes: usize,
     /// Flush a partial batch after this many milliseconds of inactivity
     /// (0 disables time-based flushing).
     pub batch_flush_ms: u64,
@@ -70,6 +80,7 @@ impl CRaftConfig {
             local_timing: Timing::lan(),
             global_timing: Timing::wan(),
             batch_size: 10,
+            max_batch_bytes: Timing::wan().max_bytes_per_append,
             batch_flush_ms: 1000,
             global_proposal_mode: ProposalMode::LeaderForward,
         }
@@ -292,7 +303,7 @@ impl CRaftNode {
             if let Payload::GlobalState(gs) = &entry.payload {
                 max_gc = max_gc.max(gs.global_commit);
                 if let Payload::Batch(b) = &gs.entry.payload {
-                    for item in &b.items {
+                    for item in b.items.iter() {
                         batched_ids.insert(item.id);
                     }
                 }
@@ -393,16 +404,45 @@ impl CRaftNode {
     // Batching (§V-A)
     // ------------------------------------------------------------------
 
+    /// Where to cut the next global batch, if one is ready. Admission
+    /// mirrors [`wire::AppendBudget`]: an item is admitted while both the
+    /// count cap and the byte budget allow it, the item that would breach
+    /// the byte budget is excluded (so byte-cut batches stay within
+    /// budget), and the first item is always admitted — a single
+    /// over-sized value ships alone rather than wedging batching.
+    fn next_batch_cut(&self) -> Option<usize> {
+        let unbounded = self.cfg.max_batch_bytes == 0;
+        let mut n = 0usize;
+        let mut bytes = 0usize;
+        for (_, item) in self.batch_buf.iter() {
+            let sz = wire::Wire::encoded_len(item);
+            let admit = n == 0
+                || (n < self.cfg.batch_size
+                    && (unbounded || bytes + sz <= self.cfg.max_batch_bytes));
+            if !admit {
+                // A cap binds and more items wait behind it: cut now.
+                return Some(n);
+            }
+            n += 1;
+            bytes += sz;
+        }
+        // Everything buffered was admitted. Cut when a cap is exactly
+        // filled; otherwise wait for more items or the flush timer.
+        if n > 0 && (n >= self.cfg.batch_size || (!unbounded && bytes >= self.cfg.max_batch_bytes))
+        {
+            Some(n)
+        } else {
+            None
+        }
+    }
+
     fn maybe_flush_batch(&mut self, out: &mut Actions<CRaftMessage>) {
         if self.global.is_none() {
             return;
         }
-        while self.batch_buf.len() >= self.cfg.batch_size {
-            let chunk: Vec<BatchItem> = self
-                .batch_buf
-                .drain(..self.cfg.batch_size)
-                .map(|(_, item)| item)
-                .collect();
+        while let Some(cut) = self.next_batch_cut() {
+            let chunk: Vec<BatchItem> =
+                self.batch_buf.drain(..cut).map(|(_, item)| item).collect();
             self.propose_batch(chunk, out);
         }
         if !self.batch_buf.is_empty() && self.cfg.batch_flush_ms > 0 {
@@ -422,11 +462,7 @@ impl CRaftNode {
     }
 
     fn propose_batch(&mut self, items: Vec<BatchItem>, out: &mut Actions<CRaftMessage>) {
-        let batch = wire::Batch {
-            cluster: self.cfg.cluster,
-            batch_seq: self.batch_seq,
-            items,
-        };
+        let batch = wire::Batch::new(self.cfg.cluster, self.batch_seq, items);
         self.batch_seq += 1;
         let Some(side) = self.global.as_mut() else {
             return;
@@ -548,7 +584,7 @@ impl CRaftNode {
             let gc = self.global_commit_seen();
             let gs = GlobalState {
                 index: req.index,
-                entry: Box::new(req.entry.clone()),
+                entry: std::sync::Arc::new(req.entry.clone()),
                 global_commit: gc,
             };
             let mut la: Actions<FastRaftMessage> = Actions::new();
@@ -704,5 +740,57 @@ mod tests {
     #[should_panic(expected = "empty deployment")]
     fn empty_deployment_rejected() {
         build_deployment(0, 5, CRaftConfig::paper, 1);
+    }
+
+    fn batch_node(batch_size: usize, max_batch_bytes: usize) -> CRaftNode {
+        let solo = Configuration::new([NodeId(0)]);
+        let mut cfg = CRaftConfig::paper(ClusterId(0));
+        cfg.batch_size = batch_size;
+        cfg.max_batch_bytes = max_batch_bytes;
+        CRaftNode::new(NodeId(0), solo.clone(), solo, cfg, SimRng::seed_from_u64(1))
+    }
+
+    fn buf_items(node: &mut CRaftNode, count: u64, data_len: usize) {
+        node.batch_buf = (0..count)
+            .map(|i| {
+                (
+                    LogIndex(i + 1),
+                    BatchItem {
+                        id: EntryId::new(NodeId(0), i),
+                        data: Bytes::from(vec![0u8; data_len]),
+                    },
+                )
+            })
+            .collect();
+    }
+
+    #[test]
+    fn batch_cut_byte_budget_binds_before_count_cap() {
+        // Each item encodes to 16 (id) + 4 + 40 (data) = 60 bytes.
+        let mut node = batch_node(10, 100);
+        buf_items(&mut node, 10, 40);
+        // The second item would push 60 -> 120 > 100: cut before it.
+        assert_eq!(node.next_batch_cut(), Some(1));
+    }
+
+    #[test]
+    fn batch_cut_count_cap_without_byte_cap() {
+        let mut node = batch_node(10, 0);
+        buf_items(&mut node, 12, 40);
+        assert_eq!(node.next_batch_cut(), Some(10));
+    }
+
+    #[test]
+    fn batch_cut_oversized_single_item_ships_alone() {
+        let mut node = batch_node(10, 100);
+        buf_items(&mut node, 1, 200);
+        assert_eq!(node.next_batch_cut(), Some(1));
+    }
+
+    #[test]
+    fn batch_cut_waits_under_both_caps() {
+        let mut node = batch_node(10, 1000);
+        buf_items(&mut node, 3, 40);
+        assert_eq!(node.next_batch_cut(), None, "partial batch waits for flush");
     }
 }

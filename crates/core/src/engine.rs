@@ -43,8 +43,8 @@ use bytes::Bytes;
 use des::SimRng;
 use raft::{Role, Timing};
 use wire::{
-    Actions, Approval, Configuration, EntryId, LogEntry, LogIndex, LogScope, NodeId, Observation,
-    Payload, PersistCmd, Term, TimerKind,
+    Actions, Approval, Configuration, EntryId, EntryList, LogEntry, LogIndex, LogScope, NodeId,
+    Observation, Payload, PersistCmd, Term, TimerKind,
 };
 
 use crate::gate::{GatePurpose, GateToken, GateVerdict, InsertGate};
@@ -1386,6 +1386,7 @@ impl FastRaftEngine {
         if trace_enabled() {
             eprintln!("HOLEFILL {} k={} voters={}", self.id, k.as_u64(), self.possible.voters_at(k));
         }
+        out.observe(Observation::HoleRepairTriggered { index: k });
         // Broadcast a no-op proposal targeted at the blocked index. Sites
         // holding an entry there keep it and re-vote for it, so any chosen
         // entry still wins the decision rule.
@@ -1429,38 +1430,48 @@ impl FastRaftEngine {
     }
 
     fn dispatch_append_entries(&mut self, out: &mut Actions<FastRaftMessage>) {
-        let targets: Vec<NodeId> = self
+        let budget = self.timing.append_budget();
+        // Group followers by nextIndex: one budgeted batch is assembled per
+        // distinct resume point, and the Arc-shared EntryList handle is
+        // cloned per recipient — the fan-out shares a single allocation.
+        let mut groups: BTreeMap<LogIndex, Vec<NodeId>> = BTreeMap::new();
+        for peer in self
             .config
             .peers(self.id)
             .chain(self.learners.iter().copied().filter(|l| *l != self.id))
-            .collect();
-        for peer in targets {
+        {
             let next = *self
                 .next_index
                 .get(&peer)
                 .unwrap_or(&self.commit_index.next());
-            let mut entries = Vec::new();
+            groups.entry(next).or_default().push(peer);
+        }
+        for (next, peers) in groups {
             // §IV-B: include entries from nextIndex through lastLeaderIndex.
-            if self.last_leader_index >= next {
-                for (idx, e) in self.log.range(next, self.last_leader_index) {
-                    if entries.len() >= self.timing.max_entries_per_append {
-                        break;
-                    }
-                    debug_assert_eq!(e.approval, Approval::LeaderApproved);
-                    entries.push((idx, e.clone()));
-                }
+            let entries = if self.last_leader_index >= next {
+                let list =
+                    self.log
+                        .collect_range_budgeted(next, self.last_leader_index, budget);
+                debug_assert!(list
+                    .iter()
+                    .all(|(_, e)| e.approval == Approval::LeaderApproved));
+                list
+            } else {
+                EntryList::empty()
+            };
+            for peer in peers {
+                out.send(
+                    peer,
+                    FastRaftMessage::AppendEntries {
+                        term: self.current_term,
+                        leader: self.id,
+                        prev_index: next.prev_saturating(),
+                        entries: entries.clone(),
+                        leader_commit: self.commit_index,
+                        global_commit: LogIndex::ZERO,
+                    },
+                );
             }
-            out.send(
-                peer,
-                FastRaftMessage::AppendEntries {
-                    term: self.current_term,
-                    leader: self.id,
-                    prev_index: next.prev_saturating(),
-                    entries,
-                    leader_commit: self.commit_index,
-                    global_commit: LogIndex::ZERO,
-                },
-            );
         }
     }
 
@@ -1472,7 +1483,7 @@ impl FastRaftEngine {
         term: Term,
         leader: NodeId,
         prev_index: LogIndex,
-        entries: Vec<(LogIndex, LogEntry)>,
+        entries: EntryList,
         leader_commit: LogIndex,
         gate: &mut dyn InsertGate,
         out: &mut Actions<FastRaftMessage>,
@@ -1523,7 +1534,7 @@ impl FastRaftEngine {
         // from the acked matchIndex extends the prefix normally.
         let anchor = self.verified.max(self.commit_index);
         let mut new_match = anchor;
-        for (idx, _) in &entries {
+        for (idx, _) in entries.iter() {
             if *idx <= new_match {
                 continue;
             }
@@ -1535,9 +1546,13 @@ impl FastRaftEngine {
         }
 
         // Apply inserts (§IV-B steps 4-5: overwrite conflicts, mark
-        // leader-approved), possibly gated.
+        // leader-approved), possibly gated. The list is Arc-shared with
+        // every other recipient of this batch; entries that land are cloned
+        // out of it so the per-site approval stamp never touches the shared
+        // allocation.
         let mut to_insert = Vec::new();
-        for (idx, entry) in entries {
+        for (idx, entry) in entries.iter() {
+            let idx = *idx;
             let needs_write = match self.log.get(idx) {
                 None => true,
                 Some(existing) => {

@@ -1,7 +1,8 @@
 //! Fast Raft and C-Raft message vocabulary (§IV, §V).
 
 use wire::{
-    DecodeError, Decoder, Encoder, EntryId, LogEntry, LogIndex, Message, NodeId, Term, Wire,
+    DecodeError, Decoder, Encoder, EntryId, EntryList, LogEntry, LogIndex, Message, NodeId, Term,
+    Wire,
 };
 
 /// Messages exchanged by Fast Raft sites (one consensus level).
@@ -46,7 +47,9 @@ pub enum FastRaftMessage {
         /// up to here when contiguous.
         prev_index: LogIndex,
         /// Explicitly indexed entries (Fast Raft logs may be sparse).
-        entries: Vec<(LogIndex, LogEntry)>,
+        /// `Arc`-shared: followers addressed at the same `nextIndex`
+        /// receive handles to one allocation.
+        entries: EntryList,
         /// Leader's commit index.
         leader_commit: LogIndex,
         /// C-Raft piggyback (§V-B): the cluster leader's **global** commit
@@ -248,7 +251,7 @@ impl Wire for FastRaftMessage {
                 term: Term::decode(d)?,
                 leader: NodeId::decode(d)?,
                 prev_index: LogIndex::decode(d)?,
-                entries: Vec::decode(d)?,
+                entries: EntryList::decode(d)?,
                 leader_commit: LogIndex::decode(d)?,
                 global_commit: LogIndex::decode(d)?,
             },
@@ -285,6 +288,27 @@ impl Wire for FastRaftMessage {
                 })
             }
         })
+    }
+
+    /// Allocation-free size computation (overrides the encode-and-measure
+    /// default: the network layer charges `wire_size` on every send).
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            FastRaftMessage::ProposeAt { entry, .. } => 8 + entry.encoded_len(),
+            FastRaftMessage::Vote { entry, .. } => 8 + entry.encoded_len() + 8,
+            FastRaftMessage::ProposeReply { leader_hint, .. } => 16 + 1 + leader_hint.encoded_len(),
+            FastRaftMessage::AppendEntries { entries, .. } => {
+                8 + 8 + 8 + entries.encoded_len() + 8 + 8
+            }
+            FastRaftMessage::AppendEntriesReply { .. } => 8 + 1 + 8,
+            FastRaftMessage::RequestVote { .. } => 8 + 8 + 8 + 8,
+            FastRaftMessage::RequestVoteReply { self_approved, .. } => {
+                8 + 1 + self_approved.encoded_len()
+            }
+            FastRaftMessage::JoinRequest { .. } => 8,
+            FastRaftMessage::JoinReply { leader_hint, .. } => 1 + leader_hint.encoded_len(),
+            FastRaftMessage::LeaveRequest { .. } => 8,
+        }
     }
 }
 
@@ -345,6 +369,12 @@ impl Wire for CRaftMessage {
             }
         })
     }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            CRaftMessage::Local(m) | CRaftMessage::Global(m) => m.encoded_len(),
+        }
+    }
 }
 
 impl Message for CRaftMessage {
@@ -393,7 +423,7 @@ mod tests {
             term: Term(2),
             leader: NodeId(1),
             prev_index: LogIndex(3),
-            entries: vec![(LogIndex(4), entry())],
+            entries: EntryList::from_vec(vec![(LogIndex(4), entry())]),
             leader_commit: LogIndex(3),
             global_commit: LogIndex(2),
         });

@@ -125,7 +125,7 @@ fn run_schedule(seed: u64, steps: &[Step]) {
         for c in net.commits(id) {
             if c.scope == LogScope::Global {
                 if let Payload::Batch(b) = &c.entry.payload {
-                    for item in &b.items {
+                    for item in b.items.iter() {
                         assert!(
                             locally_committed.contains(&item.id),
                             "globally committed item {} was never locally committed",

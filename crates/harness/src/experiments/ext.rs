@@ -34,10 +34,12 @@ pub struct BatchSweepResult {
     pub rows: Vec<BatchRow>,
 }
 
-/// Runs the batch sweep on a 4-cluster, 20-site deployment.
+/// Runs the batch sweep on an 8-cluster, 40-site deployment (doubled from
+/// the original 4x20 so the sweep exercises the fan-out the zero-copy
+/// fabric targets).
 pub fn batch_sweep(seed: u64, batch_sizes: &[usize], secs: u64) -> BatchSweepResult {
-    let clusters = 4u64;
-    let sites = 20u64;
+    let clusters = 8u64;
+    let sites = 40u64;
     let per = sites / clusters;
     let proposers: Vec<NodeId> = (0..clusters).map(|c| NodeId(c * per + 1)).collect();
     let mut rows = Vec::new();
@@ -59,6 +61,7 @@ pub fn batch_sweep(seed: u64, batch_sizes: &[usize], secs: u64) -> BatchSweepRes
         let craft = CRaftScenario {
             clusters,
             batch_size,
+            max_batch_bytes: Timing::wan().max_bytes_per_append,
             global_timing: Timing::wan(),
             global_proposal_mode: consensus_core::ProposalMode::LeaderForward,
         };
@@ -76,10 +79,25 @@ pub fn batch_sweep(seed: u64, batch_sizes: &[usize], secs: u64) -> BatchSweepRes
 }
 
 impl BatchSweepResult {
+    /// Machine-readable JSON for the CI bench gate: one flat `series`
+    /// object mapping `craft/b<batch>` to throughput (entries/s).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"bench\": \"ext_batch\",\n  \"series\": {\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    \"craft/b{}\": {:.2}{}\n",
+                r.batch_size, r.tput, comma
+            ));
+        }
+        s.push_str("  }\n}\n");
+        s
+    }
+
     /// Renders the sweep.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str("Ext-B: C-Raft batch-size sweep (4 clusters, 20 sites)\n");
+        out.push_str("Ext-B: C-Raft batch-size sweep (8 clusters, 40 sites)\n");
         out.push_str("batch   tput(entries/s)  local-lat(ms)  wan-bytes/entry\n");
         for r in &self.rows {
             out.push_str(&format!(
@@ -184,6 +202,9 @@ pub struct FailoverResult {
     pub after_ms: f64,
     /// Elections observed.
     pub elections: u64,
+    /// Times the new leader's liveness guard repaired a blocked log hole
+    /// (the ROADMAP "measure how often this path triggers" number).
+    pub hole_repairs: u64,
     /// Whether safety held.
     pub safety_ok: bool,
 }
@@ -240,6 +261,7 @@ pub fn failover(seed: u64, crash_at_s: u64, total_s: u64) -> FailoverResult {
         before_ms: mean(&|t| t < crash_s),
         after_ms: mean(&|t| t > crash_s + 2.0),
         elections: report.elections,
+        hole_repairs: report.hole_repairs,
         safety_ok: report.safety_ok,
     }
 }
@@ -249,10 +271,11 @@ impl FailoverResult {
     pub fn render(&self) -> String {
         format!(
             "Ext-D: leader crash at t={:.0}s (Fast Raft, 5 sites)\n\
-             outage window: {:.0}ms | elections: {} | latency before {:.1}ms, after {:.1}ms | safety: {}\n",
+             outage window: {:.0}ms | elections: {} | hole repairs: {} | latency before {:.1}ms, after {:.1}ms | safety: {}\n",
             self.crash_at_s,
             self.outage_ms,
             self.elections,
+            self.hole_repairs,
             self.before_ms,
             self.after_ms,
             if self.safety_ok { "OK" } else { "VIOLATED" }

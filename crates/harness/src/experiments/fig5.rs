@@ -90,6 +90,23 @@ pub fn run(seeds: &[u64], cluster_counts: &[u64], sites: u64, secs: u64) -> Fig5
 }
 
 impl Fig5Result {
+    /// Machine-readable JSON for the CI bench gate: one flat `series`
+    /// object mapping `protocol/clusters` to throughput (entries/s).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"bench\": \"fig5\",\n  \"series\": {\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    \"raft/{c}\": {raft:.2},\n    \"craft/{c}\": {craft:.2}{comma}\n",
+                c = r.clusters,
+                raft = r.raft_tput,
+                craft = r.craft_tput,
+            ));
+        }
+        s.push_str("  }\n}\n");
+        s
+    }
+
     /// Renders the figure's series.
     pub fn render(&self) -> String {
         let mut out = String::new();

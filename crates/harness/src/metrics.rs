@@ -86,6 +86,15 @@ pub struct Metrics {
     pub member_suspected: u64,
     /// Configuration entries committed.
     pub config_commits: u64,
+    /// Times a leader's liveness guard re-proposed a no-op at a blocked log
+    /// hole (the classic track stalled for `hole_fill_ticks`).
+    pub hole_repairs: u64,
+    /// Protocol steps that released at least one message.
+    pub dispatches: u64,
+    /// Messages offered to the network across all dispatches.
+    pub messages_sent: u64,
+    /// Encoded bytes offered to the network across all dispatches.
+    pub bytes_sent: u64,
     /// When measurement began (samples before this are ignored).
     pub measure_from: SimTime,
 }
@@ -148,6 +157,24 @@ impl Metrics {
             return 0.0;
         }
         self.global_committed_items() as f64 / window.as_secs_f64()
+    }
+
+    /// Records one protocol step that offered `messages` totalling `bytes`
+    /// to the network.
+    pub fn record_dispatch(&mut self, messages: u64, bytes: u64) {
+        self.dispatches += 1;
+        self.messages_sent += messages;
+        self.bytes_sent += bytes;
+    }
+
+    /// Mean encoded bytes released per message-producing protocol step —
+    /// the fan-out cost the zero-copy fabric amortizes.
+    pub fn bytes_per_dispatch(&self) -> f64 {
+        if self.dispatches == 0 {
+            0.0
+        } else {
+            self.bytes_sent as f64 / self.dispatches as f64
+        }
     }
 
     /// Fraction of leader commits that used the fast track.

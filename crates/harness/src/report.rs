@@ -69,6 +69,11 @@ pub struct RunReport {
     pub leaderships: u64,
     /// Members suspected of silent leaves.
     pub member_suspected: u64,
+    /// Times a leader's liveness guard repaired a blocked log hole.
+    pub hole_repairs: u64,
+    /// Mean encoded bytes offered to the network per message-producing
+    /// protocol step.
+    pub bytes_per_dispatch: f64,
     /// Network summary.
     pub net: NetSummary,
     /// Whether the safety property held.
@@ -105,6 +110,8 @@ impl RunReport {
             elections: metrics.elections,
             leaderships: metrics.leaderships,
             member_suspected: metrics.member_suspected,
+            hole_repairs: metrics.hole_repairs,
+            bytes_per_dispatch: metrics.bytes_per_dispatch(),
             net: NetSummary::from(net),
             safety_ok: safety.is_ok(),
             commits_checked: safety.commits_seen(),

@@ -285,8 +285,12 @@ impl<P: ConsensusProtocol> Runner<P> {
             }
         }
 
+        let mut sent_msgs = 0u64;
+        let mut sent_bytes = 0u64;
         for (to, msg) in out.sends {
             let size = msg.wire_size();
+            sent_msgs += 1;
+            sent_bytes += size as u64;
             match self.net.judge(from, to, size, &mut self.net_rng) {
                 Verdict::Deliver { after } => {
                     self.sim
@@ -294,6 +298,9 @@ impl<P: ConsensusProtocol> Runner<P> {
                 }
                 Verdict::Drop { .. } => {}
             }
+        }
+        if sent_msgs > 0 {
+            self.metrics.record_dispatch(sent_msgs, sent_bytes);
         }
 
         let now = self.sim.now();
@@ -332,6 +339,7 @@ impl<P: ConsensusProtocol> Runner<P> {
                 Observation::ClassicTrackCommit { .. } => self.metrics.classic_commits += 1,
                 Observation::MemberSuspected { .. } => self.metrics.member_suspected += 1,
                 Observation::ConfigCommitted { .. } => self.metrics.config_commits += 1,
+                Observation::HoleRepairTriggered { .. } => self.metrics.hole_repairs += 1,
                 _ => {}
             }
         }

@@ -268,6 +268,9 @@ pub struct CRaftScenario {
     pub clusters: u64,
     /// Local commits per global batch.
     pub batch_size: usize,
+    /// Byte budget per global batch (0 disables the byte cap; see
+    /// [`consensus_core::CRaftConfig::max_batch_bytes`]).
+    pub max_batch_bytes: usize,
     /// Inter-cluster timing.
     pub global_timing: Timing,
     /// Global-level proposal mode (see [`consensus_core::ProposalMode`]).
@@ -280,6 +283,7 @@ impl CRaftScenario {
         CRaftScenario {
             clusters,
             batch_size: 10,
+            max_batch_bytes: Timing::wan().max_bytes_per_append,
             global_timing: Timing::wan(),
             global_proposal_mode: consensus_core::ProposalMode::LeaderForward,
         }
@@ -307,6 +311,7 @@ pub fn run_craft(s: &Scenario, c: &CRaftScenario) -> (RunReport, Metrics) {
             local_timing: s.timing,
             global_timing: c.global_timing,
             batch_size: c.batch_size,
+            max_batch_bytes: c.max_batch_bytes,
             batch_flush_ms: 1000,
             global_proposal_mode: mode,
         },
@@ -323,6 +328,7 @@ pub fn run_craft(s: &Scenario, c: &CRaftScenario) -> (RunReport, Metrics) {
     let local_timing = s.timing;
     let global_timing = c.global_timing;
     let batch = c.batch_size;
+    let batch_bytes = c.max_batch_bytes;
     let seed = s.seed;
     runner.set_recovery(move |id, stable| {
         let cluster = id.as_u64() / per;
@@ -337,6 +343,7 @@ pub fn run_craft(s: &Scenario, c: &CRaftScenario) -> (RunReport, Metrics) {
                 local_timing,
                 global_timing,
                 batch_size: batch,
+                max_batch_bytes: batch_bytes,
                 batch_flush_ms: 1000,
                 global_proposal_mode: mode,
             },

@@ -2,7 +2,7 @@
 
 use bytes::Bytes;
 use wire::{
-    DecodeError, Decoder, Encoder, EntryId, LogEntry, LogIndex, Message, NodeId, Term, Wire,
+    DecodeError, Decoder, Encoder, EntryId, EntryList, LogIndex, Message, NodeId, Term, Wire,
 };
 
 /// Messages exchanged by classic Raft sites.
@@ -35,8 +35,10 @@ pub enum RaftMessage {
         prev_index: LogIndex,
         /// Term of the entry at `prev_index`.
         prev_term: Term,
-        /// Entries to replicate (empty for pure heartbeat).
-        entries: Vec<(LogIndex, LogEntry)>,
+        /// Entries to replicate (empty for pure heartbeat). `Arc`-shared:
+        /// every follower addressed at the same `nextIndex` receives a
+        /// handle to the same allocation.
+        entries: EntryList,
         /// Leader's commit index.
         leader_commit: LogIndex,
     },
@@ -177,7 +179,7 @@ impl Wire for RaftMessage {
                 leader: NodeId::decode(d)?,
                 prev_index: LogIndex::decode(d)?,
                 prev_term: Term::decode(d)?,
-                entries: Vec::decode(d)?,
+                entries: EntryList::decode(d)?,
                 leader_commit: LogIndex::decode(d)?,
             },
             3 => RaftMessage::AppendEntriesReply {
@@ -202,6 +204,21 @@ impl Wire for RaftMessage {
                 })
             }
         })
+    }
+
+    /// Allocation-free size computation (overrides the encode-and-measure
+    /// default: the network layer charges `wire_size` on every send).
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            RaftMessage::Propose { id, data } => id.encoded_len() + data.encoded_len(),
+            RaftMessage::ProposeReply {
+                id, leader_hint, ..
+            } => id.encoded_len() + 1 + leader_hint.encoded_len(),
+            RaftMessage::AppendEntries { entries, .. } => 8 + 8 + 8 + 8 + entries.encoded_len() + 8,
+            RaftMessage::AppendEntriesReply { .. } => 8 + 1 + 8,
+            RaftMessage::RequestVote { .. } => 8 + 8 + 8 + 8,
+            RaftMessage::RequestVoteReply { .. } => 8 + 1,
+        }
     }
 }
 
@@ -237,10 +254,10 @@ mod tests {
             leader: NodeId(2),
             prev_index: LogIndex(9),
             prev_term: Term(2),
-            entries: vec![(
+            entries: EntryList::from_vec(vec![(
                 LogIndex(10),
-                LogEntry::data(Term(3), EntryId::new(NodeId(1), 5), Bytes::from_static(b"v")),
-            )],
+                wire::LogEntry::data(Term(3), EntryId::new(NodeId(1), 5), Bytes::from_static(b"v")),
+            )]),
             leader_commit: LogIndex(9),
         });
         roundtrip(&RaftMessage::AppendEntriesReply {
@@ -284,7 +301,7 @@ mod tests {
             leader: NodeId(1),
             prev_index: LogIndex(0),
             prev_term: Term(0),
-            entries: vec![],
+            entries: EntryList::empty(),
             leader_commit: LogIndex(0),
         };
         assert!(hb.wire_size() < 64, "heartbeat {} bytes", hb.wire_size());

@@ -23,8 +23,8 @@ use bytes::Bytes;
 use des::SimRng;
 use storage::StableState;
 use wire::{
-    Actions, Configuration, ConsensusProtocol, EntryId, LogEntry, LogIndex, LogScope, NodeId,
-    Observation, Payload, PersistCmd, SparseLog, Term, TimerKind,
+    Actions, Configuration, ConsensusProtocol, EntryId, EntryList, LogEntry, LogIndex, LogScope,
+    NodeId, Observation, Payload, PersistCmd, SparseLog, Term, TimerKind,
 };
 
 use crate::{RaftMessage, Timing};
@@ -416,38 +416,43 @@ impl RaftNode {
 
     fn dispatch_append_entries(&mut self, out: &mut Actions<RaftMessage>) {
         let last = self.log.last_index();
-        let targets: Vec<NodeId> = self
+        let budget = self.timing.append_budget();
+        // Group followers by nextIndex: one budgeted batch is assembled per
+        // distinct resume point and the Arc-shared EntryList handle is
+        // cloned per recipient, so the fan-out shares a single allocation.
+        let mut groups: BTreeMap<LogIndex, Vec<NodeId>> = BTreeMap::new();
+        for peer in self
             .config
             .peers(self.id)
             .chain(self.learners.iter().copied().filter(|l| *l != self.id))
-            .collect();
-        for peer in targets {
+        {
             let next = *self
                 .next_index
                 .get(&peer)
                 .unwrap_or(&self.commit_index.next());
+            groups.entry(next).or_default().push(peer);
+        }
+        for (next, peers) in groups {
             let prev_index = next.prev_saturating();
             let prev_term = self.log.term_at(prev_index);
-            let mut entries = Vec::new();
-            if last >= next {
-                for (idx, e) in self.log.range(next, last) {
-                    if entries.len() >= self.timing.max_entries_per_append {
-                        break;
-                    }
-                    entries.push((idx, e.clone()));
-                }
+            let entries = if last >= next {
+                self.log.collect_range_budgeted(next, last, budget)
+            } else {
+                EntryList::empty()
+            };
+            for peer in peers {
+                out.send(
+                    peer,
+                    RaftMessage::AppendEntries {
+                        term: self.current_term,
+                        leader: self.id,
+                        prev_index,
+                        prev_term,
+                        entries: entries.clone(),
+                        leader_commit: self.commit_index,
+                    },
+                );
             }
-            out.send(
-                peer,
-                RaftMessage::AppendEntries {
-                    term: self.current_term,
-                    leader: self.id,
-                    prev_index,
-                    prev_term,
-                    entries,
-                    leader_commit: self.commit_index,
-                },
-            );
         }
     }
 
@@ -569,7 +574,7 @@ impl RaftNode {
         leader: NodeId,
         prev_index: LogIndex,
         prev_term: Term,
-        entries: Vec<(LogIndex, LogEntry)>,
+        entries: EntryList,
         leader_commit: LogIndex,
         out: &mut Actions<RaftMessage>,
     ) {
@@ -608,14 +613,14 @@ impl RaftNode {
         }
 
         let mut last_new = prev_index;
-        for (idx, entry) in entries {
-            if self.log.term_at(idx) != entry.term {
-                if self.log.get(idx).is_some() {
-                    self.truncate_from(idx, out);
+        for (idx, entry) in entries.iter() {
+            if self.log.term_at(*idx) != entry.term {
+                if self.log.get(*idx).is_some() {
+                    self.truncate_from(*idx, out);
                 }
-                self.insert_entry(idx, entry, out);
+                self.insert_entry(*idx, entry.clone(), out);
             }
-            last_new = idx;
+            last_new = *idx;
         }
 
         if leader_commit > self.commit_index {

@@ -37,6 +37,11 @@ pub struct Timing {
     pub hole_fill_ticks: u32,
     /// Maximum entries carried by one AppendEntries message.
     pub max_entries_per_append: usize,
+    /// Maximum encoded payload bytes carried by one AppendEntries message.
+    /// Models a per-dispatch link budget: wide-area bandwidth is bounded by
+    /// bytes, not entry count. A single over-sized entry still ships alone
+    /// (see [`wire::AppendBudget`]), so replication always makes progress.
+    pub max_bytes_per_append: usize,
 }
 
 impl Timing {
@@ -52,6 +57,7 @@ impl Timing {
             member_timeout_beats: 5,
             hole_fill_ticks: 8,
             max_entries_per_append: 128,
+            max_bytes_per_append: 64 * 1024,
         }
     }
 
@@ -68,6 +74,7 @@ impl Timing {
             member_timeout_beats: 5,
             hole_fill_ticks: 8,
             max_entries_per_append: 128,
+            max_bytes_per_append: 64 * 1024,
         }
     }
 
@@ -104,6 +111,15 @@ impl Timing {
             self.max_entries_per_append > 0,
             "append batch size must be positive"
         );
+        assert!(
+            self.max_bytes_per_append > 0,
+            "append byte budget must be positive"
+        );
+    }
+
+    /// The replication budget for one AppendEntries dispatch.
+    pub fn append_budget(&self) -> wire::AppendBudget {
+        wire::AppendBudget::new(self.max_entries_per_append, self.max_bytes_per_append)
     }
 }
 

@@ -175,6 +175,14 @@ pub enum Observation {
         /// Number of self-approved entries received from voters.
         entries: usize,
     },
+    /// The leader's liveness guard fired: the classic track stalled for
+    /// `hole_fill_ticks` decision ticks on a log hole and a no-op was
+    /// re-proposed at the blocked index. Counted by the harness to measure
+    /// how often hole repair triggers under churn.
+    HoleRepairTriggered {
+        /// The blocked index being repaired.
+        index: LogIndex,
+    },
     /// An incoming message was ignored, with the reason (not-in-config,
     /// stale term, duplicate, ...). Useful in tests.
     MessageIgnored {

@@ -15,8 +15,8 @@ use core::fmt;
 use bytes::{Bytes, BytesMut};
 
 use crate::{
-    Approval, Batch, BatchItem, ClusterId, Configuration, EntryId, GlobalState, LogEntry,
-    LogIndex, NodeId, Payload, Term,
+    Approval, Batch, BatchItem, ClusterId, Configuration, EntryId, EntryList, GlobalState,
+    LogEntry, LogIndex, NodeId, Payload, Term,
 };
 
 /// Error from decoding a malformed buffer.
@@ -245,6 +245,11 @@ pub trait Wire: Sized {
     }
 
     /// The exact number of bytes `encode` would produce.
+    ///
+    /// The default implementation encodes into a scratch buffer; every type
+    /// on a hot path overrides it with pure arithmetic, because the network
+    /// layer charges `encoded_len` bytes on **every** send and an encode
+    /// per send would dominate the allocation profile.
     fn encoded_len(&self) -> usize {
         let mut e = Encoder::new();
         self.encode(&mut e);
@@ -305,6 +310,9 @@ impl<T: Wire> Wire for Option<T> {
             tag => Err(DecodeError::InvalidTag { ty: "Option", tag }),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Wire::encoded_len)
+    }
 }
 
 impl<T: Wire> Wire for Vec<T> {
@@ -325,6 +333,9 @@ impl<T: Wire> Wire for Vec<T> {
         }
         Ok(out)
     }
+    fn encoded_len(&self) -> usize {
+        4 + self.iter().map(Wire::encoded_len).sum::<usize>()
+    }
 }
 
 impl<A: Wire, B: Wire> Wire for (A, B) {
@@ -334,6 +345,9 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
     }
     fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         Ok((A::decode(d)?, B::decode(d)?))
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len()
     }
 }
 
@@ -376,10 +390,16 @@ impl Wire for EntryId {
 
 impl Wire for Configuration {
     fn encode(&self, e: &mut Encoder) {
-        self.to_vec().encode(e);
+        e.put_u32(u32::try_from(self.len()).expect("config too large"));
+        for n in self.iter() {
+            n.encode(e);
+        }
     }
     fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         Ok(Configuration::new(Vec::<NodeId>::decode(d)?))
+    }
+    fn encoded_len(&self) -> usize {
+        4 + 8 * self.len()
     }
 }
 
@@ -416,20 +436,29 @@ impl Wire for BatchItem {
             data: Bytes::decode(d)?,
         })
     }
+    fn encoded_len(&self) -> usize {
+        self.id.encoded_len() + self.data.encoded_len()
+    }
 }
 
 impl Wire for Batch {
     fn encode(&self, e: &mut Encoder) {
         self.cluster.encode(e);
         e.put_u64(self.batch_seq);
-        self.items.encode(e);
+        e.put_u32(u32::try_from(self.items.len()).expect("batch too large"));
+        for item in self.items.iter() {
+            item.encode(e);
+        }
     }
     fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         Ok(Batch {
             cluster: ClusterId::decode(d)?,
             batch_seq: d.u64()?,
-            items: Vec::decode(d)?,
+            items: Vec::<BatchItem>::decode(d)?.into(),
         })
+    }
+    fn encoded_len(&self) -> usize {
+        8 + 8 + 4 + self.items.iter().map(Wire::encoded_len).sum::<usize>()
     }
 }
 
@@ -442,9 +471,12 @@ impl Wire for GlobalState {
     fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         Ok(GlobalState {
             index: LogIndex::decode(d)?,
-            entry: Box::new(LogEntry::decode(d)?),
+            entry: std::sync::Arc::new(LogEntry::decode(d)?),
             global_commit: LogIndex::decode(d)?,
         })
+    }
+    fn encoded_len(&self) -> usize {
+        8 + self.entry.encoded_len() + 8
     }
 }
 
@@ -480,6 +512,15 @@ impl Wire for Payload {
             tag => Err(DecodeError::InvalidTag { ty: "Payload", tag }),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            Payload::Noop => 0,
+            Payload::Data(b) => b.encoded_len(),
+            Payload::Config(c) => c.encoded_len(),
+            Payload::Batch(b) => b.encoded_len(),
+            Payload::GlobalState(g) => g.encoded_len(),
+        }
+    }
 }
 
 impl Wire for LogEntry {
@@ -496,6 +537,24 @@ impl Wire for LogEntry {
             payload: Payload::decode(d)?,
             approval: Approval::decode(d)?,
         })
+    }
+    fn encoded_len(&self) -> usize {
+        8 + 16 + self.payload.encoded_len() + 1
+    }
+}
+
+impl Wire for EntryList {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u32(u32::try_from(self.len()).expect("entry list too large"));
+        for pair in self.iter() {
+            pair.encode(e);
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Vec::<(LogIndex, LogEntry)>::decode(d)?.into())
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.iter().map(Wire::encoded_len).sum::<usize>()
     }
 }
 
@@ -548,10 +607,10 @@ mod tests {
             EntryId::new(NodeId(3), 2),
             cfg.clone(),
         ));
-        let batch = Batch {
-            cluster: ClusterId(4),
-            batch_seq: 11,
-            items: vec![
+        let batch = Batch::new(
+            ClusterId(4),
+            11,
+            vec![
                 BatchItem {
                     id: EntryId::new(NodeId(1), 0),
                     data: Bytes::from_static(b"a"),
@@ -561,7 +620,7 @@ mod tests {
                     data: Bytes::from_static(b"bb"),
                 },
             ],
-        };
+        );
         roundtrip(&LogEntry {
             term: Term(5),
             id: EntryId::new(NodeId(9), 3),
@@ -570,7 +629,7 @@ mod tests {
         });
         let gs = GlobalState {
             index: LogIndex(8),
-            entry: Box::new(LogEntry {
+            entry: std::sync::Arc::new(LogEntry {
                 term: Term(5),
                 id: EntryId::new(NodeId(9), 3),
                 payload: Payload::Batch(batch),
@@ -584,6 +643,19 @@ mod tests {
             payload: Payload::GlobalState(gs),
             approval: Approval::LeaderApproved,
         });
+    }
+
+    #[test]
+    fn entry_list_roundtrips() {
+        let e = LogEntry::data(Term(3), EntryId::new(NodeId(1), 0), Bytes::from_static(b"v"));
+        roundtrip(&EntryList::empty());
+        roundtrip(&EntryList::from_vec(vec![
+            (LogIndex(2), e.clone()),
+            (LogIndex(5), e.clone()),
+        ]));
+        // The list encodes identically to the plain vector it froze.
+        let v = vec![(LogIndex(2), e.clone()), (LogIndex(5), e)];
+        assert_eq!(EntryList::from_vec(v.clone()).to_bytes(), v.to_bytes());
     }
 
     #[test]

@@ -1,10 +1,15 @@
-//! Membership configurations.
+//! Membership configurations and replication budgets.
 //!
 //! A configuration is the set of voting members of a consensus group. It is
 //! replicated through the log itself (a configuration entry); each site obeys
 //! the configuration most recently *inserted* into its log (§III-A, §IV-D of
 //! the paper). Safety requires configurations change by **one site at a
 //! time**, which [`Configuration::diff_is_single_change`] lets callers check.
+//!
+//! [`AppendBudget`] caps how much one `AppendEntries` dispatch may carry —
+//! by entry count *and* by encoded bytes, because in the wide-area regimes
+//! the paper targets the binding constraint is link capacity, not entry
+//! count.
 
 use std::collections::BTreeSet;
 
@@ -116,6 +121,56 @@ impl Configuration {
     /// Members as a sorted `Vec`, for wire encoding and display.
     pub fn to_vec(&self) -> Vec<NodeId> {
         self.members.iter().copied().collect()
+    }
+}
+
+/// Byte- and entry-count budget for one replication batch.
+///
+/// Batch assembly admits entries until **either** cap is reached, but always
+/// admits at least one entry so an over-sized single entry cannot wedge
+/// replication: a batch with one entry is valid regardless of its size, and
+/// the follower's ack lets the window advance past it.
+///
+/// # Examples
+///
+/// ```
+/// use wire::AppendBudget;
+///
+/// let budget = AppendBudget::new(128, 1024);
+/// assert!(budget.admits(0, 0, 4096));      // first entry always fits
+/// assert!(!budget.admits(1, 900, 200));    // would exceed the byte cap
+/// assert!(!budget.admits(128, 0, 1));      // entry cap reached
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AppendBudget {
+    /// Maximum entries per batch.
+    pub max_entries: usize,
+    /// Maximum encoded payload bytes per batch.
+    pub max_bytes: usize,
+}
+
+impl AppendBudget {
+    /// Creates a budget from both caps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either cap is zero (a zero budget could never replicate).
+    pub fn new(max_entries: usize, max_bytes: usize) -> Self {
+        assert!(max_entries > 0, "entry budget must be positive");
+        assert!(max_bytes > 0, "byte budget must be positive");
+        AppendBudget {
+            max_entries,
+            max_bytes,
+        }
+    }
+
+    /// `true` if a batch already holding `entries` entries of `bytes` total
+    /// encoded size may admit one more entry of `next_bytes`.
+    pub fn admits(&self, entries: usize, bytes: usize, next_bytes: usize) -> bool {
+        if entries == 0 {
+            return true; // guarantee progress
+        }
+        entries < self.max_entries && bytes.saturating_add(next_bytes) <= self.max_bytes
     }
 }
 

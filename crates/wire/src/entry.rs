@@ -1,6 +1,20 @@
 //! Log entries and their payloads.
+//!
+//! ## Shared-payload ownership
+//!
+//! Replication fans the same bytes out to many recipients, so the bulky
+//! parts of an entry are reference-counted and **immutable once shared**:
+//! [`Bytes`] data, [`Batch`] item lists, [`GlobalState`] inner entries, and
+//! whole [`EntryList`] append batches all clone in O(1) by bumping a
+//! refcount. A producer must treat an entry as frozen from the moment it is
+//! handed to `Actions::send`/`send_many` — the same allocation may now be
+//! referenced by every in-flight copy. Site-local bookkeeping that *does*
+//! change per copy (the `approval` field) lives outside the shared
+//! allocations, in the [`LogEntry`] value itself, so stamping a received
+//! entry's approval never touches the shared buffers.
 
 use core::fmt;
+use std::sync::Arc;
 
 use bytes::Bytes;
 
@@ -41,17 +55,30 @@ pub struct BatchItem {
 
 /// A batch of locally committed entries proposed to the global log by a
 /// cluster leader (§V-A).
+///
+/// The item list is `Arc`-shared: cloning a batch (e.g. when the entry
+/// holding it is re-broadcast, voted on, or replicated to every cluster
+/// member) bumps a refcount instead of copying the values.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Batch {
     /// The cluster whose local log produced this batch.
     pub cluster: ClusterId,
     /// Sequence number of this batch within the cluster (for dedup).
     pub batch_seq: u64,
-    /// The batched values, in local-log order.
-    pub items: Vec<BatchItem>,
+    /// The batched values, in local-log order (immutable once built).
+    pub items: Arc<[BatchItem]>,
 }
 
 impl Batch {
+    /// Builds a batch from its items.
+    pub fn new(cluster: ClusterId, batch_seq: u64, items: Vec<BatchItem>) -> Self {
+        Batch {
+            cluster,
+            batch_seq,
+            items: items.into(),
+        }
+    }
+
     /// Number of values in the batch.
     pub fn len(&self) -> usize {
         self.items.len()
@@ -71,8 +98,10 @@ impl Batch {
 pub struct GlobalState {
     /// The global-log index the entry was inserted at.
     pub index: LogIndex,
-    /// The global-log entry itself.
-    pub entry: Box<LogEntry>,
+    /// The global-log entry itself (`Arc`-shared: a global-state entry is
+    /// replicated to every cluster member, and cloning it must not copy the
+    /// wrapped global entry).
+    pub entry: Arc<LogEntry>,
     /// The global commit index known to the local leader when proposing,
     /// so cluster members track global commits across leader changes.
     pub global_commit: LogIndex,
@@ -206,6 +235,95 @@ impl fmt::Display for LogEntry {
     }
 }
 
+/// An immutable, `Arc`-shared batch of explicitly indexed log entries — the
+/// payload of an `AppendEntries` message.
+///
+/// A leader assembling one replication batch for several followers builds
+/// the list **once** and clones the handle per recipient; every in-flight
+/// copy then references the same allocation (the zero-copy fabric). The
+/// entries are frozen: consumers clone individual [`LogEntry`] values out of
+/// the list before mutating site-local fields such as `approval`.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use wire::{EntryId, EntryList, LogEntry, LogIndex, NodeId, Term};
+///
+/// let e = LogEntry::data(Term(1), EntryId::new(NodeId(1), 0), Bytes::from_static(b"v"));
+/// let list = EntryList::from_vec(vec![(LogIndex(3), e)]);
+/// let shared = list.clone(); // O(1): same allocation
+/// assert_eq!(shared.len(), 1);
+/// assert_eq!(shared[0].0, LogIndex(3));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct EntryList(Arc<[(LogIndex, LogEntry)]>);
+
+impl EntryList {
+    /// Freezes a vector of indexed entries into a shareable list.
+    pub fn from_vec(entries: Vec<(LogIndex, LogEntry)>) -> Self {
+        EntryList(entries.into())
+    }
+
+    /// The empty list (pure heartbeat).
+    pub fn empty() -> Self {
+        EntryList(Arc::from(Vec::new()))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` when the list carries no entries.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates the `(index, entry)` pairs in order.
+    pub fn iter(&self) -> core::slice::Iter<'_, (LogIndex, LogEntry)> {
+        self.0.iter()
+    }
+
+    /// The entries as a slice.
+    pub fn as_slice(&self) -> &[(LogIndex, LogEntry)] {
+        &self.0
+    }
+}
+
+impl Default for EntryList {
+    fn default() -> Self {
+        EntryList::empty()
+    }
+}
+
+impl core::ops::Deref for EntryList {
+    type Target = [(LogIndex, LogEntry)];
+    fn deref(&self) -> &Self::Target {
+        &self.0
+    }
+}
+
+impl From<Vec<(LogIndex, LogEntry)>> for EntryList {
+    fn from(entries: Vec<(LogIndex, LogEntry)>) -> Self {
+        EntryList::from_vec(entries)
+    }
+}
+
+impl FromIterator<(LogIndex, LogEntry)> for EntryList {
+    fn from_iter<I: IntoIterator<Item = (LogIndex, LogEntry)>>(iter: I) -> Self {
+        EntryList(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a EntryList {
+    type Item = &'a (LogIndex, LogEntry);
+    type IntoIter = core::slice::Iter<'a, (LogIndex, LogEntry)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,22 +364,45 @@ mod tests {
 
     #[test]
     fn batch_len() {
-        let batch = Batch {
-            cluster: ClusterId(1),
-            batch_seq: 0,
-            items: vec![BatchItem {
+        let batch = Batch::new(
+            ClusterId(1),
+            0,
+            vec![BatchItem {
                 id: id(1, 0),
                 data: Bytes::from_static(b"v"),
             }],
-        };
+        );
         assert_eq!(batch.len(), 1);
         assert!(!batch.is_empty());
-        assert!(Batch {
-            cluster: ClusterId(1),
-            batch_seq: 1,
-            items: vec![]
-        }
-        .is_empty());
+        assert!(Batch::new(ClusterId(1), 1, vec![]).is_empty());
+    }
+
+    #[test]
+    fn batch_clone_shares_items() {
+        let batch = Batch::new(
+            ClusterId(1),
+            0,
+            vec![BatchItem {
+                id: id(1, 0),
+                data: Bytes::from_static(b"v"),
+            }],
+        );
+        let copy = batch.clone();
+        assert!(Arc::ptr_eq(&batch.items, &copy.items));
+    }
+
+    #[test]
+    fn entry_list_shares_allocation() {
+        let e = LogEntry::data(Term(1), id(1, 0), Bytes::from_static(b"v"));
+        let list = EntryList::from_vec(vec![(LogIndex(2), e.clone()), (LogIndex(5), e)]);
+        let shared = list.clone();
+        assert_eq!(shared.len(), 2);
+        assert_eq!(shared.as_slice()[1].0, LogIndex(5));
+        assert!(std::ptr::eq(list.as_slice(), shared.as_slice()));
+        assert!(EntryList::empty().is_empty());
+        assert_eq!(EntryList::default(), EntryList::empty());
+        let collected: EntryList = list.iter().cloned().collect();
+        assert_eq!(collected, list);
     }
 
     #[test]

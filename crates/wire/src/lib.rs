@@ -40,8 +40,8 @@ pub use actions::{
     TimerKind,
 };
 pub use codec::{DecodeError, Decoder, Encoder, Wire};
-pub use config::Configuration;
-pub use entry::{Approval, Batch, BatchItem, GlobalState, LogEntry, Payload};
+pub use config::{AppendBudget, Configuration};
+pub use entry::{Approval, Batch, BatchItem, EntryList, GlobalState, LogEntry, Payload};
 pub use ids::{ClusterId, EntryId, LogIndex, NodeId, Term};
 pub use log::SparseLog;
 pub use quorum::{

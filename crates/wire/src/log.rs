@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::{Approval, LogEntry, LogIndex, Term};
+use crate::{Approval, AppendBudget, EntryList, LogEntry, LogIndex, Term, Wire};
 
 /// A 1-indexed replicated log that may contain holes.
 ///
@@ -148,6 +148,32 @@ impl SparseLog {
         self.range(from, to).map(|(i, e)| (i, e.clone())).collect()
     }
 
+    /// Collects the occupied slots of `[from, to]` into an [`EntryList`]
+    /// honoring `budget`: admission stops at whichever of the entry-count or
+    /// encoded-byte cap binds first, but at least one entry is always taken
+    /// when the range holds any (see [`AppendBudget::admits`]).
+    ///
+    /// The budget charges each entry its `(index, entry)` wire encoding, the
+    /// exact bytes it occupies inside an AppendEntries message.
+    pub fn collect_range_budgeted(
+        &self,
+        from: LogIndex,
+        to: LogIndex,
+        budget: AppendBudget,
+    ) -> EntryList {
+        let mut out: Vec<(LogIndex, LogEntry)> = Vec::new();
+        let mut bytes = 0usize;
+        for (i, e) in self.range(from, to) {
+            let sz = 8 + e.encoded_len();
+            if !budget.admits(out.len(), bytes, sz) {
+                break;
+            }
+            bytes += sz;
+            out.push((i, e.clone()));
+        }
+        EntryList::from_vec(out)
+    }
+
     /// All self-approved entries, for Fast Raft's election recovery (§IV-C).
     pub fn self_approved(&self) -> Vec<(LogIndex, LogEntry)> {
         self.iter()
@@ -263,6 +289,54 @@ mod tests {
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].0, LogIndex(1));
         assert_eq!(got[1].0, LogIndex(3));
+    }
+
+    #[test]
+    fn budgeted_collect_honors_entry_cap() {
+        let log: SparseLog = (0..10).map(|s| entry(1, s)).collect();
+        let got = log.collect_range_budgeted(
+            LogIndex(1),
+            LogIndex(10),
+            AppendBudget::new(3, usize::MAX),
+        );
+        assert_eq!(got.len(), 3);
+        assert_eq!(got.as_slice()[2].0, LogIndex(3));
+    }
+
+    #[test]
+    fn budgeted_collect_honors_byte_cap() {
+        let log: SparseLog = (0..10).map(|s| entry(1, s)).collect();
+        let per_entry = 8 + log.get(LogIndex(1)).unwrap().encoded_len();
+        // Room for exactly two entries.
+        let got = log.collect_range_budgeted(
+            LogIndex(1),
+            LogIndex(10),
+            AppendBudget::new(128, 2 * per_entry),
+        );
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn budgeted_collect_always_takes_one() {
+        let log: SparseLog = (0..3).map(|s| entry(1, s)).collect();
+        // A byte budget smaller than any entry still yields one entry.
+        let got =
+            log.collect_range_budgeted(LogIndex(1), LogIndex(3), AppendBudget::new(128, 1));
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn budgeted_collect_skips_holes() {
+        let mut log = SparseLog::new();
+        log.insert(LogIndex(1), entry(1, 0));
+        log.insert(LogIndex(4), entry(1, 1));
+        let got = log.collect_range_budgeted(
+            LogIndex(1),
+            LogIndex(4),
+            AppendBudget::new(128, usize::MAX),
+        );
+        assert_eq!(got.len(), 2);
+        assert_eq!(got.as_slice()[1].0, LogIndex(4));
     }
 
     #[test]

@@ -41,11 +41,7 @@ fn arb_batch() -> impl Strategy<Value = Batch> {
             0..8,
         ),
     )
-        .prop_map(|(cluster, batch_seq, items)| Batch {
-            cluster,
-            batch_seq,
-            items,
-        })
+        .prop_map(|(cluster, batch_seq, items)| Batch::new(cluster, batch_seq, items))
 }
 
 fn arb_flat_payload() -> impl Strategy<Value = Payload> {
@@ -89,7 +85,7 @@ fn arb_entry() -> impl Strategy<Value = LogEntry> {
                 id,
                 payload: Payload::GlobalState(GlobalState {
                     index,
-                    entry: Box::new(inner),
+                    entry: std::sync::Arc::new(inner),
                     global_commit: gc,
                 }),
                 approval,
@@ -104,6 +100,16 @@ proptest! {
         prop_assert_eq!(bytes.len(), e.encoded_len());
         let back = LogEntry::from_bytes(&bytes).unwrap();
         prop_assert_eq!(back, e);
+    }
+
+    #[test]
+    fn entry_list_roundtrip(entries in proptest::collection::vec(
+        (any::<u64>().prop_map(LogIndex), arb_entry()), 0..8)
+    ) {
+        let list = wire::EntryList::from_vec(entries);
+        let bytes = list.to_bytes();
+        prop_assert_eq!(bytes.len(), list.encoded_len());
+        prop_assert_eq!(wire::EntryList::from_bytes(&bytes).unwrap(), list);
     }
 
     #[test]

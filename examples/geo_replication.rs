@@ -35,6 +35,7 @@ fn main() {
     let craft = CRaftScenario {
         clusters: 3,
         batch_size: 10,
+        max_batch_bytes: Timing::wan().max_bytes_per_append,
         global_timing: Timing::wan(),
         global_proposal_mode: ProposalMode::LeaderForward,
     };

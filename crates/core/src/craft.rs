@@ -64,6 +64,13 @@ pub struct CRaftConfig {
     /// Flush a partial batch after this many milliseconds of inactivity
     /// (0 disables time-based flushing).
     pub batch_flush_ms: u64,
+    /// Snapshot threshold for the **global** log, overriding
+    /// `global_timing.snapshot_threshold`: once a site's retained decided
+    /// global prefix exceeds this many entries it compacts into a snapshot,
+    /// and a cluster leader rejoining the global level past the horizon
+    /// catches up by snapshot transfer. The local log keeps using
+    /// `local_timing.snapshot_threshold`. `0` disables global compaction.
+    pub global_snapshot_threshold: u64,
     /// How batches are proposed at the global level. The default,
     /// [`ProposalMode::LeaderForward`], serializes index assignment at the
     /// global leader so concurrent per-cluster batches never collide;
@@ -82,7 +89,16 @@ impl CRaftConfig {
             batch_size: 10,
             max_batch_bytes: Timing::wan().max_bytes_per_append,
             batch_flush_ms: 1000,
+            global_snapshot_threshold: Timing::wan().snapshot_threshold,
             global_proposal_mode: ProposalMode::LeaderForward,
+        }
+    }
+
+    /// The global-level timing with the global snapshot threshold applied.
+    fn effective_global_timing(&self) -> Timing {
+        Timing {
+            snapshot_threshold: self.global_snapshot_threshold,
+            ..self.global_timing
         }
     }
 }
@@ -111,6 +127,9 @@ pub struct CRaftNode {
     /// Cached global-level persistent identity for (re)activation.
     global_term: Term,
     global_voted_for: Option<NodeId>,
+    /// Persisted global-log snapshot inherited at recovery, handed to the
+    /// global engine on (re)activation.
+    global_snapshot: Option<wire::Snapshot>,
     /// Locally committed data entries awaiting batching (leader only).
     batch_buf: Vec<(LogIndex, BatchItem)>,
     batch_seq: u64,
@@ -162,6 +181,7 @@ impl CRaftNode {
             global_bootstrap,
             global_term: Term::ZERO,
             global_voted_for: None,
+            global_snapshot: None,
             batch_buf: Vec::new(),
             batch_seq: 0,
             global_commit_seen: LogIndex::ZERO,
@@ -188,12 +208,17 @@ impl CRaftNode {
             stable.local.current_term,
             stable.local.voted_for,
             stable.local.log.clone(),
+            stable.local.snapshot.clone(),
             local_bootstrap,
             LogScope::Local,
             TimerProfile::Base,
             cfg.local_timing,
             local_rng,
         );
+        let global_snapshot = stable.global.snapshot.clone();
+        let global_commit_seen = global_snapshot
+            .as_ref()
+            .map_or(LogIndex::ZERO, |s| s.last_index);
         CRaftNode {
             id,
             local,
@@ -202,9 +227,10 @@ impl CRaftNode {
             global_bootstrap,
             global_term: stable.global.current_term,
             global_voted_for: stable.global.voted_for,
+            global_snapshot,
             batch_buf: Vec::new(),
             batch_seq: 0,
-            global_commit_seen: LogIndex::ZERO,
+            global_commit_seen,
             cfg,
             boost_first_election: false,
         }
@@ -314,20 +340,27 @@ impl CRaftNode {
         let rng = SimRng::seed_from_u64(
             self.id.as_u64() ^ self.local.current_term().as_u64().wrapping_mul(0x9E37),
         );
+        // The inherited global snapshot (persisted across crashes, cached
+        // across deactivations) covers the prefix whose global-state entries
+        // may have been compacted out of the local log; recovery installs it
+        // on the reconstruction, establishing the commit floor and the
+        // boundary term.
         let mut engine = FastRaftEngine::recover(
             self.id,
             self.global_term,
             self.global_voted_for,
             global_log,
+            self.global_snapshot.clone(),
             self.global_bootstrap.clone(),
             LogScope::Global,
             TimerProfile::Global,
-            self.cfg.global_timing,
+            self.cfg.effective_global_timing(),
             rng,
         );
         engine.set_proposal_mode(self.cfg.global_proposal_mode);
         let mut ea: Actions<FastRaftMessage> = Actions::new();
         engine.bootstrap(&mut ea);
+        self.global_commit_seen = self.global_commit_seen.max(engine.commit_index());
 
         // Recover this cluster's possibly-in-flight batches: any batch of
         // ours sitting uncommitted in the reconstructed global log gets
@@ -387,6 +420,18 @@ impl CRaftNode {
         };
         self.global_term = side.engine.current_term();
         self.global_voted_for = None; // conservatively forget; persisted copy rules
+        // Cache the engine's snapshot for the next activation: a later
+        // reconstruction from the (possibly further-compacted) local log
+        // needs the horizon and its boundary term.
+        if let Some(s) = side.engine.current_snapshot() {
+            let newer = self
+                .global_snapshot
+                .as_ref()
+                .is_none_or(|old| old.last_index <= s.last_index);
+            if newer {
+                self.global_snapshot = Some(s);
+            }
+        }
         self.batch_buf.clear();
         for kind in [
             TimerKind::GlobalElection,
@@ -574,6 +619,11 @@ impl CRaftNode {
             out.commits.push(commit);
         }
         out.observations.append(&mut ea.observations);
+        // A snapshot install advances the engine's commit floor without
+        // per-entry commit notifications; track the jump here.
+        if let Some(side) = &self.global {
+            self.global_commit_seen = self.global_commit_seen.max(side.engine.commit_index());
+        }
 
         // Gate requests become local global-state proposals (§V-B).
         let requests = match self.global.as_mut() {

@@ -43,8 +43,8 @@ use bytes::Bytes;
 use des::SimRng;
 use raft::{Role, Timing};
 use wire::{
-    Actions, Approval, Configuration, EntryId, EntryList, LogEntry, LogIndex, LogScope, NodeId,
-    Observation, Payload, PersistCmd, Term, TimerKind,
+    fold_commit_digest, Actions, Approval, Configuration, EntryId, EntryList, LogEntry, LogIndex,
+    LogScope, NodeId, Observation, Payload, PersistCmd, Snapshot, Term, TimerKind,
 };
 
 use crate::gate::{GatePurpose, GateToken, GateVerdict, InsertGate};
@@ -178,9 +178,15 @@ pub struct FastRaftEngine {
     current_term: Term,
     voted_for: Option<NodeId>,
     log: wire::SparseLog,
+    /// Latest snapshot covering the compacted log prefix, served to sites
+    /// whose `nextIndex` fell below `log.first_index()`.
+    snapshot: Option<Snapshot>,
 
     // ---- volatile ----
     commit_index: LogIndex,
+    /// Running digest of the committed sequence (the simulated state
+    /// machine); captured into snapshots as the state image.
+    state_digest: u64,
     role: Role,
     leader_hint: Option<NodeId>,
     config: Configuration,
@@ -204,6 +210,9 @@ pub struct FastRaftEngine {
     pending_join_notify: Option<NodeId>,
     reconfig_queue: VecDeque<ReconfigOp>,
     stalled_ticks: u32,
+    /// Highest index already repaired proactively (from an append ack), so
+    /// one stall triggers at most one proactive no-op broadcast.
+    last_proactive_repair: LogIndex,
 
     // ---- proposer ----
     next_seq: u64,
@@ -295,7 +304,9 @@ impl FastRaftEngine {
             current_term: Term::ZERO,
             voted_for: None,
             log: wire::SparseLog::new(),
+            snapshot: None,
             commit_index: LogIndex::ZERO,
+            state_digest: 0,
             role: Role::Follower,
             leader_hint: None,
             config,
@@ -314,6 +325,7 @@ impl FastRaftEngine {
             pending_join_notify: None,
             reconfig_queue: VecDeque::new(),
             stalled_ticks: 0,
+            last_proactive_repair: LogIndex::ZERO,
             next_seq: 0,
             pending_proposals: BTreeMap::new(),
             join_contacts,
@@ -328,15 +340,19 @@ impl FastRaftEngine {
         }
     }
 
-    /// Rebuilds an engine from persisted state after a crash. The
-    /// configuration is taken from the log's latest config entry, falling
-    /// back to `bootstrap`.
+    /// Rebuilds an engine from persisted state after a crash: snapshot (if
+    /// any) + retained log suffix. The commit index resumes at the
+    /// compaction horizon — everything the snapshot covers is known
+    /// committed and already applied. The configuration is taken from the
+    /// log's latest config entry, falling back to the snapshot's, then
+    /// `bootstrap`.
     #[allow(clippy::too_many_arguments)]
     pub fn recover(
         id: NodeId,
         term: Term,
         voted_for: Option<NodeId>,
-        log: wire::SparseLog,
+        mut log: wire::SparseLog,
+        snapshot: Option<Snapshot>,
         bootstrap: Configuration,
         scope: LogScope,
         timers: TimerProfile,
@@ -346,12 +362,29 @@ impl FastRaftEngine {
         let mut e = Self::construct(id, bootstrap, None, scope, timers, timing, rng);
         e.current_term = term;
         e.voted_for = voted_for;
+        if let Some(snap) = &snapshot {
+            // Idempotent for a log already compacted to the snapshot; for a
+            // log rebuilt some other way (C-Raft's global reconstruction) it
+            // establishes the horizon and drops covered entries.
+            log.install_snapshot(snap.last_index, snap.last_term);
+            e.config = snap.config.clone();
+            e.config_index = snap.last_index;
+            if let Some(digest) = snap.state_digest() {
+                e.state_digest = digest;
+            }
+        }
         e.log = log;
+        e.snapshot = snapshot;
+        e.commit_index = e.log.compacted_through();
+        e.verified = e.commit_index;
         if let Some((idx, cfg)) = e.log.latest_config() {
             e.config = cfg.clone();
             e.config_index = idx;
         }
-        e.last_leader_index = e.log.last_leader_index();
+        e.last_leader_index = e
+            .log
+            .last_leader_index()
+            .max(e.log.compacted_through());
         for (idx, entry) in e.log.iter() {
             e.id_index.insert(entry.id, idx);
         }
@@ -394,6 +427,17 @@ impl FastRaftEngine {
     /// The log at this level.
     pub fn log(&self) -> &wire::SparseLog {
         &self.log
+    }
+
+    /// The latest snapshot covering the compacted prefix, if any.
+    pub fn snapshot(&self) -> Option<&Snapshot> {
+        self.snapshot.as_ref()
+    }
+
+    /// Running digest of the committed sequence (the simulated state
+    /// machine's state).
+    pub fn state_digest(&self) -> u64 {
+        self.state_digest
     }
 
     /// The configuration currently obeyed.
@@ -466,11 +510,17 @@ impl FastRaftEngine {
             return;
         };
         let msg = FastRaftMessage::JoinRequest { node: self.id };
+        // Ask the hinted leader, but keep probing every contact too: the
+        // hint may name a crashed leader (exactly the churn that made us
+        // rejoin), and a stale hint must not wedge the join forever — a
+        // current member redirects us to the live leader.
+        let mut targets: Vec<NodeId> = contacts.clone();
         if let Some(leader) = self.leader_hint {
-            out.send(leader, msg);
-        } else {
-            out.send_many(contacts.clone(), msg);
+            if !targets.contains(&leader) {
+                targets.push(leader);
+            }
         }
+        out.send_many(targets, msg);
         out.set_timer(
             self.timers.map(TimerKind::JoinRetry),
             self.timing.join_timeout,
@@ -923,6 +973,14 @@ impl FastRaftEngine {
                 }
             }
             FastRaftMessage::LeaveRequest { node } => self.on_leave_request(node, out),
+            FastRaftMessage::InstallSnapshot {
+                term,
+                leader,
+                snapshot,
+            } => self.on_install_snapshot(from, term, leader, snapshot, out),
+            FastRaftMessage::InstallSnapshotReply { term, last_index } => {
+                self.on_install_snapshot_reply(from, term, last_index, out)
+            }
         }
     }
 
@@ -1008,8 +1066,13 @@ impl FastRaftEngine {
             return;
         }
         // Duplicate already committed? Notify the proposer (§IV-B step 1).
+        // A mapping at or below the compaction horizon refers to an entry
+        // whose slot was compacted away; it is committed by definition.
         if let Some(&idx) = self.id_index.get(&entry.id) {
-            if idx <= self.commit_index && self.log.get(idx).is_some_and(|e| e.id == entry.id) {
+            let committed = idx <= self.log.compacted_through()
+                || (idx <= self.commit_index
+                    && self.log.get(idx).is_some_and(|e| e.id == entry.id));
+            if committed {
                 out.send(
                     entry.id.proposer,
                     FastRaftMessage::ProposeReply {
@@ -1020,6 +1083,11 @@ impl FastRaftEngine {
                 );
                 return;
             }
+        }
+        if index <= self.log.compacted_through() {
+            // The slot was decided and compacted away; nothing to insert or
+            // vote for. A losing proposal re-targets from its retry path.
+            return;
         }
         if self.log.get(index).is_none() {
             let e = entry.with_approval(Approval::SelfApproved);
@@ -1043,6 +1111,10 @@ impl FastRaftEngine {
         entry: LogEntry,
         out: &mut Actions<FastRaftMessage>,
     ) {
+        if index <= self.log.compacted_through() {
+            // The slot was decided and compacted while the insert was gated.
+            return;
+        }
         if self.log.get(index).is_some() {
             // Raced with an AppendEntries insert while gated; vote for the
             // now-present occupant instead.
@@ -1318,6 +1390,14 @@ impl FastRaftEngine {
             eprintln!("INSERT_LEADER {} k={} id={}", self.id, index.as_u64(), entry.id);
         }
         debug_assert_eq!(entry.approval, Approval::LeaderApproved);
+        // A decision overwriting a self-approved occupant must drop the
+        // loser's id mapping: once the slot is compacted, the mapping alone
+        // would answer the loser's retries as committed.
+        if let Some(old) = self.log.get(index) {
+            if old.id != entry.id {
+                self.id_index.remove(&old.id);
+            }
+        }
         self.id_index.insert(entry.id, index);
         if let Some(cfg) = entry.as_config() {
             if index >= self.config_index {
@@ -1386,10 +1466,43 @@ impl FastRaftEngine {
         if trace_enabled() {
             eprintln!("HOLEFILL {} k={} voters={}", self.id, k.as_u64(), self.possible.voters_at(k));
         }
+        self.fire_hole_repair(k, out);
+    }
+
+    /// Proactive hole repair: a successful append ack whose match stopped
+    /// exactly below the blocked decision point, while replicated suffix
+    /// exists above it, proves the classic track is stalled on that hole —
+    /// repair it immediately instead of waiting out `hole_fill_ticks`.
+    /// Fires at most once per index; the tick-based guard remains the
+    /// backstop if the repair proposal itself is lost.
+    fn maybe_proactive_repair(
+        &mut self,
+        acked: LogIndex,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        let k = self.decision_point();
+        if acked.next() != k
+            || self.last_leader_index <= k
+            || k <= self.last_proactive_repair
+            || self.gated_decisions.contains(&k)
+            || self.log.get(k).is_some_and(|e| e.approval == Approval::LeaderApproved)
+            || self.possible.voters_at(k) >= self.config.classic_quorum()
+        {
+            return;
+        }
+        self.last_proactive_repair = k;
+        if trace_enabled() {
+            eprintln!("PROACTIVE_HOLEFILL {} k={}", self.id, k.as_u64());
+        }
+        self.fire_hole_repair(k, out);
+    }
+
+    /// Broadcasts a no-op proposal targeted at the blocked index. Sites
+    /// holding an entry there keep it and re-vote for it, so any chosen
+    /// entry still wins the decision rule — safety is untouched while the
+    /// log unblocks.
+    fn fire_hole_repair(&mut self, k: LogIndex, out: &mut Actions<FastRaftMessage>) {
         out.observe(Observation::HoleRepairTriggered { index: k });
-        // Broadcast a no-op proposal targeted at the blocked index. Sites
-        // holding an entry there keep it and re-vote for it, so any chosen
-        // entry still wins the decision rule.
         let entry = LogEntry {
             term: self.current_term,
             id: self.fresh_internal_id(),
@@ -1447,6 +1560,26 @@ impl FastRaftEngine {
             groups.entry(next).or_default().push(peer);
         }
         for (next, peers) in groups {
+            // A site whose resume point fell below the first retained index
+            // cannot be served from the log anymore (it was absent past the
+            // compaction horizon, or is a fresh joiner): transfer the
+            // compacted prefix as a snapshot; its ack moves nextIndex above
+            // the horizon and replication resumes normally.
+            if next < self.log.first_index() {
+                if let Some(snapshot) = self.current_snapshot() {
+                    for peer in peers {
+                        out.send(
+                            peer,
+                            FastRaftMessage::InstallSnapshot {
+                                term: self.current_term,
+                                leader: self.id,
+                                snapshot: snapshot.clone(),
+                            },
+                        );
+                    }
+                }
+                continue;
+            }
             // §IV-B: include entries from nextIndex through lastLeaderIndex.
             let entries = if self.last_leader_index >= next {
                 let list =
@@ -1553,6 +1686,12 @@ impl FastRaftEngine {
         let mut to_insert = Vec::new();
         for (idx, entry) in entries.iter() {
             let idx = *idx;
+            // Entries at or below the commit index are already decided (and
+            // possibly compacted away); writing there is never needed and
+            // would violate the compaction horizon.
+            if idx <= self.commit_index {
+                continue;
+            }
             let needs_write = match self.log.get(idx) {
                 None => true,
                 Some(existing) => {
@@ -1630,6 +1769,11 @@ impl FastRaftEngine {
         entry: LogEntry,
         out: &mut Actions<FastRaftMessage>,
     ) {
+        if index <= self.log.compacted_through() {
+            // The slot was committed and compacted (e.g. a snapshot arrived
+            // while this insert was gated); the write is obsolete.
+            return;
+        }
         if let Some(old) = self.log.get(index) {
             if old.id != entry.id {
                 self.id_index.remove(&old.id);
@@ -1725,6 +1869,7 @@ impl FastRaftEngine {
             self.next_index.insert(from, match_index.next());
             self.maybe_finish_join(from, out);
             self.advance_commit_classic(out);
+            self.maybe_proactive_repair(match_index, out);
         } else {
             // Stale-term rejection carries no hint; rewind to the commit
             // point so the next dispatch re-sends the suffix.
@@ -1800,6 +1945,7 @@ impl FastRaftEngine {
         }
         self.possible.release_through(new_commit);
         self.retarget_lost_proposals(out);
+        self.maybe_compact(out);
     }
 
     /// Follower-side commit: no track observation (the leader decided).
@@ -1820,6 +1966,7 @@ impl FastRaftEngine {
         }
         self.possible.release_through(new_commit);
         self.retarget_lost_proposals(out);
+        self.maybe_compact(out);
     }
 
     fn emit_commit_effects(&mut self, k: LogIndex, out: &mut Actions<FastRaftMessage>) {
@@ -1827,6 +1974,7 @@ impl FastRaftEngine {
             debug_assert!(false, "committing a hole at {k}");
             return;
         };
+        self.state_digest = fold_commit_digest(self.state_digest, k, entry.id);
         match &entry.payload {
             Payload::Config(cfg) => {
                 out.observe(Observation::ConfigCommitted {
@@ -1883,6 +2031,209 @@ impl FastRaftEngine {
             }
         }
         out.commit(self.scope, k, entry);
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshots + log compaction
+    // ------------------------------------------------------------------
+
+    /// Compacts the committed prefix into a snapshot once its retained
+    /// length exceeds [`Timing::snapshot_threshold`]. Every role compacts —
+    /// the committed prefix is immutable everywhere — so per-site log
+    /// residency stays bounded, not just the leader's. Compaction never
+    /// crosses a hole (the committed prefix is contiguous by construction,
+    /// and [`wire::SparseLog::compact_to`] clamps regardless).
+    fn maybe_compact(&mut self, out: &mut Actions<FastRaftMessage>) {
+        let threshold = self.timing.snapshot_threshold;
+        if threshold == 0 {
+            return;
+        }
+        let horizon = self.log.compacted_through();
+        let retained_decided = self.commit_index.as_u64().saturating_sub(horizon.as_u64());
+        if retained_decided <= threshold {
+            return;
+        }
+        let through = self.commit_index;
+        let snapshot = Snapshot {
+            scope: self.scope,
+            last_index: through,
+            last_term: self.log.term_at(through),
+            config: self.config_for_snapshot(through),
+            state: Snapshot::digest_state(self.state_digest),
+        };
+        out.persist(PersistCmd::InstallSnapshot {
+            snapshot: snapshot.clone(),
+        });
+        let new_horizon = self.log.compact_to(through);
+        debug_assert_eq!(new_horizon, through, "committed prefix must be contiguous");
+        self.snapshot = Some(snapshot);
+        out.observe(Observation::LogCompacted {
+            scope: self.scope,
+            through,
+            retained: self.log.len(),
+        });
+    }
+
+    /// The configuration in force at `through`: the current configuration
+    /// when its entry sits at or below the cut, otherwise the newest config
+    /// entry inside the retained prefix (falling back to the previous
+    /// snapshot's, then the current configuration).
+    fn config_for_snapshot(&self, through: LogIndex) -> Configuration {
+        if self.config_index <= through {
+            return self.config.clone();
+        }
+        let mut cfg = self.snapshot.as_ref().map(|s| s.config.clone());
+        for (_, e) in self.log.range(self.log.first_index(), through) {
+            if let Some(c) = e.as_config() {
+                cfg = Some(c.clone());
+            }
+        }
+        cfg.unwrap_or_else(|| self.config.clone())
+    }
+
+    /// The snapshot to serve laggards: the cached one (compaction refreshes
+    /// it), synthesized from the log's horizon if a recovery path lost it.
+    /// Public so the C-Raft layer can cache the global engine's snapshot
+    /// across deactivation.
+    pub fn current_snapshot(&self) -> Option<Snapshot> {
+        let horizon = self.log.compacted_through();
+        if horizon.is_zero() {
+            return None;
+        }
+        match &self.snapshot {
+            Some(s) if s.last_index == horizon => Some(s.clone()),
+            _ => Some(Snapshot {
+                scope: self.scope,
+                last_index: horizon,
+                last_term: self.log.compacted_term(),
+                config: self.config_for_snapshot(horizon),
+                state: Snapshot::digest_state(self.state_digest),
+            }),
+        }
+    }
+
+    /// Laggard side of a snapshot transfer (§IV-D catch-up): replace the
+    /// compacted prefix wholesale and resume replication above it.
+    ///
+    /// Snapshot installs are **not** gated at C-Raft's global level: every
+    /// entry the snapshot covers is globally committed, so there is nothing
+    /// a successor local leader could lose — it re-fetches the prefix from
+    /// the global leader instead of from local global-state entries.
+    fn on_install_snapshot(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        leader: NodeId,
+        snapshot: Snapshot,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        if term < self.current_term {
+            out.send(
+                from,
+                FastRaftMessage::InstallSnapshotReply {
+                    term: self.current_term,
+                    last_index: LogIndex::ZERO,
+                },
+            );
+            return;
+        }
+        self.silent_elections = 0;
+        let leader_changed = self.leader_hint != Some(leader) || term > self.current_term;
+        if term > self.current_term || self.role != Role::Follower {
+            self.become_follower(term, Some(leader), out);
+        } else {
+            self.leader_hint = Some(leader);
+            self.reset_election_timer(out);
+        }
+        if leader_changed {
+            self.verified = self.commit_index;
+        }
+        let last_index = snapshot.last_index;
+        if last_index <= self.commit_index {
+            // Stale transfer: everything it covers is already committed
+            // here. Ack our actual coverage so the leader resumes higher.
+            out.send(
+                from,
+                FastRaftMessage::InstallSnapshotReply {
+                    term: self.current_term,
+                    last_index: self.commit_index,
+                },
+            );
+            return;
+        }
+        if trace_enabled() {
+            eprintln!(
+                "INSTALL_SNAPSHOT {}@{:?} through={}",
+                self.id,
+                self.scope,
+                last_index.as_u64()
+            );
+        }
+        let old_commit = self.commit_index;
+        out.persist(PersistCmd::InstallSnapshot {
+            snapshot: snapshot.clone(),
+        });
+        self.log.install_snapshot(last_index, snapshot.last_term);
+        // Drop id mappings for entries the install discarded. Only mappings
+        // at or below the *pre-install* commit index are known committed
+        // (and may keep answering duplicate proposals as such) — an
+        // uncommitted self-approved entry below the new horizon may have
+        // lost its slot to a different entry, and must not be reported
+        // committed.
+        let log = &self.log;
+        self.id_index
+            .retain(|_, idx| *idx <= old_commit || log.get(*idx).is_some());
+        // Adopt the snapshot's configuration unless a *surviving* config
+        // entry above the horizon supersedes it; a config entry the install
+        // discarded (conflicting suffix) must no longer be obeyed.
+        if self.config_index <= last_index || self.log.get(self.config_index).is_none() {
+            self.adopt_config(snapshot.config.clone(), last_index, out);
+        }
+        if let Some(digest) = snapshot.state_digest() {
+            self.state_digest = digest;
+        }
+        self.commit_index = last_index;
+        self.verified = self.verified.max(last_index);
+        if last_index > self.last_leader_index {
+            self.last_leader_index = last_index;
+        }
+        self.possible.release_through(last_index);
+        self.snapshot = Some(snapshot);
+        out.observe(Observation::SnapshotInstalled {
+            scope: self.scope,
+            last_index,
+        });
+        self.retarget_lost_proposals(out);
+        out.send(
+            from,
+            FastRaftMessage::InstallSnapshotReply {
+                term: self.current_term,
+                last_index,
+            },
+        );
+    }
+
+    fn on_install_snapshot_reply(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        last_index: LogIndex,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        if term > self.current_term {
+            self.become_follower(term, None, out);
+            return;
+        }
+        if self.role != Role::Leader || term < self.current_term {
+            return;
+        }
+        let m = self.match_index.entry(from).or_insert(LogIndex::ZERO);
+        if last_index > *m {
+            *m = last_index;
+        }
+        self.next_index.insert(from, last_index.next());
+        self.maybe_finish_join(from, out);
+        self.advance_commit_classic(out);
     }
 
     // ------------------------------------------------------------------
@@ -2085,6 +2436,7 @@ impl FastRaftEngine {
         }
         self.match_index.insert(self.id, self.last_leader_index);
         self.assign_cursor = self.last_leader_index;
+        self.last_proactive_repair = self.commit_index;
         // Recovery (§IV-C): replay every voter's self-approved entries into
         // possibleEntries so chosen entries are re-chosen.
         let recovered: usize = self.recovery_votes.iter().map(|(_, v)| v.len()).sum();

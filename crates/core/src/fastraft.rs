@@ -84,7 +84,8 @@ impl FastRaftNode {
         }
     }
 
-    /// Rebuilds a node from stable storage after a crash.
+    /// Rebuilds a node from stable storage after a crash: snapshot (if any)
+    /// plus the retained log suffix.
     pub fn recover(
         id: NodeId,
         stable: &StableState,
@@ -98,6 +99,7 @@ impl FastRaftNode {
                 stable.global.current_term,
                 stable.global.voted_for,
                 stable.global.log.clone(),
+                stable.global.snapshot.clone(),
                 bootstrap,
                 LogScope::Global,
                 TimerProfile::Base,
@@ -126,6 +128,17 @@ impl FastRaftNode {
     /// The replicated log.
     pub fn log(&self) -> &wire::SparseLog {
         self.engine.log()
+    }
+
+    /// The latest snapshot covering the compacted prefix, if any.
+    pub fn snapshot(&self) -> Option<&wire::Snapshot> {
+        self.engine.snapshot()
+    }
+
+    /// Running digest of the committed sequence (the simulated state
+    /// machine's state).
+    pub fn state_digest(&self) -> u64 {
+        self.engine.state_digest()
     }
 
     /// The configuration currently obeyed.

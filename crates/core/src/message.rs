@@ -1,8 +1,8 @@
 //! Fast Raft and C-Raft message vocabulary (§IV, §V).
 
 use wire::{
-    DecodeError, Decoder, Encoder, EntryId, EntryList, LogEntry, LogIndex, Message, NodeId, Term,
-    Wire,
+    DecodeError, Decoder, Encoder, EntryId, EntryList, LogEntry, LogIndex, Message, NodeId,
+    Snapshot, Term, Wire,
 };
 
 /// Messages exchanged by Fast Raft sites (one consensus level).
@@ -105,6 +105,25 @@ pub enum FastRaftMessage {
         /// The departing site.
         node: NodeId,
     },
+    /// Leader → laggard site: the site's `nextIndex` fell below the
+    /// leader's first retained log index (it was absent past the compaction
+    /// horizon, or is a fresh joiner), so the decided prefix is transferred
+    /// as a snapshot instead of replayed entry by entry (§IV-D catch-up).
+    InstallSnapshot {
+        /// Leader's term.
+        term: Term,
+        /// Leader's id.
+        leader: NodeId,
+        /// The snapshot covering the compacted prefix.
+        snapshot: Snapshot,
+    },
+    /// Laggard → leader: snapshot transfer outcome.
+    InstallSnapshotReply {
+        /// The site's term, so a stale leader steps down.
+        term: Term,
+        /// Highest index the site's log now covers via the snapshot.
+        last_index: LogIndex,
+    },
 }
 
 impl FastRaftMessage {
@@ -121,6 +140,8 @@ impl FastRaftMessage {
             FastRaftMessage::JoinRequest { .. } => "join_request",
             FastRaftMessage::JoinReply { .. } => "join_reply",
             FastRaftMessage::LeaveRequest { .. } => "leave_request",
+            FastRaftMessage::InstallSnapshot { .. } => "install_snapshot",
+            FastRaftMessage::InstallSnapshotReply { .. } => "install_snapshot_reply",
         }
     }
 
@@ -228,6 +249,21 @@ impl Wire for FastRaftMessage {
                 e.put_u8(9);
                 node.encode(e);
             }
+            FastRaftMessage::InstallSnapshot {
+                term,
+                leader,
+                snapshot,
+            } => {
+                e.put_u8(10);
+                term.encode(e);
+                leader.encode(e);
+                snapshot.encode(e);
+            }
+            FastRaftMessage::InstallSnapshotReply { term, last_index } => {
+                e.put_u8(11);
+                term.encode(e);
+                last_index.encode(e);
+            }
         }
     }
 
@@ -281,6 +317,15 @@ impl Wire for FastRaftMessage {
             9 => FastRaftMessage::LeaveRequest {
                 node: NodeId::decode(d)?,
             },
+            10 => FastRaftMessage::InstallSnapshot {
+                term: Term::decode(d)?,
+                leader: NodeId::decode(d)?,
+                snapshot: Snapshot::decode(d)?,
+            },
+            11 => FastRaftMessage::InstallSnapshotReply {
+                term: Term::decode(d)?,
+                last_index: LogIndex::decode(d)?,
+            },
             tag => {
                 return Err(DecodeError::InvalidTag {
                     ty: "FastRaftMessage",
@@ -308,6 +353,8 @@ impl Wire for FastRaftMessage {
             FastRaftMessage::JoinRequest { .. } => 8,
             FastRaftMessage::JoinReply { leader_hint, .. } => 1 + leader_hint.encoded_len(),
             FastRaftMessage::LeaveRequest { .. } => 8,
+            FastRaftMessage::InstallSnapshot { snapshot, .. } => 8 + 8 + snapshot.encoded_len(),
+            FastRaftMessage::InstallSnapshotReply { .. } => 8 + 8,
         }
     }
 }
@@ -449,6 +496,21 @@ mod tests {
             leader_hint: Some(NodeId(1)),
         });
         roundtrip_fast(&FastRaftMessage::LeaveRequest { node: NodeId(4) });
+        roundtrip_fast(&FastRaftMessage::InstallSnapshot {
+            term: Term(3),
+            leader: NodeId(1),
+            snapshot: Snapshot {
+                scope: wire::LogScope::Global,
+                last_index: LogIndex(300),
+                last_term: Term(3),
+                config: wire::Configuration::new([NodeId(1), NodeId(2), NodeId(3)]),
+                state: Snapshot::digest_state(99),
+            },
+        });
+        roundtrip_fast(&FastRaftMessage::InstallSnapshotReply {
+            term: Term(3),
+            last_index: LogIndex(300),
+        });
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! | [`fig4`] | Fig. 4: latency time series across a silent leave of 2/5 sites |
 //! | [`fig5`] | Fig. 5: global throughput vs. cluster count, classic Raft vs C-Raft |
 //! | [`ext`]  | Extensions: batch-size sweep, proposer contention, leader failover |
+//! | [`residency`] | Long-run log residency: snapshot compaction bounds per-site memory |
 //!
 //! Each experiment returns a structured result with a `render()` method that
 //! prints the same rows/series the paper reports; the `bench` crate exposes
@@ -16,6 +17,7 @@ pub mod ext;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod residency;
 pub mod rounds;
 
 /// Formats a floating value for experiment tables.

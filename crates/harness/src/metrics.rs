@@ -87,8 +87,17 @@ pub struct Metrics {
     /// Configuration entries committed.
     pub config_commits: u64,
     /// Times a leader's liveness guard re-proposed a no-op at a blocked log
-    /// hole (the classic track stalled for `hole_fill_ticks`).
+    /// hole (tick-based stall or proactive ack-driven repair).
     pub hole_repairs: u64,
+    /// Log-prefix compactions performed (all sites, both scopes).
+    pub compactions: u64,
+    /// Snapshots installed from a leader transfer (all sites, both scopes).
+    pub snapshot_installs: u64,
+    /// Peak per-site log residency: the maximum, over sites and time, of
+    /// retained stable-storage log entries (both scopes combined). With
+    /// compaction enabled this stays bounded by the snapshot thresholds;
+    /// without it, it grows linearly with run length.
+    pub log_residency_peak: u64,
     /// Protocol steps that released at least one message.
     pub dispatches: u64,
     /// Messages offered to the network across all dispatches.
@@ -165,6 +174,14 @@ impl Metrics {
         self.dispatches += 1;
         self.messages_sent += messages;
         self.bytes_sent += bytes;
+    }
+
+    /// Records one site's current stable-log residency (retained entries
+    /// across both scopes), keeping the running peak.
+    pub fn note_residency(&mut self, entries: u64) {
+        if entries > self.log_residency_peak {
+            self.log_residency_peak = entries;
+        }
     }
 
     /// Mean encoded bytes released per message-producing protocol step —
@@ -257,6 +274,16 @@ mod tests {
         let s = LatencyStats::from_durations(Vec::new());
         assert_eq!(s.count, 0);
         assert_eq!(s.mean_ms, 0.0);
+    }
+
+    #[test]
+    fn residency_peak_is_monotone() {
+        let mut m = Metrics::new(SimTime::ZERO);
+        m.note_residency(10);
+        m.note_residency(4);
+        assert_eq!(m.log_residency_peak, 10);
+        m.note_residency(25);
+        assert_eq!(m.log_residency_peak, 25);
     }
 
     #[test]

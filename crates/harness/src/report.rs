@@ -71,6 +71,13 @@ pub struct RunReport {
     pub member_suspected: u64,
     /// Times a leader's liveness guard repaired a blocked log hole.
     pub hole_repairs: u64,
+    /// Log-prefix compactions performed across all sites.
+    pub compactions: u64,
+    /// Snapshots installed via leader transfer across all sites.
+    pub snapshot_installs: u64,
+    /// Peak per-site retained log entries (both scopes) over the whole run —
+    /// bounded by the snapshot thresholds when compaction is on.
+    pub peak_log_residency: u64,
     /// Mean encoded bytes offered to the network per message-producing
     /// protocol step.
     pub bytes_per_dispatch: f64,
@@ -111,6 +118,9 @@ impl RunReport {
             leaderships: metrics.leaderships,
             member_suspected: metrics.member_suspected,
             hole_repairs: metrics.hole_repairs,
+            compactions: metrics.compactions,
+            snapshot_installs: metrics.snapshot_installs,
+            peak_log_residency: metrics.log_residency_peak,
             bytes_per_dispatch: metrics.bytes_per_dispatch(),
             net: NetSummary::from(net),
             safety_ok: safety.is_ok(),

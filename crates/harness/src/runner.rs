@@ -259,7 +259,16 @@ impl<P: ConsensusProtocol> Runner<P> {
 
     fn process_actions(&mut self, from: NodeId, out: Actions<P::Message>) {
         // Write-ahead: persistence lands before any message is released.
+        let wrote = !out.persists.is_empty();
         self.disk.apply(from, out.persists.iter());
+        if wrote {
+            // Track peak per-site log residency at every write boundary so
+            // compaction wins (and their absence) are visible in reports.
+            if let Some(stable) = self.disk.read(from) {
+                let retained = stable.global.log.len() + stable.local.log.len();
+                self.metrics.note_residency(retained as u64);
+            }
+        }
 
         for cmd in out.timers {
             match cmd {
@@ -340,6 +349,8 @@ impl<P: ConsensusProtocol> Runner<P> {
                 Observation::MemberSuspected { .. } => self.metrics.member_suspected += 1,
                 Observation::ConfigCommitted { .. } => self.metrics.config_commits += 1,
                 Observation::HoleRepairTriggered { .. } => self.metrics.hole_repairs += 1,
+                Observation::LogCompacted { .. } => self.metrics.compactions += 1,
+                Observation::SnapshotInstalled { .. } => self.metrics.snapshot_installs += 1,
                 _ => {}
             }
         }

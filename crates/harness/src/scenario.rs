@@ -271,6 +271,9 @@ pub struct CRaftScenario {
     /// Byte budget per global batch (0 disables the byte cap; see
     /// [`consensus_core::CRaftConfig::max_batch_bytes`]).
     pub max_batch_bytes: usize,
+    /// Snapshot threshold for the global log (0 disables compaction; see
+    /// [`consensus_core::CRaftConfig::global_snapshot_threshold`]).
+    pub global_snapshot_threshold: u64,
     /// Inter-cluster timing.
     pub global_timing: Timing,
     /// Global-level proposal mode (see [`consensus_core::ProposalMode`]).
@@ -284,6 +287,7 @@ impl CRaftScenario {
             clusters,
             batch_size: 10,
             max_batch_bytes: Timing::wan().max_bytes_per_append,
+            global_snapshot_threshold: Timing::wan().snapshot_threshold,
             global_timing: Timing::wan(),
             global_proposal_mode: consensus_core::ProposalMode::LeaderForward,
         }
@@ -313,6 +317,7 @@ pub fn run_craft(s: &Scenario, c: &CRaftScenario) -> (RunReport, Metrics) {
             batch_size: c.batch_size,
             max_batch_bytes: c.max_batch_bytes,
             batch_flush_ms: 1000,
+            global_snapshot_threshold: c.global_snapshot_threshold,
             global_proposal_mode: mode,
         },
         s.seed,
@@ -329,6 +334,7 @@ pub fn run_craft(s: &Scenario, c: &CRaftScenario) -> (RunReport, Metrics) {
     let global_timing = c.global_timing;
     let batch = c.batch_size;
     let batch_bytes = c.max_batch_bytes;
+    let global_snapshot_threshold = c.global_snapshot_threshold;
     let seed = s.seed;
     runner.set_recovery(move |id, stable| {
         let cluster = id.as_u64() / per;
@@ -345,6 +351,7 @@ pub fn run_craft(s: &Scenario, c: &CRaftScenario) -> (RunReport, Metrics) {
                 batch_size: batch,
                 max_batch_bytes: batch_bytes,
                 batch_flush_ms: 1000,
+                global_snapshot_threshold,
                 global_proposal_mode: mode,
             },
             SimRng::seed_from_u64(seed).split_indexed("craft-recover", id.as_u64()),

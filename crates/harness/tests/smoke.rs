@@ -64,6 +64,7 @@ fn craft_commits_globally() {
             clusters: 2,
             batch_size: 3,
             max_batch_bytes: Timing::wan().max_bytes_per_append,
+            global_snapshot_threshold: Timing::wan().snapshot_threshold,
             global_timing: Timing::wan(),
             global_proposal_mode: consensus_core::ProposalMode::LeaderForward,
         },

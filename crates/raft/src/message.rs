@@ -2,7 +2,8 @@
 
 use bytes::Bytes;
 use wire::{
-    DecodeError, Decoder, Encoder, EntryId, EntryList, LogIndex, Message, NodeId, Term, Wire,
+    DecodeError, Decoder, Encoder, EntryId, EntryList, LogIndex, Message, NodeId, Snapshot, Term,
+    Wire,
 };
 
 /// Messages exchanged by classic Raft sites.
@@ -71,6 +72,25 @@ pub enum RaftMessage {
         /// Whether the vote was granted.
         granted: bool,
     },
+    /// Leader → laggard follower: the follower's `nextIndex` fell below the
+    /// leader's first retained log index, so the compacted prefix is
+    /// transferred as a snapshot instead of replayed entry by entry.
+    InstallSnapshot {
+        /// Leader's term.
+        term: Term,
+        /// Leader's id.
+        leader: NodeId,
+        /// The snapshot covering the compacted prefix.
+        snapshot: Snapshot,
+    },
+    /// Follower → leader: snapshot transfer outcome.
+    InstallSnapshotReply {
+        /// Follower's term, so a stale leader steps down.
+        term: Term,
+        /// Highest index the follower's log now covers via the snapshot
+        /// (the leader resumes AppendEntries just above it).
+        last_index: LogIndex,
+    },
 }
 
 impl RaftMessage {
@@ -83,6 +103,8 @@ impl RaftMessage {
             RaftMessage::AppendEntriesReply { .. } => "append_entries_reply",
             RaftMessage::RequestVote { .. } => "request_vote",
             RaftMessage::RequestVoteReply { .. } => "request_vote_reply",
+            RaftMessage::InstallSnapshot { .. } => "install_snapshot",
+            RaftMessage::InstallSnapshotReply { .. } => "install_snapshot_reply",
         }
     }
 
@@ -93,7 +115,9 @@ impl RaftMessage {
             RaftMessage::AppendEntries { term, .. }
             | RaftMessage::AppendEntriesReply { term, .. }
             | RaftMessage::RequestVote { term, .. }
-            | RaftMessage::RequestVoteReply { term, .. } => Some(*term),
+            | RaftMessage::RequestVoteReply { term, .. }
+            | RaftMessage::InstallSnapshot { term, .. }
+            | RaftMessage::InstallSnapshotReply { term, .. } => Some(*term),
             RaftMessage::Propose { .. } | RaftMessage::ProposeReply { .. } => None,
         }
     }
@@ -160,6 +184,21 @@ impl Wire for RaftMessage {
                 term.encode(e);
                 granted.encode(e);
             }
+            RaftMessage::InstallSnapshot {
+                term,
+                leader,
+                snapshot,
+            } => {
+                e.put_u8(6);
+                term.encode(e);
+                leader.encode(e);
+                snapshot.encode(e);
+            }
+            RaftMessage::InstallSnapshotReply { term, last_index } => {
+                e.put_u8(7);
+                term.encode(e);
+                last_index.encode(e);
+            }
         }
     }
 
@@ -197,6 +236,15 @@ impl Wire for RaftMessage {
                 term: Term::decode(d)?,
                 granted: bool::decode(d)?,
             },
+            6 => RaftMessage::InstallSnapshot {
+                term: Term::decode(d)?,
+                leader: NodeId::decode(d)?,
+                snapshot: Snapshot::decode(d)?,
+            },
+            7 => RaftMessage::InstallSnapshotReply {
+                term: Term::decode(d)?,
+                last_index: LogIndex::decode(d)?,
+            },
             tag => {
                 return Err(DecodeError::InvalidTag {
                     ty: "RaftMessage",
@@ -218,6 +266,8 @@ impl Wire for RaftMessage {
             RaftMessage::AppendEntriesReply { .. } => 8 + 1 + 8,
             RaftMessage::RequestVote { .. } => 8 + 8 + 8 + 8,
             RaftMessage::RequestVoteReply { .. } => 8 + 1,
+            RaftMessage::InstallSnapshot { snapshot, .. } => 8 + 8 + snapshot.encoded_len(),
+            RaftMessage::InstallSnapshotReply { .. } => 8 + 8,
         }
     }
 }
@@ -274,6 +324,21 @@ mod tests {
         roundtrip(&RaftMessage::RequestVoteReply {
             term: Term(4),
             granted: true,
+        });
+        roundtrip(&RaftMessage::InstallSnapshot {
+            term: Term(5),
+            leader: NodeId(2),
+            snapshot: Snapshot {
+                scope: wire::LogScope::Global,
+                last_index: LogIndex(128),
+                last_term: Term(4),
+                config: wire::Configuration::new([NodeId(1), NodeId(2)]),
+                state: Snapshot::digest_state(42),
+            },
+        });
+        roundtrip(&RaftMessage::InstallSnapshotReply {
+            term: Term(5),
+            last_index: LogIndex(128),
         });
     }
 

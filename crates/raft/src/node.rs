@@ -23,8 +23,9 @@ use bytes::Bytes;
 use des::SimRng;
 use storage::StableState;
 use wire::{
-    Actions, Configuration, ConsensusProtocol, EntryId, EntryList, LogEntry, LogIndex, LogScope,
-    NodeId, Observation, Payload, PersistCmd, SparseLog, Term, TimerKind,
+    fold_commit_digest, Actions, Configuration, ConsensusProtocol, EntryId, EntryList, LogEntry,
+    LogIndex, LogScope, NodeId, Observation, Payload, PersistCmd, Snapshot, SparseLog, Term,
+    TimerKind,
 };
 
 use crate::{RaftMessage, Timing};
@@ -66,9 +67,15 @@ pub struct RaftNode {
     current_term: Term,
     voted_for: Option<NodeId>,
     log: SparseLog,
+    /// Latest snapshot covering the compacted log prefix, served to
+    /// followers whose `nextIndex` fell below `log.first_index()`.
+    snapshot: Option<Snapshot>,
 
     // ---- volatile state ----
     commit_index: LogIndex,
+    /// Running digest of the committed sequence (the simulated state
+    /// machine); captured into snapshots as the state image.
+    state_digest: u64,
     role: Role,
     leader_hint: Option<NodeId>,
     /// Last configuration *inserted* into the log (§III-A).
@@ -115,7 +122,9 @@ impl RaftNode {
             current_term: Term::ZERO,
             voted_for: None,
             log: SparseLog::new(),
+            snapshot: None,
             commit_index: LogIndex::ZERO,
+            state_digest: 0,
             role: Role::Follower,
             leader_hint: None,
             config: bootstrap,
@@ -144,6 +153,18 @@ impl RaftNode {
         node.current_term = stable.global.current_term;
         node.voted_for = stable.global.voted_for;
         node.log = stable.global.log.clone();
+        // Snapshot-aware recovery: the snapshot's prefix is known committed
+        // and already applied, so the commit index resumes at the compaction
+        // horizon instead of replaying (now unavailable) history.
+        node.snapshot = stable.global.snapshot.clone();
+        node.commit_index = node.log.compacted_through();
+        if let Some(snap) = &node.snapshot {
+            node.config = snap.config.clone();
+            node.config_index = snap.last_index;
+            if let Some(digest) = snap.state_digest() {
+                node.state_digest = digest;
+            }
+        }
         if let Some((idx, cfg)) = node.log.latest_config() {
             node.config = cfg.clone();
             node.config_index = idx;
@@ -172,6 +193,17 @@ impl RaftNode {
     /// The replicated log (read-only).
     pub fn log(&self) -> &SparseLog {
         &self.log
+    }
+
+    /// The latest snapshot covering the compacted prefix, if any.
+    pub fn snapshot(&self) -> Option<&Snapshot> {
+        self.snapshot.as_ref()
+    }
+
+    /// Running digest of the committed sequence (the simulated state
+    /// machine's state).
+    pub fn state_digest(&self) -> u64 {
+        self.state_digest
     }
 
     /// The configuration this node currently obeys.
@@ -433,6 +465,25 @@ impl RaftNode {
             groups.entry(next).or_default().push(peer);
         }
         for (next, peers) in groups {
+            // A follower whose resume point fell below the first retained
+            // index cannot be served from the log anymore: transfer the
+            // compacted prefix as a snapshot instead (its ack moves
+            // nextIndex above the horizon and replication resumes normally).
+            if next < self.log.first_index() {
+                if let Some(snapshot) = self.current_snapshot() {
+                    for peer in peers {
+                        out.send(
+                            peer,
+                            RaftMessage::InstallSnapshot {
+                                term: self.current_term,
+                                leader: self.id,
+                                snapshot: snapshot.clone(),
+                            },
+                        );
+                    }
+                }
+                continue;
+            }
             let prev_index = next.prev_saturating();
             let prev_term = self.log.term_at(prev_index);
             let entries = if last >= next {
@@ -453,6 +504,26 @@ impl RaftNode {
                     },
                 );
             }
+        }
+    }
+
+    /// The snapshot to serve laggards: the cached one (always current —
+    /// compaction refreshes it), synthesized from the log's horizon if a
+    /// recovery somehow lost it.
+    fn current_snapshot(&self) -> Option<Snapshot> {
+        let horizon = self.log.compacted_through();
+        if horizon.is_zero() {
+            return None;
+        }
+        match &self.snapshot {
+            Some(s) if s.last_index == horizon => Some(s.clone()),
+            _ => Some(Snapshot {
+                scope: LogScope::Global,
+                last_index: horizon,
+                last_term: self.log.compacted_term(),
+                config: self.config_for_snapshot(horizon),
+                state: Snapshot::digest_state(self.state_digest),
+            }),
         }
     }
 
@@ -492,6 +563,7 @@ impl RaftNode {
         let mut k = old.next();
         while k <= new_commit {
             if let Some(entry) = self.log.get(k).cloned() {
+                self.state_digest = fold_commit_digest(self.state_digest, k, entry.id);
                 if entry.payload.is_config() {
                     out.observe(Observation::ConfigCommitted {
                         members: entry.as_config().map(Configuration::len).unwrap_or(0),
@@ -502,6 +574,60 @@ impl RaftNode {
             }
             k = k.next();
         }
+        self.maybe_compact(out);
+    }
+
+    /// Compacts the committed prefix into a snapshot once its retained
+    /// length exceeds [`Timing::snapshot_threshold`]. Every role compacts —
+    /// the committed prefix is immutable everywhere — so per-site log
+    /// residency stays bounded, not just the leader's.
+    fn maybe_compact(&mut self, out: &mut Actions<RaftMessage>) {
+        let threshold = self.timing.snapshot_threshold;
+        if threshold == 0 {
+            return;
+        }
+        let horizon = self.log.compacted_through();
+        let retained_decided = self.commit_index.as_u64().saturating_sub(horizon.as_u64());
+        if retained_decided <= threshold {
+            return;
+        }
+        // Classic Raft logs are dense, so the whole decided prefix is
+        // contiguous; compact_to would clamp at a hole regardless.
+        let through = self.commit_index;
+        let snapshot = Snapshot {
+            scope: LogScope::Global,
+            last_index: through,
+            last_term: self.log.term_at(through),
+            config: self.config_for_snapshot(through),
+            state: Snapshot::digest_state(self.state_digest),
+        };
+        out.persist(PersistCmd::InstallSnapshot {
+            snapshot: snapshot.clone(),
+        });
+        self.log.compact_to(through);
+        self.snapshot = Some(snapshot);
+        out.observe(Observation::LogCompacted {
+            scope: LogScope::Global,
+            through,
+            retained: self.log.len(),
+        });
+    }
+
+    /// The configuration in force at `through`: the current configuration
+    /// when its entry sits at or below the cut, otherwise the newest config
+    /// entry inside the retained prefix (falling back to the previous
+    /// snapshot's, then the bootstrap configuration).
+    fn config_for_snapshot(&self, through: LogIndex) -> Configuration {
+        if self.config_index <= through {
+            return self.config.clone();
+        }
+        let mut cfg = self.snapshot.as_ref().map(|s| s.config.clone());
+        for (_, e) in self.log.range(self.log.first_index(), through) {
+            if let Some(c) = e.as_config() {
+                cfg = Some(c.clone());
+            }
+        }
+        cfg.unwrap_or_else(|| self.config.clone())
     }
 
     fn resolve_commit_notifications(
@@ -614,7 +740,10 @@ impl RaftNode {
 
         let mut last_new = prev_index;
         for (idx, entry) in entries.iter() {
-            if self.log.term_at(*idx) != entry.term {
+            // Entries at or below the commit index are already decided
+            // (and possibly compacted away); writing there is never needed
+            // and would violate the compaction horizon.
+            if *idx > self.commit_index && self.log.term_at(*idx) != entry.term {
                 if self.log.get(*idx).is_some() {
                     self.truncate_from(*idx, out);
                 }
@@ -664,6 +793,105 @@ impl RaftNode {
             // Back off using the follower's hint (its commit index).
             self.next_index.insert(from, match_index.next());
         }
+    }
+
+    /// Follower side of a snapshot transfer: replace the compacted prefix
+    /// wholesale and resume replication above it.
+    fn on_install_snapshot(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        leader: NodeId,
+        snapshot: Snapshot,
+        out: &mut Actions<RaftMessage>,
+    ) {
+        if term < self.current_term {
+            out.send(
+                from,
+                RaftMessage::InstallSnapshotReply {
+                    term: self.current_term,
+                    last_index: LogIndex::ZERO,
+                },
+            );
+            return;
+        }
+        if term > self.current_term || self.role != Role::Follower {
+            self.become_follower(term, Some(leader), out);
+        } else {
+            self.leader_hint = Some(leader);
+            self.reset_election_timer(out);
+        }
+        let last_index = snapshot.last_index;
+        if last_index <= self.commit_index {
+            // Stale transfer: everything it covers is already committed
+            // here. Ack our actual coverage so the leader resumes higher.
+            out.send(
+                from,
+                RaftMessage::InstallSnapshotReply {
+                    term: self.current_term,
+                    last_index: self.commit_index,
+                },
+            );
+            return;
+        }
+        let old_commit = self.commit_index;
+        out.persist(PersistCmd::InstallSnapshot {
+            snapshot: snapshot.clone(),
+        });
+        self.log.install_snapshot(last_index, snapshot.last_term);
+        // Drop id mappings for entries the install discarded. Only mappings
+        // at or below the *pre-install* commit index are known committed
+        // (and may keep answering duplicate proposals as such) — an
+        // uncommitted entry from a deposed leader's fork must not be
+        // reported committed.
+        let log = &self.log;
+        self.id_index
+            .retain(|_, idx| *idx <= old_commit || log.get(*idx).is_some());
+        // Adopt the snapshot's configuration unless a *surviving* config
+        // entry above the horizon supersedes it; a config entry the install
+        // discarded (conflicting suffix) must no longer be obeyed.
+        if self.config_index <= last_index || self.log.get(self.config_index).is_none() {
+            self.config = snapshot.config.clone();
+            self.config_index = last_index;
+        }
+        if let Some(digest) = snapshot.state_digest() {
+            self.state_digest = digest;
+        }
+        self.commit_index = last_index;
+        self.snapshot = Some(snapshot);
+        out.observe(Observation::SnapshotInstalled {
+            scope: LogScope::Global,
+            last_index,
+        });
+        out.send(
+            from,
+            RaftMessage::InstallSnapshotReply {
+                term: self.current_term,
+                last_index,
+            },
+        );
+    }
+
+    fn on_install_snapshot_reply(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        last_index: LogIndex,
+        out: &mut Actions<RaftMessage>,
+    ) {
+        if term > self.current_term {
+            self.become_follower(term, None, out);
+            return;
+        }
+        if self.role != Role::Leader || term < self.current_term {
+            return;
+        }
+        let m = self.match_index.entry(from).or_insert(LogIndex::ZERO);
+        if last_index > *m {
+            *m = last_index;
+        }
+        self.next_index.insert(from, last_index.next());
+        self.advance_commit(out);
     }
 
     fn on_request_vote(
@@ -826,6 +1054,14 @@ impl ConsensusProtocol for RaftNode {
             } => self.on_request_vote(from, term, candidate, last_log_index, last_log_term, out),
             RaftMessage::RequestVoteReply { term, granted } => {
                 self.on_vote_reply(from, term, granted, out)
+            }
+            RaftMessage::InstallSnapshot {
+                term,
+                leader,
+                snapshot,
+            } => self.on_install_snapshot(from, term, leader, snapshot, out),
+            RaftMessage::InstallSnapshotReply { term, last_index } => {
+                self.on_install_snapshot_reply(from, term, last_index, out)
             }
         }
     }

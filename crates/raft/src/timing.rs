@@ -42,6 +42,13 @@ pub struct Timing {
     /// bytes, not entry count. A single over-sized entry still ships alone
     /// (see [`wire::AppendBudget`]), so replication always makes progress.
     pub max_bytes_per_append: usize,
+    /// Snapshot/compaction threshold: once the committed-but-retained prefix
+    /// of a log exceeds this many entries, the site compacts it into a
+    /// [`wire::Snapshot`] and truncates the prefix, bounding per-site log
+    /// residency. Followers whose `nextIndex` falls below a leader's first
+    /// retained index catch up by snapshot transfer instead of log replay.
+    /// `0` disables compaction (the pre-snapshot unbounded behavior).
+    pub snapshot_threshold: u64,
 }
 
 impl Timing {
@@ -58,6 +65,7 @@ impl Timing {
             hole_fill_ticks: 8,
             max_entries_per_append: 128,
             max_bytes_per_append: 64 * 1024,
+            snapshot_threshold: 1024,
         }
     }
 
@@ -75,6 +83,7 @@ impl Timing {
             hole_fill_ticks: 8,
             max_entries_per_append: 128,
             max_bytes_per_append: 64 * 1024,
+            snapshot_threshold: 1024,
         }
     }
 

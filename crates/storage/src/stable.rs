@@ -11,7 +11,7 @@
 //! inter-cluster, §V-B) with independent terms, votes, and logs; storage is
 //! therefore scoped by [`LogScope`].
 
-use wire::{LogScope, NodeId, PersistCmd, SparseLog, Term};
+use wire::{LogScope, NodeId, PersistCmd, Snapshot, SparseLog, Term};
 
 /// Persistent state for one consensus level.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -20,8 +20,12 @@ pub struct ScopeState {
     pub current_term: Term,
     /// Candidate voted for in `current_term`, if any.
     pub voted_for: Option<NodeId>,
-    /// The replicated log at this level.
+    /// The replicated log at this level. When `snapshot` is set, the log
+    /// holds only the suffix above the snapshot's `last_index`; recovery
+    /// rebuilds the node from snapshot + suffix.
     pub log: SparseLog,
+    /// The latest snapshot covering the compacted prefix, if any.
+    pub snapshot: Option<Snapshot>,
 }
 
 /// Everything a site keeps in stable storage.
@@ -85,6 +89,14 @@ impl StableState {
             }
             PersistCmd::Truncate { scope, from } => {
                 self.scope_mut(*scope).log.truncate_from(*from);
+            }
+            PersistCmd::InstallSnapshot { snapshot } => {
+                let s = self.scope_mut(snapshot.scope);
+                if s.log
+                    .install_snapshot(snapshot.last_index, snapshot.last_term)
+                {
+                    s.snapshot = Some(snapshot.clone());
+                }
             }
         }
     }
@@ -181,6 +193,40 @@ mod tests {
         });
         assert_eq!(s.global.log.len(), 1);
         assert_eq!(s.local.log.len(), 3);
+    }
+
+    #[test]
+    fn install_snapshot_compacts_and_records() {
+        use wire::Snapshot;
+        let mut s = StableState::new();
+        for i in 1..=4u64 {
+            s.apply(&PersistCmd::Insert {
+                scope: LogScope::Global,
+                index: LogIndex(i),
+                entry: entry(1, i),
+            });
+        }
+        let snap = Snapshot {
+            scope: LogScope::Global,
+            last_index: LogIndex(3),
+            last_term: Term(1),
+            config: wire::Configuration::new([NodeId(1)]),
+            state: Snapshot::digest_state(7),
+        };
+        s.apply(&PersistCmd::InstallSnapshot {
+            snapshot: snap.clone(),
+        });
+        assert_eq!(s.global.snapshot.as_ref(), Some(&snap));
+        assert_eq!(s.global.log.first_index(), LogIndex(4));
+        assert_eq!(s.global.log.len(), 1, "consistent suffix retained");
+        assert!(s.local.snapshot.is_none());
+        // A stale snapshot neither compacts nor replaces the stored one.
+        let stale = Snapshot {
+            last_index: LogIndex(2),
+            ..snap.clone()
+        };
+        s.apply(&PersistCmd::InstallSnapshot { snapshot: stale });
+        assert_eq!(s.global.snapshot.as_ref(), Some(&snap));
     }
 
     #[test]

@@ -115,6 +115,15 @@ pub enum PersistCmd {
         /// First index removed.
         from: LogIndex,
     },
+    /// Replace the decided prefix through `snapshot.last_index` with the
+    /// snapshot (leader-side compaction and follower-side snapshot install
+    /// alike): storage records the snapshot and drops the covered entries,
+    /// keeping any consistent suffix. Recovery rebuilds from snapshot + log
+    /// suffix.
+    InstallSnapshot {
+        /// The snapshot; its `scope` names the log it compacts.
+        snapshot: crate::Snapshot,
+    },
 }
 
 /// Observable protocol transitions, consumed by metrics and tests.
@@ -178,10 +187,29 @@ pub enum Observation {
     /// The leader's liveness guard fired: the classic track stalled for
     /// `hole_fill_ticks` decision ticks on a log hole and a no-op was
     /// re-proposed at the blocked index. Counted by the harness to measure
-    /// how often hole repair triggers under churn.
+    /// how often hole repair triggers under churn. Proactive repairs (an
+    /// append ack revealed the stall before the tick guard elapsed) emit
+    /// the same observation.
     HoleRepairTriggered {
         /// The blocked index being repaired.
         index: LogIndex,
+    },
+    /// A site compacted its log prefix into a snapshot.
+    LogCompacted {
+        /// Which log was compacted.
+        scope: LogScope,
+        /// The new compaction horizon.
+        through: LogIndex,
+        /// Entries still retained after compaction.
+        retained: usize,
+    },
+    /// A site replaced its log prefix with a snapshot received from the
+    /// leader (catch-up past the leader's compaction horizon).
+    SnapshotInstalled {
+        /// Which log the snapshot covers.
+        scope: LogScope,
+        /// The snapshot's last covered index.
+        last_index: LogIndex,
     },
     /// An incoming message was ignored, with the reason (not-in-config,
     /// stale term, duplicate, ...). Useful in tests.

@@ -16,7 +16,7 @@ use bytes::{Bytes, BytesMut};
 
 use crate::{
     Approval, Batch, BatchItem, ClusterId, Configuration, EntryId, EntryList, GlobalState,
-    LogEntry, LogIndex, NodeId, Payload, Term,
+    LogEntry, LogIndex, LogScope, NodeId, Payload, Snapshot, Term,
 };
 
 /// Error from decoding a malformed buffer.
@@ -480,6 +480,50 @@ impl Wire for GlobalState {
     }
 }
 
+impl Wire for LogScope {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u8(match self {
+            LogScope::Local => 0,
+            LogScope::Global => 1,
+        });
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match d.u8()? {
+            0 => Ok(LogScope::Local),
+            1 => Ok(LogScope::Global),
+            tag => Err(DecodeError::InvalidTag {
+                ty: "LogScope",
+                tag,
+            }),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Wire for Snapshot {
+    fn encode(&self, e: &mut Encoder) {
+        self.scope.encode(e);
+        self.last_index.encode(e);
+        self.last_term.encode(e);
+        self.config.encode(e);
+        self.state.encode(e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Snapshot {
+            scope: LogScope::decode(d)?,
+            last_index: LogIndex::decode(d)?,
+            last_term: Term::decode(d)?,
+            config: Configuration::decode(d)?,
+            state: Bytes::decode(d)?,
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        1 + 8 + 8 + self.config.encoded_len() + self.state.encoded_len()
+    }
+}
+
 impl Wire for Payload {
     fn encode(&self, e: &mut Encoder) {
         match self {
@@ -642,6 +686,26 @@ mod tests {
             id: EntryId::new(NodeId(9), 4),
             payload: Payload::GlobalState(gs),
             approval: Approval::LeaderApproved,
+        });
+    }
+
+    #[test]
+    fn snapshot_roundtrips() {
+        roundtrip(&LogScope::Local);
+        roundtrip(&LogScope::Global);
+        roundtrip(&Snapshot {
+            scope: LogScope::Global,
+            last_index: LogIndex(200),
+            last_term: Term(4),
+            config: Configuration::new([NodeId(1), NodeId(2), NodeId(3)]),
+            state: Snapshot::digest_state(0x1234_5678_9ABC_DEF0),
+        });
+        roundtrip(&Snapshot {
+            scope: LogScope::Local,
+            last_index: LogIndex(1),
+            last_term: Term(1),
+            config: Configuration::new([NodeId(7)]),
+            state: Bytes::new(),
         });
     }
 

@@ -8,7 +8,8 @@
 //!   intersection properties Fast Raft's safety proof rests on;
 //! - membership: [`Configuration`] (deterministically ordered);
 //! - the log: [`LogEntry`], [`Payload`], [`Approval`], and [`SparseLog`]
-//!   (Fast Raft logs may contain holes);
+//!   (Fast Raft logs may contain holes, and a decided prefix may be
+//!   compacted into a [`Snapshot`]);
 //! - the sans-IO protocol interface: [`Actions`], [`ConsensusProtocol`],
 //!   [`TimerKind`], [`PersistCmd`], [`Observation`];
 //! - a compact binary codec ([`Wire`], [`Encoder`], [`Decoder`]) used for
@@ -34,6 +35,7 @@ mod entry;
 mod ids;
 mod log;
 mod quorum;
+mod snapshot;
 
 pub use actions::{
     Actions, Commit, ConsensusProtocol, LogScope, Message, Observation, PersistCmd, TimerCmd,
@@ -48,3 +50,4 @@ pub use quorum::{
     classic_quorum, fast_quorum, is_classic_quorum, is_fast_quorum,
     min_chosen_votes_in_classic_quorum,
 };
+pub use snapshot::{fold_commit_digest, Snapshot};

@@ -10,7 +10,15 @@ use std::collections::BTreeMap;
 
 use crate::{Approval, AppendBudget, EntryList, LogEntry, LogIndex, Term, Wire};
 
-/// A 1-indexed replicated log that may contain holes.
+/// A 1-indexed replicated log that may contain holes, with an optionally
+/// **compacted prefix**.
+///
+/// Compaction (snapshotting) removes a contiguous decided prefix of the log:
+/// indices `1..=compacted_through` hold no entries anymore, but the log
+/// remembers the boundary index and its term so log-matching checks against
+/// the snapshot boundary still work. Compaction may only ever cover a
+/// contiguous occupied prefix — it never swallows a hole (see
+/// [`SparseLog::compact_to`]).
 ///
 /// # Examples
 ///
@@ -25,10 +33,16 @@ use crate::{Approval, AppendBudget, EntryList, LogEntry, LogIndex, Term, Wire};
 /// assert_eq!(log.last_index(), LogIndex(3));
 /// assert_eq!(log.get(LogIndex(1)), None);
 /// assert_eq!(log.first_gap(), LogIndex(1));
+/// assert_eq!(log.first_index(), LogIndex(1));
 /// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SparseLog {
     entries: BTreeMap<u64, LogEntry>,
+    /// Highest compacted (snapshotted) index; 0 = nothing compacted.
+    compacted_through: u64,
+    /// Term of the (removed) entry at `compacted_through` — the snapshot
+    /// boundary term, needed for log-matching at the compaction horizon.
+    compacted_term: Term,
 }
 
 impl SparseLog {
@@ -52,10 +66,83 @@ impl SparseLog {
     ///
     /// # Panics
     ///
-    /// Panics if `index` is the zero sentinel.
+    /// Panics if `index` is the zero sentinel or lies at or below the
+    /// compaction horizon (compacted indices are decided and immutable).
     pub fn insert(&mut self, index: LogIndex, entry: LogEntry) -> Option<LogEntry> {
         assert!(!index.is_zero(), "cannot insert at LogIndex::ZERO");
+        assert!(
+            index.as_u64() > self.compacted_through,
+            "cannot insert at {index}: compacted through #{}",
+            self.compacted_through
+        );
         self.entries.insert(index.as_u64(), entry)
+    }
+
+    // ------------------------------------------------------------------
+    // Compaction
+    // ------------------------------------------------------------------
+
+    /// The lowest index still retained as an entry: `compacted_through + 1`.
+    /// For an uncompacted log this is [`LogIndex::FIRST`].
+    pub fn first_index(&self) -> LogIndex {
+        LogIndex(self.compacted_through + 1)
+    }
+
+    /// The highest compacted index ([`LogIndex::ZERO`] when nothing has
+    /// been compacted).
+    pub fn compacted_through(&self) -> LogIndex {
+        LogIndex(self.compacted_through)
+    }
+
+    /// The term at the compaction horizon (the snapshot's `last_term`).
+    pub fn compacted_term(&self) -> Term {
+        self.compacted_term
+    }
+
+    /// Compacts the contiguous occupied prefix up to `through`, removing
+    /// those entries and recording the boundary term. The effective bound is
+    /// clamped so compaction **never swallows a hole**: only indices below
+    /// [`SparseLog::first_gap`] are eligible. Returns the new compaction
+    /// horizon (unchanged if nothing could be compacted).
+    pub fn compact_to(&mut self, through: LogIndex) -> LogIndex {
+        // Never compact across a hole, and never move backwards.
+        let bound = self.first_gap().prev_saturating().as_u64();
+        let target = through.as_u64().min(bound);
+        if target <= self.compacted_through {
+            return self.compacted_through();
+        }
+        self.compacted_term = self
+            .entries
+            .get(&target)
+            .map(|e| e.term)
+            .expect("contiguous prefix below first_gap is occupied");
+        self.entries = self.entries.split_off(&(target + 1));
+        self.compacted_through = target;
+        self.compacted_through()
+    }
+
+    /// Installs a snapshot boundary received from a leader: everything at or
+    /// below `last_index` is replaced by the snapshot. If this log holds a
+    /// matching entry at `last_index` (same term), the suffix above it is
+    /// retained (it is consistent with the snapshot's history); otherwise
+    /// the whole log is discarded. Returns `false` (no-op) when the snapshot
+    /// is older than the current compaction horizon.
+    pub fn install_snapshot(&mut self, last_index: LogIndex, last_term: Term) -> bool {
+        if last_index.as_u64() <= self.compacted_through {
+            return false;
+        }
+        let suffix_consistent = self
+            .entries
+            .get(&last_index.as_u64())
+            .is_some_and(|e| e.term == last_term);
+        if suffix_consistent {
+            self.entries = self.entries.split_off(&(last_index.as_u64() + 1));
+        } else {
+            self.entries.clear();
+        }
+        self.compacted_through = last_index.as_u64();
+        self.compacted_term = last_term;
+        true
     }
 
     /// Appends after the current last index, returning the new entry's index.
@@ -71,7 +158,8 @@ impl SparseLog {
     }
 
     /// Removes all entries at `from` and beyond (classic-Raft conflict
-    /// truncation). Returns how many entries were removed.
+    /// truncation). Returns how many entries were removed. Truncation never
+    /// reaches below the compaction horizon (those indices hold no entries).
     pub fn truncate_from(&mut self, from: LogIndex) -> usize {
         let removed: Vec<u64> = self
             .entries
@@ -84,25 +172,29 @@ impl SparseLog {
         removed.len()
     }
 
-    /// The highest occupied index, or [`LogIndex::ZERO`] when empty.
+    /// The highest occupied index; for a fully compacted (or empty) log this
+    /// is the compaction horizon ([`LogIndex::ZERO`] when never compacted).
     pub fn last_index(&self) -> LogIndex {
         self.entries
             .keys()
             .next_back()
-            .map_or(LogIndex::ZERO, |&i| LogIndex(i))
+            .map_or(LogIndex(self.compacted_through), |&i| LogIndex(i))
     }
 
-    /// The term of the entry at `index`, or [`Term::ZERO`] for the sentinel
-    /// or a hole.
+    /// The term of the entry at `index`: [`Term::ZERO`] for the sentinel or
+    /// a hole, the snapshot boundary term at the compaction horizon.
     pub fn term_at(&self, index: LogIndex) -> Term {
+        if index.as_u64() == self.compacted_through && self.compacted_through > 0 {
+            return self.compacted_term;
+        }
         self.get(index).map_or(Term::ZERO, |e| e.term)
     }
 
-    /// The lowest unoccupied index ≥ 1. For a dense log this is
-    /// `last_index + 1`; with holes it is the first hole.
+    /// The lowest unoccupied index above the compaction horizon. For a dense
+    /// log this is `last_index + 1`; with holes it is the first hole.
     pub fn first_gap(&self) -> LogIndex {
-        let mut expect = 1u64;
-        for &i in self.entries.keys() {
+        let mut expect = self.compacted_through + 1;
+        for (&i, _) in self.entries.range(expect..) {
             if i != expect {
                 break;
             }
@@ -111,7 +203,7 @@ impl SparseLog {
         LogIndex(expect)
     }
 
-    /// `true` if indices `1..=last_index` are all occupied.
+    /// `true` if indices `first_index..=last_index` are all occupied.
     pub fn is_dense(&self) -> bool {
         self.first_gap() == self.last_index().next()
     }
@@ -393,5 +485,82 @@ mod tests {
         assert!(log.remove(LogIndex(2)).is_some());
         assert!(log.remove(LogIndex(2)).is_none());
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn compact_removes_prefix_and_keeps_boundary_term() {
+        let mut log: SparseLog = (0..5).map(|s| entry(s + 1, s)).collect();
+        assert_eq!(log.compact_to(LogIndex(3)), LogIndex(3));
+        assert_eq!(log.first_index(), LogIndex(4));
+        assert_eq!(log.compacted_through(), LogIndex(3));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.last_index(), LogIndex(5));
+        // The boundary term survives compaction for log-matching checks.
+        assert_eq!(log.term_at(LogIndex(3)), Term(3));
+        assert_eq!(log.compacted_term(), Term(3));
+        // Holes (removed entries) below the horizon read as Term::ZERO.
+        assert_eq!(log.term_at(LogIndex(2)), Term::ZERO);
+        assert!(log.is_dense());
+        assert_eq!(log.first_gap(), LogIndex(6));
+    }
+
+    #[test]
+    fn compact_never_swallows_a_hole() {
+        let mut log = SparseLog::new();
+        log.insert(LogIndex(1), entry(1, 0));
+        log.insert(LogIndex(2), entry(1, 1));
+        log.insert(LogIndex(4), entry(1, 2)); // hole at 3
+        assert_eq!(log.compact_to(LogIndex(4)), LogIndex(2));
+        assert_eq!(log.first_index(), LogIndex(3));
+        assert!(log.get(LogIndex(4)).is_some());
+        // Compaction is monotone: a lower target is a no-op.
+        assert_eq!(log.compact_to(LogIndex(1)), LogIndex(2));
+    }
+
+    #[test]
+    fn fully_compacted_log_keeps_last_index() {
+        let mut log: SparseLog = (0..3).map(|s| entry(2, s)).collect();
+        log.compact_to(LogIndex(3));
+        assert!(log.is_empty());
+        assert_eq!(log.last_index(), LogIndex(3));
+        assert_eq!(log.term_at(LogIndex(3)), Term(2));
+        assert_eq!(log.append(entry(3, 9)), LogIndex(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "compacted through")]
+    fn insert_below_horizon_panics() {
+        let mut log: SparseLog = (0..3).map(|s| entry(1, s)).collect();
+        log.compact_to(LogIndex(2));
+        log.insert(LogIndex(1), entry(1, 9));
+    }
+
+    #[test]
+    fn install_snapshot_keeps_consistent_suffix() {
+        let mut log: SparseLog = (0..5).map(|s| entry(1, s)).collect();
+        assert!(log.install_snapshot(LogIndex(3), Term(1)));
+        assert_eq!(log.first_index(), LogIndex(4));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.last_index(), LogIndex(5));
+    }
+
+    #[test]
+    fn install_snapshot_discards_conflicting_log() {
+        let mut log: SparseLog = (0..5).map(|s| entry(1, s)).collect();
+        // Boundary term mismatch: the whole log is unverifiable.
+        assert!(log.install_snapshot(LogIndex(3), Term(9)));
+        assert!(log.is_empty());
+        assert_eq!(log.last_index(), LogIndex(3));
+        assert_eq!(log.term_at(LogIndex(3)), Term(9));
+    }
+
+    #[test]
+    fn install_snapshot_beyond_log_discards_all() {
+        let mut log: SparseLog = (0..2).map(|s| entry(1, s)).collect();
+        assert!(log.install_snapshot(LogIndex(10), Term(4)));
+        assert!(log.is_empty());
+        assert_eq!(log.first_index(), LogIndex(11));
+        // A stale snapshot is refused.
+        assert!(!log.install_snapshot(LogIndex(5), Term(2)));
     }
 }

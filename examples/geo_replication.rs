@@ -36,6 +36,7 @@ fn main() {
         clusters: 3,
         batch_size: 10,
         max_batch_bytes: Timing::wan().max_bytes_per_append,
+        global_snapshot_threshold: Timing::wan().snapshot_threshold,
         global_timing: Timing::wan(),
         global_proposal_mode: ProposalMode::LeaderForward,
     };

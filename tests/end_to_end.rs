@@ -120,6 +120,7 @@ fn craft_safety_with_cluster_leader_crash() {
         clusters: 3,
         batch_size: 5,
         max_batch_bytes: Timing::wan().max_bytes_per_append,
+        global_snapshot_threshold: Timing::wan().snapshot_threshold,
         global_timing: Timing::wan(),
         global_proposal_mode: ProposalMode::LeaderForward,
     };

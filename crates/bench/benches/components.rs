@@ -58,6 +58,7 @@ fn bench_codec(c: &mut Criterion) {
         entries: (42..58).map(|i| (LogIndex(i), entry.clone())).collect(),
         leader_commit: LogIndex(41),
         global_commit: LogIndex(12),
+        probe: 0,
     };
     let encoded = msg.to_bytes();
     c.bench_function("codec/encode_append_entries_16", |b| {

@@ -1,0 +1,34 @@
+//! Deterministic read/write-mix probe over the typed client API: 50/50
+//! linearizable reads + exactly-once session writes on a Fast Raft cell
+//! (with a crash/recover retry window) and a C-Raft cell (global reads
+//! confirmed through the global engine). Every linearizable read is checked
+//! online; the binary exits non-zero if safety, the lin-check, or the retry
+//! path regresses. `--json` feeds the throughput and read-speed series to
+//! the CI gate.
+
+fn main() {
+    let opts = bench::BenchOpts::from_args();
+    let ops: u64 = if opts.quick { 300 } else { 1200 };
+    let seed = opts.seed_list()[0];
+    let result = harness::experiments::read_mix::run(seed, ops);
+    print!("{}", result.render());
+    for cell in &result.cells {
+        assert!(
+            cell.lin_reads_checked > 0,
+            "{}: no linearizable read was verified",
+            cell.protocol
+        );
+        assert!(
+            cell.read_mean_ms > 0.0,
+            "{}: read latency series is empty",
+            cell.protocol
+        );
+    }
+    // The fast cell's crash window must exercise the client retry path.
+    let fast = &result.cells[0];
+    assert!(
+        fast.client_retries > 0 || fast.duplicates_suppressed > 0,
+        "the crash window exercised neither retries nor dedup"
+    );
+    opts.write_json(&result.to_json());
+}

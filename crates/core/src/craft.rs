@@ -27,13 +27,13 @@
 
 use std::collections::{HashMap, HashSet};
 
-use bytes::Bytes;
 use des::SimRng;
 use raft::{Role, Timing};
 use storage::StableState;
 use wire::{
-    Actions, BatchItem, ClusterId, Configuration, EntryId, GlobalState, LogEntry, LogIndex,
-    LogScope, NodeId, Observation, Payload, Term, TimerKind,
+    Actions, BatchItem, ClientOp, ClientOutcome, ClientRequest, ClusterId, Configuration,
+    Consistency, EntryId, GlobalState, LogEntry, LogIndex, LogScope, NodeId, Observation, Payload,
+    SessionId, Term, TimerKind,
 };
 
 use crate::engine::{FastRaftEngine, ProposalMode, TimerProfile};
@@ -136,6 +136,9 @@ pub struct CRaftNode {
     /// Highest global commit index this site has learned (from its own
     /// global engine or from global state entries).
     global_commit_seen: LogIndex,
+    /// Linearizable (global) reads routed through this cluster leader:
+    /// `(session, seq)` → the gateway awaiting the answer.
+    global_read_waiters: HashMap<(SessionId, u64), NodeId>,
     /// Designated initial leaders race their first election quickly so the
     /// bootstrap global configuration (which names them) actually forms.
     boost_first_election: bool,
@@ -185,6 +188,7 @@ impl CRaftNode {
             batch_buf: Vec::new(),
             batch_seq: 0,
             global_commit_seen: LogIndex::ZERO,
+            global_read_waiters: HashMap::new(),
             cfg,
             boost_first_election,
         }
@@ -231,6 +235,7 @@ impl CRaftNode {
             batch_buf: Vec::new(),
             batch_seq: 0,
             global_commit_seen,
+            global_read_waiters: HashMap::new(),
             cfg,
             boost_first_election: false,
         }
@@ -360,6 +365,21 @@ impl CRaftNode {
         engine.set_proposal_mode(self.cfg.global_proposal_mode);
         let mut ea: Actions<FastRaftMessage> = Actions::new();
         engine.bootstrap(&mut ea);
+        // Invariant probe (ROADMAP snapshot item b): a flapping leader that
+        // deactivated and reactivated before eviction, while local
+        // compaction discarded interim global-state entries, can rebuild a
+        // **front-gapped** view — entries above a hole right after the
+        // cached snapshot's horizon. The view is safe to hold (commits
+        // never cross the gap; §IV-B slot voting protects decided indices)
+        // but the site must not pretend the gap region is known: surface
+        // the condition and let the global leader's resend or snapshot
+        // transfer repair it.
+        if let Some((horizon, first_retained)) = engine.log().front_gap() {
+            ea.observe(Observation::GlobalViewGap {
+                horizon,
+                first_retained,
+            });
+        }
         self.global_commit_seen = self.global_commit_seen.max(engine.commit_index());
 
         // Recover this cluster's possibly-in-flight batches: any batch of
@@ -392,21 +412,18 @@ impl CRaftNode {
         self.forward_global_actions(ea, out);
 
         // Re-batch locally committed data entries not yet covered by any
-        // batch (the predecessor may have crashed mid-stream).
+        // batch (the predecessor may have crashed mid-stream). Items keep
+        // their session keys: if the predecessor's covering batch turns out
+        // to exist after all, the global log's item-wise session dedup
+        // suppresses the re-application.
         let mut rebatch: Vec<(LogIndex, BatchItem)> = Vec::new();
         for (idx, entry) in self.local.log().iter() {
             if idx > self.local.commit_index() {
                 break;
             }
-            if let Payload::Data(data) = &entry.payload {
+            if let Some(item) = batchable_item(entry) {
                 if !batched_ids.contains(&entry.id) {
-                    rebatch.push((
-                        idx,
-                        BatchItem {
-                            id: entry.id,
-                            data: data.clone(),
-                        },
-                    ));
+                    rebatch.push((idx, item));
                 }
             }
         }
@@ -415,6 +432,13 @@ impl CRaftNode {
     }
 
     fn deactivate_global(&mut self, out: &mut Actions<CRaftMessage>) {
+        // Global reads routed through this (former) leader can no longer be
+        // confirmed here; tell their gateways to retry.
+        let waiters: Vec<((SessionId, u64), NodeId)> =
+            self.global_read_waiters.drain().collect();
+        for ((session, seq), waiter) in waiters {
+            self.reply_waiter(waiter, session, seq, ClientOutcome::Retry, out);
+        }
         let Some(side) = self.global.take() else {
             return;
         };
@@ -576,15 +600,11 @@ impl CRaftNode {
         out: &mut Actions<CRaftMessage>,
     ) {
         match &entry.payload {
-            Payload::Data(data)
+            Payload::Data(_) | Payload::Write { .. }
                 if self.global.is_some() => {
-                    self.batch_buf.push((
-                        index,
-                        BatchItem {
-                            id: entry.id,
-                            data: data.clone(),
-                        },
-                    ));
+                    if let Some(item) = batchable_item(entry) {
+                        self.batch_buf.push((index, item));
+                    }
                 }
             Payload::GlobalState(gs) => {
                 self.global_commit_seen = self.global_commit_seen.max(gs.global_commit);
@@ -618,7 +638,23 @@ impl CRaftNode {
             self.global_commit_seen = self.global_commit_seen.max(commit.index);
             out.commits.push(commit);
         }
-        out.observations.append(&mut ea.observations);
+        // Client responses produced by the global engine answer reads this
+        // cluster leader routed on behalf of a gateway: deliver them to the
+        // waiting gateway instead of surfacing them at this node.
+        for obs in ea.observations.drain(..) {
+            if let Observation::ClientResponse {
+                session,
+                seq,
+                outcome,
+            } = &obs
+            {
+                if let Some(waiter) = self.global_read_waiters.remove(&(*session, *seq)) {
+                    self.reply_waiter(waiter, *session, *seq, outcome.clone(), out);
+                    continue;
+                }
+            }
+            out.observations.push(obs);
+        }
         // A snapshot install advances the engine's commit floor without
         // per-entry commit notifications; track the jump here.
         if let Some(side) = &self.global {
@@ -647,6 +683,79 @@ impl CRaftNode {
             self.forward_local_actions(la, out);
         }
     }
+
+    // ------------------------------------------------------------------
+    // Global linearizable reads
+    // ------------------------------------------------------------------
+
+    /// Routes a linearizable (global) read through this cluster leader's
+    /// global engine on behalf of `waiter` (the gateway): the global engine
+    /// either runs the ReadIndex round itself (global leader) or forwards
+    /// to the global leader; the eventual outcome is relayed back through
+    /// [`CRaftNode::forward_global_actions`].
+    fn global_linearizable_read(
+        &mut self,
+        session: SessionId,
+        seq: u64,
+        waiter: NodeId,
+        out: &mut Actions<CRaftMessage>,
+    ) {
+        if self.global.is_none() {
+            // Activation race: locally elected but the global side is not
+            // up; the client retries.
+            self.reply_waiter(waiter, session, seq, ClientOutcome::Retry, out);
+            return;
+        }
+        self.global_read_waiters.insert((session, seq), waiter);
+        let mut ea: Actions<FastRaftMessage> = Actions::new();
+        if let Some(side) = self.global.as_mut() {
+            side.engine.on_client_request(
+                ClientRequest::read(session, seq, Consistency::Linearizable),
+                &mut side.gate,
+                &mut ea,
+            );
+        }
+        self.forward_global_actions(ea, out);
+    }
+
+    /// Answers a gateway waiting on a global read: locally (observation)
+    /// when the gateway is this node, via a local-level `ClientReply`
+    /// otherwise.
+    fn reply_waiter(
+        &mut self,
+        waiter: NodeId,
+        session: SessionId,
+        seq: u64,
+        outcome: ClientOutcome,
+        out: &mut Actions<CRaftMessage>,
+    ) {
+        // A Redirect produced at the *global* level names a cluster leader
+        // in some other cluster — useless (and actively harmful) as a
+        // local-level hint at the gateway, whose engine would adopt it as
+        // its local leader_hint. Degrade to Retry: the re-routed attempt
+        // goes through this cluster leader again, which knows the updated
+        // global hint.
+        let outcome = match outcome {
+            ClientOutcome::Redirect { .. } => ClientOutcome::Retry,
+            other => other,
+        };
+        if waiter == self.id {
+            out.observe(Observation::ClientResponse {
+                session,
+                seq,
+                outcome,
+            });
+        } else {
+            out.send(
+                waiter,
+                CRaftMessage::Local(FastRaftMessage::ClientReply {
+                    session,
+                    seq,
+                    outcome,
+                }),
+            );
+        }
+    }
 }
 
 impl wire::ConsensusProtocol for CRaftNode {
@@ -658,6 +767,14 @@ impl wire::ConsensusProtocol for CRaftNode {
 
     fn on_message(&mut self, from: NodeId, msg: CRaftMessage, out: &mut Actions<CRaftMessage>) {
         match msg {
+            CRaftMessage::Local(FastRaftMessage::ClientRead { session, seq })
+                if self.is_local_leader() =>
+            {
+                // A linearizable read forwarded by a cluster member: in
+                // C-Raft these are **global** reads, confirmed through the
+                // global engine rather than by local leadership.
+                self.global_linearizable_read(session, seq, from, out);
+            }
             CRaftMessage::Local(m) => {
                 if let FastRaftMessage::AppendEntries { global_commit, .. } = &m {
                     self.global_commit_seen = self.global_commit_seen.max(*global_commit);
@@ -701,13 +818,23 @@ impl wire::ConsensusProtocol for CRaftNode {
         }
     }
 
-    fn on_client_propose(&mut self, data: Bytes, out: &mut Actions<CRaftMessage>) -> EntryId {
-        let mut ea: Actions<FastRaftMessage> = Actions::new();
-        let id = self
-            .local
-            .propose_data(data, &mut self.local_gate, &mut ea);
-        self.forward_local_actions(ea, out);
-        id
+    fn on_client_request(&mut self, req: ClientRequest, out: &mut Actions<CRaftMessage>) {
+        match &req.op {
+            // Linearizable reads are global reads (§V): a cluster leader
+            // confirms through the global engine; members forward to their
+            // cluster leader through the local engine's gateway machinery.
+            ClientOp::Read(Consistency::Linearizable) if self.is_local_leader() => {
+                self.global_linearizable_read(req.session, req.seq, self.id, out);
+            }
+            // Writes (acked at local commit, §V-A), stale-local reads, and
+            // read forwarding all ride the local engine.
+            _ => {
+                let mut ea: Actions<FastRaftMessage> = Actions::new();
+                self.local
+                    .on_client_request(req, &mut self.local_gate, &mut ea);
+                self.forward_local_actions(ea, out);
+            }
+        }
     }
 
     fn bootstrap(&mut self, out: &mut Actions<CRaftMessage>) {
@@ -723,6 +850,24 @@ impl wire::ConsensusProtocol for CRaftNode {
                 des::SimDuration::from_millis(jitter),
             );
         }
+    }
+}
+
+/// The global batch item for a locally committed client value, if the entry
+/// carries one (plain data, or a session write keeping its dedup key).
+fn batchable_item(entry: &LogEntry) -> Option<BatchItem> {
+    match &entry.payload {
+        Payload::Data(data) => Some(BatchItem {
+            id: entry.id,
+            key: None,
+            data: data.clone(),
+        }),
+        Payload::Write { session, seq, data } => Some(BatchItem {
+            id: entry.id,
+            key: Some((*session, *seq)),
+            data: data.clone(),
+        }),
+        _ => None,
     }
 }
 
@@ -764,6 +909,7 @@ pub fn build_deployment(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
 
     #[test]
     fn deployment_builder_shapes() {
@@ -807,6 +953,7 @@ mod tests {
                     LogIndex(i + 1),
                     BatchItem {
                         id: EntryId::new(NodeId(0), i),
+                        key: None,
                         data: Bytes::from(vec![0u8; data_len]),
                     },
                 )

@@ -43,8 +43,10 @@ use bytes::Bytes;
 use des::SimRng;
 use raft::{Role, Timing};
 use wire::{
-    fold_commit_digest, Actions, Approval, Configuration, EntryId, EntryList, LogEntry, LogIndex,
-    LogScope, NodeId, Observation, Payload, PersistCmd, Snapshot, Term, TimerKind,
+    fold_commit_digest, fold_session_digest, Actions, Approval, ClientOp, ClientOutcome,
+    ClientRequest, Configuration, Consistency, EntryId, EntryList, LogEntry, LogIndex, LogScope,
+    NodeId, Observation, Payload, PersistCmd, SessionApply, SessionId, SessionTable, Snapshot,
+    Term, TimerKind,
 };
 
 use crate::gate::{GatePurpose, GateToken, GateVerdict, InsertGate};
@@ -162,7 +164,25 @@ struct AckState {
     term: Term,
     match_index: LogIndex,
     leader_commit: LogIndex,
+    /// ReadIndex probe of the original message, echoed in the eventual ack.
+    probe: u64,
     remaining: usize,
+}
+
+/// A linearizable read awaiting its ReadIndex leadership confirmation.
+#[derive(Clone, Debug)]
+struct PendingRead {
+    session: SessionId,
+    seq: u64,
+    /// Who to answer (`self` for reads registered at the leader-gateway).
+    reply_to: NodeId,
+    /// The commit floor captured at registration; returned once confirmed.
+    floor: LogIndex,
+    /// Probe the confirmation round must reach (acks echoing an older probe
+    /// prove nothing about leadership at read time).
+    probe: u64,
+    /// Members that acked a sufficiently fresh probe.
+    acks: BTreeSet<NodeId>,
 }
 
 /// One consensus level of Fast Raft: a sans-IO state machine.
@@ -213,6 +233,21 @@ pub struct FastRaftEngine {
     /// Highest index already repaired proactively (from an append ack), so
     /// one stall triggers at most one proactive no-op broadcast.
     last_proactive_repair: LogIndex,
+
+    // ---- applied client state (deterministic across replicas) ----
+    /// Per-session exactly-once dedup table; updated while applying
+    /// committed `Write`/`Batch` entries and carried inside snapshots.
+    sessions: SessionTable,
+
+    // ---- gateway (client-facing) ----
+    /// In-flight client requests submitted at this node.
+    client_pending: BTreeMap<(SessionId, u64), ClientOp>,
+    /// `(session, seq)` → proposal id for in-flight writes.
+    client_writes: HashMap<(SessionId, u64), EntryId>,
+
+    // ---- leader read path (ReadIndex) ----
+    pending_reads: Vec<PendingRead>,
+    read_probe: u64,
 
     // ---- proposer ----
     next_seq: u64,
@@ -326,6 +361,11 @@ impl FastRaftEngine {
             reconfig_queue: VecDeque::new(),
             stalled_ticks: 0,
             last_proactive_repair: LogIndex::ZERO,
+            sessions: SessionTable::new(),
+            client_pending: BTreeMap::new(),
+            client_writes: HashMap::new(),
+            pending_reads: Vec::new(),
+            read_probe: 0,
             next_seq: 0,
             pending_proposals: BTreeMap::new(),
             join_contacts,
@@ -369,6 +409,7 @@ impl FastRaftEngine {
             log.install_snapshot(snap.last_index, snap.last_term);
             e.config = snap.config.clone();
             e.config_index = snap.last_index;
+            e.sessions = snap.sessions.clone();
             if let Some(digest) = snap.state_digest() {
                 e.state_digest = digest;
             }
@@ -458,6 +499,11 @@ impl FastRaftEngine {
     /// Proposals issued here and not yet known committed.
     pub fn pending_proposals(&self) -> usize {
         self.pending_proposals.len()
+    }
+
+    /// The per-session exactly-once dedup table (applied state).
+    pub fn sessions(&self) -> &SessionTable {
+        &self.sessions
     }
 
     /// `true` while this node is still negotiating membership.
@@ -665,6 +711,13 @@ impl FastRaftEngine {
         gate: &mut dyn InsertGate,
         out: &mut Actions<FastRaftMessage>,
     ) {
+        // Session dedup at the door: a `(session, seq)` the applied state
+        // already covers must not claim another slot — this is the check
+        // that survives compaction and leader restarts (the table rides in
+        // the snapshot, unlike the in-log id mappings below).
+        if self.reject_session_duplicate(&entry, out) {
+            return;
+        }
         // Dedup: retries of ids already in the log are ignored (commit
         // notification flows from emit_commit_effects).
         if let Some(&idx) = self.id_index.get(&entry.id) {
@@ -708,6 +761,30 @@ impl FastRaftEngine {
         }
     }
 
+    /// If `entry` carries a session-tagged payload whose `(session, seq)`
+    /// this site's applied state already covers, notifies the proposer
+    /// appropriately and returns `true` (the entry must not be (re)placed).
+    fn reject_session_duplicate(
+        &mut self,
+        entry: &LogEntry,
+        out: &mut Actions<FastRaftMessage>,
+    ) -> bool {
+        let Some((session, seq)) = entry.payload.session_key() else {
+            return false;
+        };
+        let Some(first_index) = self.sessions.duplicate_of(session, seq) else {
+            return false;
+        };
+        self.respond_client(
+            entry.id.proposer,
+            session,
+            seq,
+            ClientOutcome::Duplicate { first_index },
+            out,
+        );
+        true
+    }
+
     /// Registers an externally recovered proposal for retry tracking
     /// without re-broadcasting it now. Used by C-Raft when a new local
     /// leader inherits batches its predecessor proposed globally but whose
@@ -736,6 +813,322 @@ impl FastRaftEngine {
         out: &mut Actions<FastRaftMessage>,
     ) -> EntryId {
         self.propose_payload(Payload::Data(data), gate, out)
+    }
+
+    // ------------------------------------------------------------------
+    // The typed client surface (sessions, exactly-once writes, reads)
+    // ------------------------------------------------------------------
+
+    /// Submits a typed client request at this node (the gateway). Writes
+    /// ride the normal proposal machinery as `Payload::Write` and are
+    /// answered when the gateway applies their commit; reads are answered
+    /// from the commit floor (stale) or after a leader ReadIndex round
+    /// (linearizable). All answers surface as
+    /// [`Observation::ClientResponse`].
+    pub fn on_client_request(
+        &mut self,
+        req: ClientRequest,
+        gate: &mut dyn InsertGate,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        let ClientRequest { session, seq, op } = req;
+        match op {
+            ClientOp::Write(data) => self.client_write(session, seq, data, gate, out),
+            ClientOp::Read(consistency) => self.client_read(session, seq, consistency, gate, out),
+        }
+    }
+
+    fn client_write(
+        &mut self,
+        session: SessionId,
+        seq: u64,
+        data: Bytes,
+        gate: &mut dyn InsertGate,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        // Applied already? Answer without proposing (retry-safe).
+        if let Some(first_index) = self.sessions.duplicate_of(session, seq) {
+            self.respond_client(
+                self.id,
+                session,
+                seq,
+                ClientOutcome::Duplicate { first_index },
+                out,
+            );
+            return;
+        }
+        if let Some(id) = self.client_writes.get(&(session, seq)) {
+            if self.pending_proposals.contains_key(id) {
+                // Already in flight: the proposal-retry machinery keeps
+                // pushing it; just make sure the timer is armed.
+                out.set_timer(
+                    self.timers.map(TimerKind::ProposalRetry),
+                    self.timing.proposal_timeout,
+                );
+                return;
+            }
+        }
+        self.client_pending
+            .insert((session, seq), ClientOp::Write(data.clone()));
+        let id = self.propose_payload(Payload::Write { session, seq, data }, gate, out);
+        self.client_writes.insert((session, seq), id);
+    }
+
+    fn client_read(
+        &mut self,
+        session: SessionId,
+        seq: u64,
+        consistency: Consistency,
+        gate: &mut dyn InsertGate,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        match consistency {
+            Consistency::StaleLocal => {
+                // Served from this site's floor, no coordination.
+                out.observe(Observation::ClientResponse {
+                    session,
+                    seq,
+                    outcome: ClientOutcome::ReadOk {
+                        scope: self.scope,
+                        commit_floor: self.commit_index,
+                    },
+                });
+            }
+            Consistency::Linearizable => {
+                if self.role == Role::Leader {
+                    self.client_pending
+                        .insert((session, seq), ClientOp::Read(consistency));
+                    self.register_read(session, seq, self.id, gate, out);
+                } else if let Some(leader) = self.leader_hint {
+                    self.client_pending
+                        .insert((session, seq), ClientOp::Read(consistency));
+                    out.send(leader, FastRaftMessage::ClientRead { session, seq });
+                } else {
+                    // No leader known (election in progress): retry later.
+                    out.observe(Observation::ClientResponse {
+                        session,
+                        seq,
+                        outcome: ClientOutcome::Retry,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Answers a client request: as an observation when the gateway is this
+    /// node, as a [`FastRaftMessage::ClientReply`] otherwise.
+    fn respond_client(
+        &mut self,
+        to: NodeId,
+        session: SessionId,
+        seq: u64,
+        outcome: ClientOutcome,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        if to == self.id {
+            if let Some(id) = self.client_writes.remove(&(session, seq)) {
+                self.pending_proposals.remove(&id);
+            }
+            self.client_pending.remove(&(session, seq));
+            out.observe(Observation::ClientResponse {
+                session,
+                seq,
+                outcome,
+            });
+        } else {
+            out.send(
+                to,
+                FastRaftMessage::ClientReply {
+                    session,
+                    seq,
+                    outcome,
+                },
+            );
+        }
+    }
+
+    /// Gateway handling of a typed outcome arriving from another node.
+    fn on_client_reply(
+        &mut self,
+        session: SessionId,
+        seq: u64,
+        outcome: ClientOutcome,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        if let ClientOutcome::Redirect { leader_hint } = &outcome {
+            if let Some(hint) = leader_hint {
+                self.leader_hint = Some(*hint);
+            }
+            // A redirected write stays pending: the proposal machinery keeps
+            // retrying it (broadcast mode needs no hint at all). Redirected
+            // reads surface so the caller retries against the updated hint.
+            if self.client_writes.contains_key(&(session, seq)) {
+                return;
+            }
+        }
+        if self.client_pending.contains_key(&(session, seq)) {
+            self.respond_client(self.id, session, seq, outcome, out);
+        }
+    }
+
+    /// Leader side of a linearizable read: capture the commit floor, then
+    /// confirm leadership with a heartbeat round before answering.
+    fn register_read(
+        &mut self,
+        session: SessionId,
+        seq: u64,
+        reply_to: NodeId,
+        gate: &mut dyn InsertGate,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        debug_assert_eq!(self.role, Role::Leader);
+        // A fresh leader's commit floor may lag entries committed by its
+        // predecessor until an entry of its own term commits (Raft §8):
+        // until then the floor must not be served. Exception: a provably
+        // empty history serves the trivially correct floor 0 — otherwise an
+        // empty system could never answer its first read. "Provably empty"
+        // means neither this leader's log nor any granted vote's recovered
+        // entries contain anything: a fast quorum that chose an entry
+        // intersects every classic quorum in a voter that would have
+        // shipped it, so emptiness here implies no write ever completed.
+        let provably_empty = self.commit_index.is_zero()
+            && self.last_leader_index.is_zero()
+            && self.log.is_empty()
+            && self.possible.max_index().is_zero();
+        if !provably_empty && self.log.term_at(self.commit_index) != self.current_term {
+            self.respond_client(reply_to, session, seq, ClientOutcome::Retry, out);
+            // Liveness nudge: a *quiescent* new leader — everything
+            // inherited already committed — never runs `maybe_term_noop`
+            // (that path only fires while commits lag), so without client
+            // writes no current-term entry would ever commit and reads
+            // would retry forever. Create the no-op on demand, only when a
+            // read actually needs it, so write-only runs keep their exact
+            // index layout.
+            if self.commit_index >= self.last_leader_index && self.leader_log_settled() {
+                let k = self.last_leader_index.next();
+                let noop = LogEntry::noop(self.current_term, self.fresh_internal_id());
+                match gate.begin(k, &noop, GatePurpose::DecisionInsert) {
+                    GateVerdict::Proceed => {
+                        self.insert_leader_entry(k, noop, out);
+                        self.advance_commit_classic(out);
+                        self.dispatch_append_entries(out);
+                    }
+                    GateVerdict::Defer(token) => {
+                        // Park as a Decision continuation: its gate_ready
+                        // arm releases the `gated_decisions` reservation,
+                        // so a gated (C-Raft global) nudge cannot wedge
+                        // `leader_log_settled()`.
+                        self.gated_decisions.insert(k);
+                        self.pending_gates
+                            .insert(token, GateCont::Decision { index: k, entry: noop });
+                    }
+                }
+            }
+            return;
+        }
+        let floor = self.commit_index;
+        if self.config.classic_quorum() <= 1 {
+            // A single-voter configuration confirms itself.
+            self.respond_client(
+                reply_to,
+                session,
+                seq,
+                ClientOutcome::ReadOk {
+                    scope: self.scope,
+                    commit_floor: floor,
+                },
+                out,
+            );
+            return;
+        }
+        // Retry idempotence: a client resubmission of a read already being
+        // confirmed must not stack a second round (it would grow unbounded
+        // while the leader lacks an ack quorum, then answer in duplicate).
+        // The pending round answers the retry too; just re-probe for
+        // liveness in case the original heartbeats were lost.
+        if self
+            .pending_reads
+            .iter()
+            .any(|r| r.session == session && r.seq == seq && r.reply_to == reply_to)
+        {
+            self.dispatch_append_entries(out);
+            return;
+        }
+        self.read_probe += 1;
+        self.pending_reads.push(PendingRead {
+            session,
+            seq,
+            reply_to,
+            floor,
+            probe: self.read_probe,
+            acks: BTreeSet::new(),
+        });
+        // Confirm now rather than waiting out the heartbeat period.
+        self.dispatch_append_entries(out);
+    }
+
+    /// Counts a follower's heartbeat ack toward pending ReadIndex rounds.
+    fn note_read_ack(&mut self, from: NodeId, probe: u64, out: &mut Actions<FastRaftMessage>) {
+        if self.pending_reads.is_empty() || !self.config.contains(from) {
+            return;
+        }
+        let quorum = self.config.classic_quorum();
+        let self_vote = usize::from(self.config.contains(self.id));
+        let scope = self.scope;
+        let mut reads = std::mem::take(&mut self.pending_reads);
+        let mut confirmed = Vec::new();
+        reads.retain_mut(|r| {
+            if probe >= r.probe {
+                r.acks.insert(from);
+            }
+            if r.acks.len() + self_vote >= quorum {
+                confirmed.push(r.clone());
+                false
+            } else {
+                true
+            }
+        });
+        self.pending_reads = reads;
+        for r in confirmed {
+            self.respond_client(
+                r.reply_to,
+                r.session,
+                r.seq,
+                ClientOutcome::ReadOk {
+                    scope,
+                    commit_floor: r.floor,
+                },
+                out,
+            );
+        }
+    }
+
+    /// Fails every pending ReadIndex round with `Retry` (leadership lost or
+    /// re-confirmed under a different term).
+    fn fail_pending_reads(&mut self, out: &mut Actions<FastRaftMessage>) {
+        let reads = std::mem::take(&mut self.pending_reads);
+        for r in reads {
+            self.respond_client(r.reply_to, r.session, r.seq, ClientOutcome::Retry, out);
+        }
+    }
+
+    /// Answers any locally pending write the session table now covers (a
+    /// snapshot install can jump the commit floor across its application).
+    fn sweep_client_pending(&mut self, out: &mut Actions<FastRaftMessage>) {
+        let done: Vec<(SessionId, u64, LogIndex)> = self
+            .client_writes
+            .keys()
+            .filter_map(|&(s, q)| self.sessions.duplicate_of(s, q).map(|idx| (s, q, idx)))
+            .collect();
+        for (session, seq, first_index) in done {
+            self.respond_client(
+                self.id,
+                session,
+                seq,
+                ClientOutcome::Duplicate { first_index },
+                out,
+            );
+        }
     }
 
     fn pick_proposal_index(&self) -> LogIndex {
@@ -939,14 +1332,45 @@ impl FastRaftEngine {
                 entries,
                 leader_commit,
                 global_commit: _,
-            } => {
-                self.on_append_entries(from, term, leader, prev_index, entries, leader_commit, gate, out)
-            }
+                probe,
+            } => self.on_append_entries(
+                from,
+                term,
+                leader,
+                prev_index,
+                entries,
+                leader_commit,
+                probe,
+                gate,
+                out,
+            ),
             FastRaftMessage::AppendEntriesReply {
                 term,
                 success,
                 match_index,
-            } => self.on_append_reply(from, term, success, match_index, out),
+                probe,
+            } => self.on_append_reply(from, term, success, match_index, probe, out),
+            FastRaftMessage::ClientRead { session, seq } => {
+                if self.role == Role::Leader {
+                    self.register_read(session, seq, from, gate, out);
+                } else {
+                    out.send(
+                        from,
+                        FastRaftMessage::ClientReply {
+                            session,
+                            seq,
+                            outcome: ClientOutcome::Redirect {
+                                leader_hint: self.leader_hint,
+                            },
+                        },
+                    );
+                }
+            }
+            FastRaftMessage::ClientReply {
+                session,
+                seq,
+                outcome,
+            } => self.on_client_reply(session, seq, outcome, out),
             FastRaftMessage::RequestVote {
                 term,
                 candidate,
@@ -1063,6 +1487,12 @@ impl FastRaftEngine {
                     },
                 );
             }
+            return;
+        }
+        // Session dedup: a `(session, seq)` this site already applied is
+        // answered instead of re-inserted — unlike the id mapping below,
+        // the session table survives compaction and restarts.
+        if self.reject_session_duplicate(&entry, out) {
             return;
         }
         // Duplicate already committed? Notify the proposer (§IV-B step 1).
@@ -1602,6 +2032,7 @@ impl FastRaftEngine {
                         entries: entries.clone(),
                         leader_commit: self.commit_index,
                         global_commit: LogIndex::ZERO,
+                        probe: self.read_probe,
                     },
                 );
             }
@@ -1618,6 +2049,7 @@ impl FastRaftEngine {
         prev_index: LogIndex,
         entries: EntryList,
         leader_commit: LogIndex,
+        probe: u64,
         gate: &mut dyn InsertGate,
         out: &mut Actions<FastRaftMessage>,
     ) {
@@ -1628,6 +2060,7 @@ impl FastRaftEngine {
                     term: self.current_term,
                     success: false,
                     match_index: LogIndex::ZERO,
+                    probe: 0,
                 },
             );
             return;
@@ -1706,7 +2139,7 @@ impl FastRaftEngine {
         }
         if to_insert.is_empty() {
             self.verified = new_match;
-            self.complete_append(from, new_match, leader_commit, out);
+            self.complete_append(from, new_match, leader_commit, probe, out);
             return;
         }
         let ack_id = self.next_ack_id;
@@ -1748,7 +2181,7 @@ impl FastRaftEngine {
         }
         self.verified = landed;
         if remaining == 0 {
-            self.complete_append(from, new_match, leader_commit, out);
+            self.complete_append(from, new_match, leader_commit, probe, out);
         } else {
             self.acks.insert(
                 ack_id,
@@ -1757,6 +2190,7 @@ impl FastRaftEngine {
                     term: self.current_term,
                     match_index: new_match,
                     leader_commit,
+                    probe,
                     remaining,
                 },
             );
@@ -1803,6 +2237,7 @@ impl FastRaftEngine {
         from: NodeId,
         match_index: LogIndex,
         leader_commit: LogIndex,
+        probe: u64,
         out: &mut Actions<FastRaftMessage>,
     ) {
         // §IV-B step 6: commitIndex follows the leader, clamped to what we
@@ -1821,6 +2256,7 @@ impl FastRaftEngine {
                 term: self.current_term,
                 success: true,
                 match_index,
+                probe,
             },
         );
     }
@@ -1838,7 +2274,7 @@ impl FastRaftEngine {
         if st.match_index > self.verified {
             self.verified = st.match_index;
         }
-        self.complete_append(st.from, st.match_index, st.leader_commit, out);
+        self.complete_append(st.from, st.match_index, st.leader_commit, st.probe, out);
     }
 
     /// Leader handling of AppendEntries acknowledgements.
@@ -1848,6 +2284,7 @@ impl FastRaftEngine {
         term: Term,
         success: bool,
         match_index: LogIndex,
+        probe: u64,
         out: &mut Actions<FastRaftMessage>,
     ) {
         if term > self.current_term {
@@ -1870,6 +2307,9 @@ impl FastRaftEngine {
             self.maybe_finish_join(from, out);
             self.advance_commit_classic(out);
             self.maybe_proactive_repair(match_index, out);
+            // A current-term ack confirms leadership for ReadIndex rounds
+            // registered at or before the echoed probe.
+            self.note_read_ack(from, probe, out);
         } else {
             // Stale-term rejection carries no hint; rewind to the commit
             // point so the next dispatch re-sends the suffix.
@@ -1975,6 +2415,33 @@ impl FastRaftEngine {
             return;
         };
         self.state_digest = fold_commit_digest(self.state_digest, k, entry.id);
+        // Exactly-once apply for session-tagged payloads (client writes and
+        // global batches): the dedup table is part of applied state, so
+        // every replica makes the same first-application decision — a
+        // retried seq that commits at a second index is a no-op everywhere.
+        let session_outcome = entry.payload.session_key().map(|(session, seq)| {
+            match self.sessions.apply(session, seq, k) {
+                SessionApply::Applied => {
+                    self.state_digest = fold_session_digest(self.state_digest, session, seq);
+                    out.observe(Observation::SessionApplied {
+                        scope: self.scope,
+                        session,
+                        seq,
+                        index: k,
+                    });
+                    (session, seq, ClientOutcome::Committed { index: k })
+                }
+                SessionApply::Duplicate { first_index } => {
+                    out.observe(Observation::SessionDuplicate {
+                        scope: self.scope,
+                        session,
+                        seq,
+                        first_index,
+                    });
+                    (session, seq, ClientOutcome::Duplicate { first_index })
+                }
+            }
+        });
         match &entry.payload {
             Payload::Config(cfg) => {
                 out.observe(Observation::ConfigCommitted {
@@ -2001,7 +2468,78 @@ impl FastRaftEngine {
                     self.finish_joining(out);
                 }
             }
-            Payload::Data(_) | Payload::Batch(_) => {
+            Payload::Write { .. } => {
+                let (session, seq, outcome) =
+                    session_outcome.clone().expect("write has a session key");
+                if entry.id.proposer == self.id {
+                    self.pending_proposals.remove(&entry.id);
+                }
+                if self.client_pending.contains_key(&(session, seq)) {
+                    // The gateway observes its own commit: answer here.
+                    self.respond_client(self.id, session, seq, outcome, out);
+                } else if self.role == Role::Leader && entry.id.proposer != self.id {
+                    // Covers gateways lagging behind the commit (they
+                    // ignore non-pending replies).
+                    out.send(
+                        entry.id.proposer,
+                        FastRaftMessage::ClientReply {
+                            session,
+                            seq,
+                            outcome,
+                        },
+                    );
+                }
+            }
+            Payload::Batch(b) => {
+                // Item-wise exactly-once apply: a value whose item landed in
+                // two batches (successor re-batching, a batch retry racing
+                // compaction + restart) takes effect only once; each item's
+                // session rides the table, which travels in snapshots.
+                let items: Vec<(SessionId, u64)> =
+                    b.items.iter().filter_map(|item| item.key).collect();
+                for (session, seq) in items {
+                    match self.sessions.apply(session, seq, k) {
+                        SessionApply::Applied => {
+                            self.state_digest =
+                                fold_session_digest(self.state_digest, session, seq);
+                            out.observe(Observation::SessionApplied {
+                                scope: self.scope,
+                                session,
+                                seq,
+                                index: k,
+                            });
+                        }
+                        SessionApply::Duplicate { first_index } => {
+                            out.observe(Observation::SessionDuplicate {
+                                scope: self.scope,
+                                session,
+                                seq,
+                                first_index,
+                            });
+                        }
+                    }
+                }
+                let proposer = entry.id.proposer;
+                if proposer == self.id {
+                    if self.pending_proposals.remove(&entry.id).is_some() {
+                        out.observe(Observation::ProposalCommitted {
+                            id: entry.id,
+                            index: k,
+                            scope: self.scope,
+                        });
+                    }
+                } else if self.role == Role::Leader {
+                    out.send(
+                        proposer,
+                        FastRaftMessage::ProposeReply {
+                            id: entry.id,
+                            committed: true,
+                            leader_hint: Some(self.id),
+                        },
+                    );
+                }
+            }
+            Payload::Data(_) => {
                 let proposer = entry.id.proposer;
                 if proposer == self.id {
                     if self.pending_proposals.remove(&entry.id).is_some() {
@@ -2060,6 +2598,7 @@ impl FastRaftEngine {
             last_term: self.log.term_at(through),
             config: self.config_for_snapshot(through),
             state: Snapshot::digest_state(self.state_digest),
+            sessions: self.sessions.clone(),
         };
         out.persist(PersistCmd::InstallSnapshot {
             snapshot: snapshot.clone(),
@@ -2108,6 +2647,7 @@ impl FastRaftEngine {
                 last_term: self.log.compacted_term(),
                 config: self.config_for_snapshot(horizon),
                 state: Snapshot::digest_state(self.state_digest),
+                sessions: self.sessions.clone(),
             }),
         }
     }
@@ -2192,6 +2732,9 @@ impl FastRaftEngine {
         if let Some(digest) = snapshot.state_digest() {
             self.state_digest = digest;
         }
+        // Adopt the applied session state: the snapshot's table covers
+        // strictly more commits than ours (last_index > old commit).
+        self.sessions = snapshot.sessions.clone();
         self.commit_index = last_index;
         self.verified = self.verified.max(last_index);
         if last_index > self.last_leader_index {
@@ -2203,6 +2746,9 @@ impl FastRaftEngine {
             scope: self.scope,
             last_index,
         });
+        // Gateway sweep: writes submitted here whose application the
+        // install fast-forwarded past must still be answered.
+        self.sweep_client_pending(out);
         self.retarget_lost_proposals(out);
         out.send(
             from,
@@ -2247,6 +2793,9 @@ impl FastRaftEngine {
         out: &mut Actions<FastRaftMessage>,
     ) {
         let was_leader = self.role == Role::Leader;
+        // Leadership (or the term it was confirmed under) is gone: any read
+        // still awaiting its ReadIndex confirmation must not be answered.
+        self.fail_pending_reads(out);
         if term > self.current_term {
             self.current_term = term;
             self.voted_for = None;
@@ -2418,6 +2967,25 @@ impl FastRaftEngine {
     }
 
     fn become_leader(&mut self, out: &mut Actions<FastRaftMessage>) {
+        // Invariant (ROADMAP snapshot item b): a log grown through normal
+        // protocol operation is never front-gapped — compaction only ever
+        // consumes a contiguous occupied prefix. Only C-Raft's global-view
+        // reconstruction (from partially compacted global-state entries)
+        // can produce one; a leader election on such a view is legal (the
+        // gap region is protected by §IV-B slot voting and commits never
+        // cross it) but worth surfacing: the new leader serves the gap via
+        // hole repair + quorum re-votes instead of its own entries.
+        if let Some((horizon, first_retained)) = self.log.front_gap() {
+            debug_assert_eq!(
+                self.scope,
+                LogScope::Global,
+                "front-gapped log outside the C-Raft global reconstruction path"
+            );
+            out.observe(Observation::GlobalViewGap {
+                horizon,
+                first_retained,
+            });
+        }
         self.role = Role::Leader;
         self.silent_elections = 0;
         self.leader_hint = Some(self.id);

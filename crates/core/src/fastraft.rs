@@ -4,13 +4,12 @@
 //! consensus group, fast-track commits in two message rounds, classic-track
 //! fallback, self-announced membership, and silent-leave detection.
 
-use bytes::Bytes;
 use des::SimRng;
 use raft::{Role, Timing};
 use storage::StableState;
 use wire::{
-    Actions, Configuration, ConsensusProtocol, EntryId, LogIndex, LogScope, NodeId, Term,
-    TimerKind,
+    Actions, ClientRequest, Configuration, ConsensusProtocol, LogIndex, LogScope, NodeId,
+    SessionTable, Term, TimerKind,
 };
 
 use crate::engine::{FastRaftEngine, TimerProfile};
@@ -161,6 +160,11 @@ impl FastRaftNode {
         self.engine.pending_proposals()
     }
 
+    /// The per-session exactly-once dedup table (applied state).
+    pub fn sessions(&self) -> &SessionTable {
+        self.engine.sessions()
+    }
+
     /// `true` while still negotiating membership.
     pub fn is_joining(&self) -> bool {
         self.engine.is_joining()
@@ -189,8 +193,8 @@ impl ConsensusProtocol for FastRaftNode {
         }
     }
 
-    fn on_client_propose(&mut self, data: Bytes, out: &mut Actions<FastRaftMessage>) -> EntryId {
-        self.engine.propose_data(data, &mut self.gate, out)
+    fn on_client_request(&mut self, req: ClientRequest, out: &mut Actions<FastRaftMessage>) {
+        self.engine.on_client_request(req, &mut self.gate, out);
     }
 
     fn bootstrap(&mut self, out: &mut Actions<FastRaftMessage>) {

@@ -1,8 +1,8 @@
 //! Fast Raft and C-Raft message vocabulary (§IV, §V).
 
 use wire::{
-    DecodeError, Decoder, Encoder, EntryId, EntryList, LogEntry, LogIndex, Message, NodeId,
-    Snapshot, Term, Wire,
+    ClientOutcome, DecodeError, Decoder, Encoder, EntryId, EntryList, LogEntry, LogIndex, Message,
+    NodeId, SessionId, Snapshot, Term, Wire,
 };
 
 /// Messages exchanged by Fast Raft sites (one consensus level).
@@ -56,6 +56,10 @@ pub enum FastRaftMessage {
         /// index, so cluster members learn which global entries committed.
         /// Zero outside C-Raft's local level.
         global_commit: LogIndex,
+        /// ReadIndex round tag: followers echo it in their reply, and a
+        /// pending linearizable read only counts acks whose echoed probe is
+        /// at least the probe current when the read was registered.
+        probe: u64,
     },
     /// Follower → leader: replication ack.
     AppendEntriesReply {
@@ -65,6 +69,26 @@ pub enum FastRaftMessage {
         success: bool,
         /// Highest index now matching the leader.
         match_index: LogIndex,
+        /// Echo of the request's ReadIndex probe.
+        probe: u64,
+    },
+    /// Gateway → leader: run a linearizable ReadIndex round and answer with
+    /// the confirmed commit floor (at C-Raft's global level this is how a
+    /// cluster leader serves a global read).
+    ClientRead {
+        /// The issuing client session.
+        session: SessionId,
+        /// The request's sequence number.
+        seq: u64,
+    },
+    /// Any site → gateway: the typed outcome of a client request.
+    ClientReply {
+        /// The session this answers.
+        session: SessionId,
+        /// The request's sequence number.
+        seq: u64,
+        /// What happened.
+        outcome: ClientOutcome,
     },
     /// Candidate → all: request a vote. Up-to-dateness is judged on
     /// **leader-approved** entries only (§IV-C).
@@ -135,6 +159,8 @@ impl FastRaftMessage {
             FastRaftMessage::ProposeReply { .. } => "propose_reply",
             FastRaftMessage::AppendEntries { .. } => "append_entries",
             FastRaftMessage::AppendEntriesReply { .. } => "append_entries_reply",
+            FastRaftMessage::ClientRead { .. } => "client_read",
+            FastRaftMessage::ClientReply { .. } => "client_reply",
             FastRaftMessage::RequestVote { .. } => "request_vote",
             FastRaftMessage::RequestVoteReply { .. } => "request_vote_reply",
             FastRaftMessage::JoinRequest { .. } => "join_request",
@@ -150,6 +176,8 @@ impl FastRaftMessage {
         matches!(
             self,
             FastRaftMessage::ProposeReply { .. }
+                | FastRaftMessage::ClientRead { .. }
+                | FastRaftMessage::ClientReply { .. }
                 | FastRaftMessage::JoinRequest { .. }
                 | FastRaftMessage::JoinReply { .. }
                 | FastRaftMessage::LeaveRequest { .. }
@@ -192,6 +220,7 @@ impl Wire for FastRaftMessage {
                 entries,
                 leader_commit,
                 global_commit,
+                probe,
             } => {
                 e.put_u8(3);
                 term.encode(e);
@@ -200,16 +229,34 @@ impl Wire for FastRaftMessage {
                 entries.encode(e);
                 leader_commit.encode(e);
                 global_commit.encode(e);
+                e.put_u64(*probe);
             }
             FastRaftMessage::AppendEntriesReply {
                 term,
                 success,
                 match_index,
+                probe,
             } => {
                 e.put_u8(4);
                 term.encode(e);
                 success.encode(e);
                 match_index.encode(e);
+                e.put_u64(*probe);
+            }
+            FastRaftMessage::ClientRead { session, seq } => {
+                e.put_u8(12);
+                session.encode(e);
+                e.put_u64(*seq);
+            }
+            FastRaftMessage::ClientReply {
+                session,
+                seq,
+                outcome,
+            } => {
+                e.put_u8(13);
+                session.encode(e);
+                e.put_u64(*seq);
+                outcome.encode(e);
             }
             FastRaftMessage::RequestVote {
                 term,
@@ -290,11 +337,22 @@ impl Wire for FastRaftMessage {
                 entries: EntryList::decode(d)?,
                 leader_commit: LogIndex::decode(d)?,
                 global_commit: LogIndex::decode(d)?,
+                probe: d.u64()?,
             },
             4 => FastRaftMessage::AppendEntriesReply {
                 term: Term::decode(d)?,
                 success: bool::decode(d)?,
                 match_index: LogIndex::decode(d)?,
+                probe: d.u64()?,
+            },
+            12 => FastRaftMessage::ClientRead {
+                session: SessionId::decode(d)?,
+                seq: d.u64()?,
+            },
+            13 => FastRaftMessage::ClientReply {
+                session: SessionId::decode(d)?,
+                seq: d.u64()?,
+                outcome: ClientOutcome::decode(d)?,
             },
             5 => FastRaftMessage::RequestVote {
                 term: Term::decode(d)?,
@@ -343,9 +401,11 @@ impl Wire for FastRaftMessage {
             FastRaftMessage::Vote { entry, .. } => 8 + entry.encoded_len() + 8,
             FastRaftMessage::ProposeReply { leader_hint, .. } => 16 + 1 + leader_hint.encoded_len(),
             FastRaftMessage::AppendEntries { entries, .. } => {
-                8 + 8 + 8 + entries.encoded_len() + 8 + 8
+                8 + 8 + 8 + entries.encoded_len() + 8 + 8 + 8
             }
-            FastRaftMessage::AppendEntriesReply { .. } => 8 + 1 + 8,
+            FastRaftMessage::AppendEntriesReply { .. } => 8 + 1 + 8 + 8,
+            FastRaftMessage::ClientRead { .. } => 8 + 8,
+            FastRaftMessage::ClientReply { outcome, .. } => 8 + 8 + outcome.encoded_len(),
             FastRaftMessage::RequestVote { .. } => 8 + 8 + 8 + 8,
             FastRaftMessage::RequestVoteReply { self_approved, .. } => {
                 8 + 1 + self_approved.encoded_len()
@@ -473,11 +533,25 @@ mod tests {
             entries: EntryList::from_vec(vec![(LogIndex(4), entry())]),
             leader_commit: LogIndex(3),
             global_commit: LogIndex(2),
+            probe: 9,
         });
         roundtrip_fast(&FastRaftMessage::AppendEntriesReply {
             term: Term(2),
             success: true,
             match_index: LogIndex(4),
+            probe: 9,
+        });
+        roundtrip_fast(&FastRaftMessage::ClientRead {
+            session: SessionId::client(3),
+            seq: 11,
+        });
+        roundtrip_fast(&FastRaftMessage::ClientReply {
+            session: SessionId::client(3),
+            seq: 11,
+            outcome: ClientOutcome::ReadOk {
+                scope: wire::LogScope::Global,
+                commit_floor: LogIndex(44),
+            },
         });
         roundtrip_fast(&FastRaftMessage::RequestVote {
             term: Term(3),
@@ -505,6 +579,7 @@ mod tests {
                 last_term: Term(3),
                 config: wire::Configuration::new([NodeId(1), NodeId(2), NodeId(3)]),
                 state: Snapshot::digest_state(99),
+                sessions: wire::SessionTable::new(),
             },
         });
         roundtrip_fast(&FastRaftMessage::InstallSnapshotReply {

@@ -49,6 +49,7 @@ fn append(node: &mut FastRaftNode, entries: EntryList, leader_commit: LogIndex) 
             entries,
             leader_commit,
             global_commit: LogIndex::ZERO,
+            probe: 0,
         },
         &mut out,
     );

@@ -95,7 +95,7 @@ fn local_commit_then_batch_then_global_commit() {
     let local_commits = net
         .commits(NodeId(0))
         .iter()
-        .filter(|c| c.scope == LogScope::Local && matches!(c.entry.payload, Payload::Data(_)))
+        .filter(|c| c.scope == LogScope::Local && matches!(c.entry.payload, Payload::Write { .. }))
         .count();
     assert_eq!(local_commits, 2, "cluster 0 should commit both proposals locally");
 
@@ -318,12 +318,10 @@ fn proposer_is_notified_on_local_commit() {
     net.deliver_all();
     net.fire(NodeId(0), TimerKind::LeaderTick);
     net.deliver_all();
-    let notified = net.observations().iter().any(|(n, o)| {
-        *n == NodeId(1)
-            && matches!(o, wire::Observation::ProposalCommitted { id, scope, .. }
-                if *id == pid && *scope == LogScope::Local)
+    let notified = net.responses_for(NodeId(1), pid.0, pid.1).iter().any(|o| {
+        matches!(o, wire::ClientOutcome::Committed { .. })
     });
-    assert!(notified, "C-Raft proposers are acknowledged at local commit");
+    assert!(notified, "C-Raft clients are acknowledged at local commit");
 }
 
 #[test]
@@ -351,7 +349,7 @@ fn crash_recovery_restores_local_log() {
     assert!(recovered
         .local_log()
         .iter()
-        .any(|(_, e)| matches!(e.payload, Payload::Data(_))));
+        .any(|(_, e)| matches!(e.payload, Payload::Write { .. })));
     net.restart(recovered);
     // Round 1: the recovered follower acks its true (zero) verified point
     // and the leader rewinds nextIndex; round 2 resends the range; round 3

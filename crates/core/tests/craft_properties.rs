@@ -107,6 +107,9 @@ fn run_schedule(seed: u64, steps: &[Step]) {
         net.deliver_all();
     }
     net.assert_safety();
+    // Session exactly-once: no `(session, seq)` applied at two distinct
+    // indices, at either level.
+    net.assert_exactly_once();
 
     // Hierarchical invariant: every batch item committed globally was first
     // committed in its cluster's local log.
@@ -115,7 +118,7 @@ fn run_schedule(seed: u64, steps: &[Step]) {
     for id in net.ids() {
         for c in net.commits(id) {
             if c.scope == LogScope::Local {
-                if let Payload::Data(_) = c.entry.payload {
+                if let Payload::Data(_) | Payload::Write { .. } = c.entry.payload {
                     locally_committed.insert(c.entry.id);
                 }
             }

@@ -5,8 +5,20 @@ use des::SimRng;
 use raft::testkit::Lockstep;
 use raft::{Role, Timing};
 use wire::{
-    Configuration, LogIndex, NodeId, Observation, Payload, TimerKind,
+    ClientOutcome, Configuration, LogIndex, NodeId, Observation, Payload, TimerKind,
 };
+
+/// `true` once the client at `node` got a terminal `Committed` answer for
+/// its request key.
+fn committed_response(
+    net: &Lockstep<FastRaftNode>,
+    node: NodeId,
+    key: (wire::SessionId, u64),
+) -> bool {
+    net.responses_for(node, key.0, key.1)
+        .iter()
+        .any(|o| matches!(o, ClientOutcome::Committed { .. }))
+}
 
 fn cluster(n: u64) -> Lockstep<FastRaftNode> {
     let cfg: Configuration = (0..n).map(NodeId).collect();
@@ -64,10 +76,10 @@ fn fast_track_commits_in_two_rounds() {
         .iter()
         .any(|(n, o)| *n == leader && matches!(o, Observation::FastTrackCommit { .. }));
     assert!(fast_commit, "expected a fast-track commit");
-    let notified = net.observations().iter().any(|(n, o)| {
-        *n == NodeId(2) && matches!(o, Observation::ProposalCommitted { id, .. } if *id == pid)
-    });
-    assert!(notified, "proposer not notified after fast commit");
+    assert!(
+        committed_response(&net, NodeId(2), pid),
+        "proposer not notified after fast commit"
+    );
     net.assert_safety();
 }
 
@@ -119,10 +131,7 @@ fn lost_votes_fall_back_to_classic_track() {
         .iter()
         .any(|(n, o)| *n == leader && matches!(o, Observation::ClassicTrackCommit { .. }));
     assert!(classic_commit, "expected a classic-track commit");
-    let notified = net.observations().iter().any(|(n, o)| {
-        *n == NodeId(1) && matches!(o, Observation::ProposalCommitted { id, .. } if *id == pid)
-    });
-    assert!(notified);
+    assert!(committed_response(&net, NodeId(1), pid));
     net.assert_safety();
 }
 
@@ -146,20 +155,10 @@ fn concurrent_proposals_one_wins_other_retries() {
     beat(&mut net, leader);
     tick(&mut net, leader);
     beat(&mut net, leader);
-    let committed_ids: Vec<_> = net
-        .commits(leader)
-        .iter()
-        .filter(|c| matches!(c.entry.payload, Payload::Data(_)))
-        .map(|c| c.entry.id)
-        .collect();
-    assert!(committed_ids.contains(&pid_a), "a never committed");
-    assert!(committed_ids.contains(&pid_b), "b never committed");
-    // Each exactly once.
-    assert_eq!(
-        committed_ids.iter().filter(|i| **i == pid_a).count(),
-        1,
-        "duplicate commit of a"
-    );
+    assert!(committed_response(&net, NodeId(1), pid_a), "a never committed");
+    assert!(committed_response(&net, NodeId(2), pid_b), "b never committed");
+    // Each applied exactly once, everywhere.
+    net.assert_exactly_once();
     net.assert_safety();
 }
 
@@ -176,7 +175,7 @@ fn recovery_preserves_fast_committed_entry() {
     let committed_entry = net
         .commits(leader)
         .iter()
-        .find(|c| matches!(c.entry.payload, Payload::Data(_)))
+        .find(|c| matches!(c.entry.payload, Payload::Write { .. }))
         .expect("leader fast-committed")
         .clone();
     net.crash(leader);
@@ -280,7 +279,7 @@ fn join_request_adds_member_after_catchup() {
     assert!(net
         .commits(NodeId(9))
         .iter()
-        .any(|c| matches!(c.entry.payload, Payload::Data(_))));
+        .any(|c| matches!(c.entry.payload, Payload::Write { .. })));
     net.assert_safety();
 }
 
@@ -317,10 +316,10 @@ fn silent_leave_detected_by_member_timeout() {
     net.deliver_all();
     tick(&mut net, leader);
     beat(&mut net, leader);
-    let notified = net.observations().iter().any(|(n, o)| {
-        *n == NodeId(1) && matches!(o, Observation::ProposalCommitted { id, .. } if *id == pid)
-    });
-    assert!(notified, "commit must proceed after reconfiguration");
+    assert!(
+        committed_response(&net, NodeId(1), pid),
+        "commit must proceed after reconfiguration"
+    );
     net.assert_safety();
 }
 
@@ -354,9 +353,10 @@ fn proposer_retry_is_idempotent() {
     let commits_of_pid = net
         .commits(leader)
         .iter()
-        .filter(|c| c.entry.id == pid)
+        .filter(|c| c.entry.payload.session_key() == Some(pid))
         .count();
     assert_eq!(commits_of_pid, 1, "retried proposal committed twice");
+    net.assert_exactly_once();
     net.assert_safety();
 }
 
@@ -417,7 +417,7 @@ fn hole_fill_unblocks_partial_broadcast() {
     let committed = net
         .commits(leader)
         .iter()
-        .any(|c| matches!(&c.entry.payload, Payload::Data(d) if &d[..] == b"behind-hole"));
+        .any(|c| matches!(&c.entry.payload, Payload::Write { data, .. } if &data[..] == b"behind-hole"));
     assert!(committed, "hole filling failed to restore liveness");
     net.assert_safety();
 }

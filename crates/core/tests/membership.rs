@@ -142,10 +142,10 @@ fn quorum_shrinks_after_members_leave() {
     net.deliver_all();
     net.fire(NodeId(0), TimerKind::LeaderTick);
     net.deliver_all();
-    let notified = net.observations().iter().any(|(n, o)| {
-        *n == NodeId(1)
-            && matches!(o, Observation::ProposalCommitted { id, .. } if *id == pid)
-    });
+    let notified = net
+        .responses_for(NodeId(1), pid.0, pid.1)
+        .iter()
+        .any(|o| matches!(o, wire::ClientOutcome::Committed { .. }));
     assert!(notified, "fast track must work at quorum 3/3");
     net.assert_safety();
 }

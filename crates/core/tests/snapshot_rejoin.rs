@@ -194,6 +194,7 @@ fn proactive_repair_fires_on_ack_without_waiting_ticks() {
                 entries: skipped,
                 leader_commit: LogIndex(3),
                 global_commit: LogIndex::ZERO,
+                probe: 0,
             },
             out,
         );

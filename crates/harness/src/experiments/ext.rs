@@ -57,6 +57,7 @@ pub fn batch_sweep(seed: u64, batch_sizes: &[usize], secs: u64) -> BatchSweepRes
             warmup: SimDuration::from_secs(10),
             faults: Vec::new(),
             leader_bias: None,
+            reads: None,
         };
         let craft = CRaftScenario {
             clusters,
@@ -153,6 +154,7 @@ pub fn contention(seed: u64, max_proposers: usize, secs: u64) -> ContentionResul
             warmup: SimDuration::from_secs(3),
             faults: Vec::new(),
             leader_bias: None,
+            reads: None,
         };
         let (report, metrics) = run_fast_raft(&s);
         assert!(report.safety_ok);
@@ -229,6 +231,7 @@ pub fn failover(seed: u64, crash_at_s: u64, total_s: u64) -> FailoverResult {
         warmup: SimDuration::from_secs(3),
         faults: vec![(crash_at, FaultAction::Crash(NodeId(0)))],
         leader_bias: Some(NodeId(0)),
+        reads: None,
     };
     let (report, metrics) = run_fast_raft(&s);
     let crash_s = crash_at.as_secs_f64();
@@ -329,6 +332,7 @@ pub fn mode_ablation(seed: u64, cluster_counts: &[u64], secs: u64) -> ModeAblati
             warmup: SimDuration::from_secs(10),
             faults: Vec::new(),
             leader_bias: None,
+            reads: None,
         };
         let mut broadcast = CRaftScenario::paper(clusters);
         broadcast.global_proposal_mode = consensus_core::ProposalMode::Broadcast;

@@ -52,6 +52,7 @@ fn scenario(sites: u64, clusters: u64, seed: u64, secs: u64) -> Scenario {
         warmup: SimDuration::from_secs(10),
         faults: Vec::new(),
         leader_bias: None,
+        reads: None,
     }
 }
 

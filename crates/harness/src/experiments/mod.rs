@@ -8,6 +8,7 @@
 //! | [`fig5`] | Fig. 5: global throughput vs. cluster count, classic Raft vs C-Raft |
 //! | [`ext`]  | Extensions: batch-size sweep, proposer contention, leader failover |
 //! | [`residency`] | Long-run log residency: snapshot compaction bounds per-site memory |
+//! | [`read_mix`] | Client-API probe: 50/50 linearizable-read/write sessions, dedup + lin-check |
 //!
 //! Each experiment returns a structured result with a `render()` method that
 //! prints the same rows/series the paper reports; the `bench` crate exposes
@@ -17,6 +18,7 @@ pub mod ext;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod read_mix;
 pub mod residency;
 pub mod rounds;
 

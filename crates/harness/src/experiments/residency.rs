@@ -78,6 +78,7 @@ fn fast_scenario(seed: u64, secs: u64, threshold: u64) -> Scenario {
             ),
         ],
         leader_bias: Some(NodeId(0)),
+        reads: None,
     }
 }
 
@@ -102,6 +103,7 @@ fn craft_scenario(seed: u64, secs: u64, threshold: u64) -> (Scenario, CRaftScena
         warmup: SimDuration::from_secs(5),
         faults: vec![(SimTime::from_secs(secs / 3), FaultAction::Crash(NodeId(0)))],
         leader_bias: None,
+        reads: None,
     };
     let mut c = CRaftScenario::paper(clusters);
     c.batch_size = 1;

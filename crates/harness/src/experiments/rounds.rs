@@ -63,6 +63,7 @@ pub fn run(seed: u64, commits: u64) -> RoundsResult {
         warmup: SimDuration::from_secs(5),
         faults: Vec::new(),
         leader_bias: Some(NodeId(0)),
+        reads: None,
     };
     let (raft_report, _) = run_classic_raft(&scenario);
     let (fast_report, _) = run_fast_raft(&scenario);

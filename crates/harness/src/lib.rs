@@ -40,7 +40,7 @@ mod scenario;
 pub use metrics::{LatencySample, LatencyStats, Metrics};
 pub use report::{NetSummary, RunReport};
 pub use runner::{FaultAction, Runner, RunnerConfig, Workload};
-pub use safety::{SafetyChecker, SafetyViolation};
+pub use safety::{LinViolation, SafetyChecker, SafetyViolation};
 pub use scenario::{
-    run_classic_raft, run_craft, run_fast_raft, CRaftScenario, NetworkKind, Scenario,
+    run_classic_raft, run_craft, run_fast_raft, CRaftScenario, NetworkKind, ReadMix, Scenario,
 };

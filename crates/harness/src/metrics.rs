@@ -4,7 +4,10 @@ use std::collections::BTreeMap;
 
 use des::{SimDuration, SimTime};
 use serde::Serialize;
-use wire::{EntryId, LogIndex, NodeId};
+use wire::{LogIndex, NodeId, SessionId};
+
+/// Key of one client operation: its `(session, seq)`.
+pub type ClientOpKey = (SessionId, u64);
 
 /// One completed proposal, as measured at its proposer (the paper's
 /// methodology: "the proposer started a timer when first proposing an entry
@@ -12,7 +15,7 @@ use wire::{EntryId, LogIndex, NodeId};
 /// committed", §VI).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
 pub struct LatencySample {
-    /// The proposing site.
+    /// The issuing session (sessions are node-derived in the harness).
     pub proposer: NodeId,
     /// When the value was first proposed.
     pub proposed_at: SimTime,
@@ -68,10 +71,13 @@ impl LatencyStats {
 /// Metrics collected over one simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
-    /// Completed proposals in completion order.
+    /// Completed writes in completion order.
     pub samples: Vec<LatencySample>,
-    /// Outstanding proposals by id.
-    inflight: BTreeMap<EntryId, SimTime>,
+    /// Completed reads in completion order (client-measured, from first
+    /// submission to the typed `ReadOk`).
+    pub read_samples: Vec<LatencySample>,
+    /// Outstanding client operations by `(session, seq)`.
+    inflight: BTreeMap<ClientOpKey, SimTime>,
     /// Items committed to the global log, by unique global index.
     global_items: BTreeMap<LogIndex, u64>,
     /// Leader fast-track commits observed.
@@ -93,6 +99,15 @@ pub struct Metrics {
     pub compactions: u64,
     /// Snapshots installed from a leader transfer (all sites, both scopes).
     pub snapshot_installs: u64,
+    /// Client retries answered `Duplicate` — the write took effect on an
+    /// earlier attempt and the resubmission was suppressed, not re-applied
+    /// (counted once per suppressed retry, at its gateway).
+    pub duplicates_suppressed: u64,
+    /// Client-side resubmissions (timeouts plus Redirect/Retry outcomes).
+    pub client_retries: u64,
+    /// Front-gapped global view detections at (re)activating C-Raft
+    /// cluster leaders (ROADMAP snapshot item b probe).
+    pub global_view_gaps: u64,
     /// Peak per-site log residency: the maximum, over sites and time, of
     /// retained stable-storage log entries (both scopes combined). With
     /// compaction enabled this stays bounded by the snapshot thresholds;
@@ -117,26 +132,33 @@ impl Metrics {
         }
     }
 
-    /// Records a proposal being issued.
-    pub fn proposal_started(&mut self, id: EntryId, now: SimTime) {
-        self.inflight.entry(id).or_insert(now);
+    /// Records a client operation being issued (first submission only:
+    /// retries of the same key keep the original start time, measuring
+    /// client-perceived latency).
+    pub fn op_started(&mut self, key: ClientOpKey, now: SimTime) {
+        self.inflight.entry(key).or_insert(now);
     }
 
-    /// Records the proposer learning of its commit. Returns the sample when
-    /// the proposal was tracked.
-    pub fn proposal_completed(
+    /// Records the client receiving its typed outcome. Returns the sample
+    /// when the operation was tracked.
+    pub fn op_completed(
         &mut self,
-        id: EntryId,
+        key: ClientOpKey,
         now: SimTime,
+        is_read: bool,
     ) -> Option<LatencySample> {
-        let proposed_at = self.inflight.remove(&id)?;
+        let proposed_at = self.inflight.remove(&key)?;
         let sample = LatencySample {
-            proposer: id.proposer,
+            proposer: NodeId(key.0.as_u64()),
             proposed_at,
             committed_at: now,
         };
         if now >= self.measure_from {
-            self.samples.push(sample);
+            if is_read {
+                self.read_samples.push(sample);
+            } else {
+                self.samples.push(sample);
+            }
         }
         Some(sample)
     }
@@ -149,9 +171,19 @@ impl Metrics {
         }
     }
 
-    /// Completed-proposal latency statistics.
+    /// Completed-write latency statistics.
     pub fn latency_stats(&self) -> LatencyStats {
         LatencyStats::from_durations(self.samples.iter().map(LatencySample::latency).collect())
+    }
+
+    /// Completed-read latency statistics.
+    pub fn read_latency_stats(&self) -> LatencyStats {
+        LatencyStats::from_durations(
+            self.read_samples
+                .iter()
+                .map(LatencySample::latency)
+                .collect(),
+        )
     }
 
     /// Total application values committed to the global log in the
@@ -214,16 +246,16 @@ impl Metrics {
 mod tests {
     use super::*;
 
-    fn id(n: u64, s: u64) -> EntryId {
-        EntryId::new(NodeId(n), s)
+    fn id(n: u64, s: u64) -> ClientOpKey {
+        (SessionId::client(n), s)
     }
 
     #[test]
     fn latency_roundtrip() {
         let mut m = Metrics::new(SimTime::ZERO);
-        m.proposal_started(id(1, 0), SimTime::from_millis(10));
+        m.op_started(id(1, 0), SimTime::from_millis(10));
         let s = m
-            .proposal_completed(id(1, 0), SimTime::from_millis(35))
+            .op_completed(id(1, 0), SimTime::from_millis(35), false)
             .unwrap();
         assert_eq!(s.latency(), SimDuration::from_millis(25));
         assert_eq!(m.samples.len(), 1);
@@ -233,17 +265,17 @@ mod tests {
     #[test]
     fn unknown_completion_is_none() {
         let mut m = Metrics::new(SimTime::ZERO);
-        assert!(m.proposal_completed(id(1, 0), SimTime::ZERO).is_none());
+        assert!(m.op_completed(id(1, 0), SimTime::ZERO, false).is_none());
     }
 
     #[test]
     fn warmup_samples_are_dropped_from_stats() {
         let mut m = Metrics::new(SimTime::from_secs(1));
-        m.proposal_started(id(1, 0), SimTime::from_millis(100));
-        m.proposal_completed(id(1, 0), SimTime::from_millis(200));
+        m.op_started(id(1, 0), SimTime::from_millis(100));
+        m.op_completed(id(1, 0), SimTime::from_millis(200), false);
         assert_eq!(m.samples.len(), 0, "pre-warmup sample recorded");
-        m.proposal_started(id(1, 1), SimTime::from_millis(999));
-        m.proposal_completed(id(1, 1), SimTime::from_millis(1500));
+        m.op_started(id(1, 1), SimTime::from_millis(999));
+        m.op_completed(id(1, 1), SimTime::from_millis(1500), false);
         assert_eq!(m.samples.len(), 1);
     }
 

@@ -49,10 +49,12 @@ pub struct RunReport {
     pub seed: u64,
     /// Simulated duration in seconds.
     pub sim_seconds: f64,
-    /// Proposals completed by the workload.
+    /// Client operations completed by the workload.
     pub completed: u64,
-    /// Commit-latency statistics (proposer-measured).
+    /// Write-latency statistics (client-measured).
     pub latency: LatencyStats,
+    /// Read-latency statistics (client-measured, all consistency levels).
+    pub read_latency: LatencyStats,
     /// Values committed to the global log in the measurement window.
     pub global_items: u64,
     /// Global-log throughput in values per simulated second.
@@ -75,6 +77,14 @@ pub struct RunReport {
     pub compactions: u64,
     /// Snapshots installed via leader transfer across all sites.
     pub snapshot_installs: u64,
+    /// Client retries answered `Duplicate` (suppressed, not re-applied).
+    pub duplicates_suppressed: u64,
+    /// Client-side resubmissions (timeouts plus Redirect/Retry outcomes).
+    pub client_retries: u64,
+    /// Linearizable reads verified by the safety checker.
+    pub lin_reads_checked: u64,
+    /// Front-gapped global-view detections (C-Raft leader flap probe).
+    pub global_view_gaps: u64,
     /// Peak per-site retained log entries (both scopes) over the whole run —
     /// bounded by the snapshot thresholds when compaction is on.
     pub peak_log_residency: u64,
@@ -108,6 +118,7 @@ impl RunReport {
             sim_seconds,
             completed,
             latency: metrics.latency_stats(),
+            read_latency: metrics.read_latency_stats(),
             global_items: metrics.global_committed_items(),
             throughput_per_s: metrics
                 .throughput(des::SimDuration::from_secs_f64(measured_seconds.max(1e-9))),
@@ -120,6 +131,10 @@ impl RunReport {
             hole_repairs: metrics.hole_repairs,
             compactions: metrics.compactions,
             snapshot_installs: metrics.snapshot_installs,
+            duplicates_suppressed: metrics.duplicates_suppressed,
+            client_retries: metrics.client_retries,
+            lin_reads_checked: safety.reads_checked(),
+            global_view_gaps: metrics.global_view_gaps,
             peak_log_residency: metrics.log_residency_peak,
             bytes_per_dispatch: metrics.bytes_per_dispatch(),
             net: NetSummary::from(net),

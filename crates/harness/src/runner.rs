@@ -4,19 +4,29 @@
 //! messages travel through the simulated network ([`simnet::Network`]),
 //! timers are armed/cancelled per the sans-IO contract, persistence commands
 //! apply to the simulated disk **before** messages are released
-//! (write-ahead), closed-loop proposers drive the workload exactly as in the
-//! paper's evaluation, and a fault injector executes scheduled silent
-//! leaves, crashes, recoveries, and partitions.
+//! (write-ahead), and a fault injector executes scheduled silent leaves,
+//! crashes, recoveries, and partitions.
+//!
+//! The workload is a set of **closed-loop session clients** (one per
+//! proposer site, as in the paper's evaluation §VI, extended with the
+//! client contract): each client holds a session, issues typed
+//! [`wire::ClientRequest`]s — writes, or reads at a configurable mix and
+//! consistency level — waits for the typed [`wire::ClientOutcome`], retries
+//! the same `(session, seq)` on `Redirect`/`Retry` outcomes or after a
+//! timeout (exactly-once writes make this safe), and only then moves to the
+//! next operation. Every `Linearizable` read is checked online by the
+//! [`SafetyChecker`]: its returned commit floor must not precede any
+//! previously completed write or read.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use bytes::Bytes;
-use des::{EventId, SimRng, SimTime, Simulation};
+use des::{EventId, SimDuration, SimRng, SimTime, Simulation};
 use simnet::{Network, Verdict};
 use storage::{SimDisk, StableState};
 use wire::{
-    Actions, ConsensusProtocol, EntryId, LogScope, Message, NodeId, Observation, Payload,
-    TimerKind,
+    Actions, ClientOp, ClientOutcome, ClientRequest, Consistency, ConsensusProtocol, LogScope,
+    Message, NodeId, Observation, Payload, SessionId, TimerKind,
 };
 
 use crate::{Metrics, SafetyChecker};
@@ -47,22 +57,58 @@ enum SimEvent<M> {
     Deliver { from: NodeId, to: NodeId, msg: M },
     Timer { node: NodeId, kind: TimerKind },
     Propose { node: NodeId },
+    /// Client-level retry: resubmit the outstanding `(session, seq)` at
+    /// `node` if `seq` is still the one in flight.
+    ClientRetry { node: NodeId, seq: u64 },
     Fault(FaultAction),
 }
 
-/// Workload configuration: closed-loop proposers (each waits for its
-/// previous proposal to commit before issuing the next, §VI).
+/// Workload configuration: closed-loop session clients (each waits for its
+/// previous operation's typed outcome before issuing the next, §VI).
 #[derive(Clone, Debug)]
 pub struct Workload {
-    /// The proposing sites.
+    /// The proposing sites (one client session per site).
     pub proposers: Vec<NodeId>,
-    /// Payload size per proposal.
+    /// Payload size per write.
     pub payload_bytes: usize,
-    /// Stop after this many completed proposals in total (None = run until
-    /// the deadline).
+    /// Stop after this many completed client operations in total (None =
+    /// run until the deadline).
     pub target_commits: Option<u64>,
-    /// When proposers start.
+    /// When clients start.
     pub start_at: SimTime,
+    /// Fraction of operations that are reads (0.0 = the pre-session
+    /// all-write workload; drawn per operation).
+    pub read_ratio: f64,
+    /// Consistency level of the mixed-in reads.
+    pub read_consistency: Consistency,
+    /// After the target is reached, each client issues one final
+    /// `Linearizable` read and the run ends when they complete — the
+    /// "read your writes back" handshake the examples demonstrate.
+    pub final_read: bool,
+    /// Client-side retry timeout: an unanswered `(session, seq)` is
+    /// resubmitted after this long (safe for writes by session dedup).
+    pub client_timeout: SimDuration,
+}
+
+impl Workload {
+    /// An all-write workload with the default 2 s client retry timeout.
+    pub fn writes_only(
+        proposers: Vec<NodeId>,
+        payload_bytes: usize,
+        target_commits: Option<u64>,
+        start_at: SimTime,
+    ) -> Self {
+        Workload {
+            proposers,
+            payload_bytes,
+            target_commits,
+            start_at,
+            read_ratio: 0.0,
+            read_consistency: Consistency::Linearizable,
+            final_read: false,
+            client_timeout: SimDuration::from_secs(2),
+        }
+    }
 }
 
 /// Runner-level configuration.
@@ -70,9 +116,9 @@ pub struct Workload {
 pub struct RunnerConfig {
     /// Seed for network and workload randomness.
     pub seed: u64,
-    /// Which `ProposalCommitted` scope completes a workload item: `Global`
-    /// for classic/Fast Raft, `Local` for C-Raft (clients are acknowledged
-    /// at local commit, §V-A).
+    /// Which log scope acknowledges a client write: `Global` for
+    /// classic/Fast Raft, `Local` for C-Raft (clients are acknowledged at
+    /// local commit, §V-A).
     pub ack_scope: LogScope,
     /// Samples completing before this instant are excluded from stats.
     pub measure_from: SimTime,
@@ -82,6 +128,16 @@ struct Slot<P> {
     node: P,
     timers: HashMap<TimerKind, EventId>,
     up: bool,
+}
+
+/// One client operation in flight at its gateway.
+#[derive(Clone, Debug)]
+struct OutstandingOp {
+    session: SessionId,
+    seq: u64,
+    op: ClientOp,
+    /// Set for the end-of-run linearizable read.
+    is_final: bool,
 }
 
 /// Factory rebuilding a node from persisted state after a crash.
@@ -100,8 +156,17 @@ pub struct Runner<P: ConsensusProtocol> {
     recover_fn: Option<RecoveryFn<P>>,
     net_rng: SimRng,
     payload_rng: SimRng,
-    /// Outstanding closed-loop proposal per proposer.
-    outstanding: HashMap<NodeId, EntryId>,
+    /// Per-operation read/write coin flips (untouched when `read_ratio` is
+    /// zero, so all-write runs are bit-identical to the pre-read harness).
+    op_rng: SimRng,
+    /// Outstanding closed-loop operation per client.
+    outstanding: HashMap<NodeId, OutstandingOp>,
+    /// Next session seq per client (survives node crashes — the client
+    /// outlives its gateway).
+    next_seq: BTreeMap<NodeId, u64>,
+    /// Clients that already issued their final linearizable read.
+    final_issued: HashSet<NodeId>,
+    final_done: u64,
     completed: u64,
 }
 
@@ -119,6 +184,7 @@ impl<P: ConsensusProtocol> Runner<P> {
         let mut sim = Simulation::new(cfg.seed);
         let net_rng = sim.rng().split("net");
         let payload_rng = sim.rng().split("payload");
+        let op_rng = sim.rng().split("ops");
         let mut runner = Runner {
             sim,
             net,
@@ -143,7 +209,11 @@ impl<P: ConsensusProtocol> Runner<P> {
             recover_fn: None,
             net_rng,
             payload_rng,
+            op_rng,
             outstanding: HashMap::new(),
+            next_seq: BTreeMap::new(),
+            final_issued: HashSet::new(),
+            final_done: 0,
             completed: 0,
         };
         let ids: Vec<NodeId> = runner.slots.keys().copied().collect();
@@ -177,11 +247,16 @@ impl<P: ConsensusProtocol> Runner<P> {
         }
     }
 
-    /// `true` once the configured number of proposals completed.
+    /// `true` once the configured number of operations completed (plus the
+    /// final linearizable reads, when enabled).
     pub fn workload_done(&self) -> bool {
-        self.workload
-            .target_commits
-            .is_some_and(|t| self.completed >= t)
+        let Some(target) = self.workload.target_commits else {
+            return false;
+        };
+        if self.completed < target {
+            return false;
+        }
+        !self.workload.final_read || self.final_done >= self.workload.proposers.len() as u64
     }
 
     /// Current simulated time.
@@ -204,7 +279,7 @@ impl<P: ConsensusProtocol> Runner<P> {
         self.net.stats()
     }
 
-    /// Completed workload proposals.
+    /// Completed workload operations.
     pub fn completed(&self) -> u64 {
         self.completed
     }
@@ -240,7 +315,8 @@ impl<P: ConsensusProtocol> Runner<P> {
                     self.with_node(node, |n, out| n.on_timer(kind, out));
                 }
             }
-            SimEvent::Propose { node } => self.issue_proposal(node),
+            SimEvent::Propose { node } => self.issue_op(node),
+            SimEvent::ClientRetry { node, seq } => self.client_retry(node, seq),
             SimEvent::Fault(fault) => self.apply_fault(fault),
         }
     }
@@ -318,7 +394,7 @@ impl<P: ConsensusProtocol> Runner<P> {
                 .record(from, commit.scope, commit.index, commit.entry.id);
             if commit.scope == LogScope::Global {
                 let items = match &commit.entry.payload {
-                    Payload::Data(_) => 1,
+                    Payload::Data(_) | Payload::Write { .. } => 1,
                     Payload::Batch(b) => b.len() as u64,
                     _ => 0,
                 };
@@ -328,20 +404,33 @@ impl<P: ConsensusProtocol> Runner<P> {
             }
         }
 
-        let mut completions: Vec<EntryId> = Vec::new();
+        let mut responses: Vec<(SessionId, u64, ClientOutcome)> = Vec::new();
         let trace = harness_trace_enabled();
         for obs in out.observations {
             if trace {
                 eprintln!("[{:.3}s] {} {:?}", self.sim.now().as_secs_f64(), from, obs);
             }
             match obs {
-                Observation::ProposalCommitted { id, scope, .. }
-                    if scope == self.cfg.ack_scope
-                        && id.proposer == from
-                        && self.outstanding.get(&from) == Some(&id)
-                    => {
-                        completions.push(id);
+                Observation::ClientResponse {
+                    session,
+                    seq,
+                    outcome,
+                } => {
+                    // Only the response for the client's outstanding op at
+                    // its own gateway advances the closed loop.
+                    let is_current = self
+                        .outstanding
+                        .get(&from)
+                        .is_some_and(|o| o.session == session && o.seq == seq);
+                    if is_current {
+                        responses.push((session, seq, outcome));
                     }
+                }
+                // NOTE: Observation::SessionDuplicate fires at *every*
+                // replica applying the duplicate commit; counting it here
+                // would inflate the metric by the cluster size. Suppression
+                // is counted once, at the gateway, when the client's retry
+                // completes with a Duplicate outcome (handle_response).
                 Observation::ElectionStarted { .. } => self.metrics.elections += 1,
                 Observation::BecameLeader { .. } => self.metrics.leaderships += 1,
                 Observation::FastTrackCommit { .. } => self.metrics.fast_commits += 1,
@@ -351,42 +440,160 @@ impl<P: ConsensusProtocol> Runner<P> {
                 Observation::HoleRepairTriggered { .. } => self.metrics.hole_repairs += 1,
                 Observation::LogCompacted { .. } => self.metrics.compactions += 1,
                 Observation::SnapshotInstalled { .. } => self.metrics.snapshot_installs += 1,
+                Observation::GlobalViewGap { .. } => self.metrics.global_view_gaps += 1,
                 _ => {}
             }
         }
-        for id in completions {
-            let now = self.sim.now();
-            self.metrics.proposal_completed(id, now);
-            self.outstanding.remove(&from);
-            self.completed += 1;
-            if !self.workload_done() {
-                // Closed loop: propose the next value immediately.
-                self.issue_proposal(from);
+        for (session, seq, outcome) in responses {
+            self.handle_response(from, session, seq, outcome);
+        }
+    }
+
+    /// Advances a client's closed loop on a typed outcome.
+    fn handle_response(
+        &mut self,
+        node: NodeId,
+        session: SessionId,
+        seq: u64,
+        outcome: ClientOutcome,
+    ) {
+        let now = self.sim.now();
+        let Some(op) = self.outstanding.get(&node).cloned() else {
+            return;
+        };
+        match outcome {
+            ClientOutcome::Committed { index } => {
+                self.safety.write_completed(self.cfg.ack_scope, index);
+                self.metrics.op_completed((session, seq), now, false);
+                self.finish_op(node, &op);
+            }
+            ClientOutcome::Duplicate { first_index } => {
+                // The write took effect on an earlier attempt: done, and
+                // the retry was suppressed rather than double-applied.
+                self.metrics.duplicates_suppressed += 1;
+                if !first_index.is_zero() {
+                    self.safety.write_completed(self.cfg.ack_scope, first_index);
+                }
+                self.metrics.op_completed((session, seq), now, false);
+                self.finish_op(node, &op);
+            }
+            ClientOutcome::ReadOk {
+                scope,
+                commit_floor,
+            } => {
+                if matches!(op.op, ClientOp::Read(Consistency::Linearizable)) {
+                    self.safety
+                        .read_completed(session, seq, scope, commit_floor);
+                }
+                self.metrics.op_completed((session, seq), now, true);
+                self.finish_op(node, &op);
+            }
+            ClientOutcome::Redirect { .. } | ClientOutcome::Retry => {
+                // Not done: retry the same (session, seq) after a short
+                // backoff — the gateway updated its leader hint from the
+                // redirect, so the resubmission routes better. The counter
+                // ticks when the resubmission actually fires (client_retry),
+                // so each retry counts once.
+                let backoff = SimDuration::from_millis(50);
+                self.sim
+                    .schedule_after(backoff, SimEvent::ClientRetry { node, seq });
             }
         }
     }
 
-    fn issue_proposal(&mut self, node: NodeId) {
-        if self.workload_done() || self.outstanding.contains_key(&node) {
+    fn finish_op(&mut self, node: NodeId, op: &OutstandingOp) {
+        self.outstanding.remove(&node);
+        self.completed += 1;
+        if op.is_final {
+            self.final_done += 1;
+        }
+        if !self.workload_done() {
+            // Closed loop: issue the next operation immediately.
+            self.issue_op(node);
+        }
+    }
+
+    /// Client-side timeout/backoff firing: resubmit the outstanding op if
+    /// `seq` is still the one in flight.
+    fn client_retry(&mut self, node: NodeId, seq: u64) {
+        let Some(op) = self.outstanding.get(&node).cloned() else {
+            return;
+        };
+        if op.seq != seq || !self.slots.get(&node).is_some_and(|s| s.up) {
+            return;
+        }
+        self.metrics.client_retries += 1;
+        self.submit(node, &op);
+    }
+
+    /// Issues the next operation of `node`'s closed loop.
+    fn issue_op(&mut self, node: NodeId) {
+        if self.outstanding.contains_key(&node) {
             return;
         }
         let up = self.slots.get(&node).is_some_and(|s| s.up);
         if !up {
             return;
         }
-        let mut payload = vec![0u8; self.workload.payload_bytes];
-        self.payload_rng.fill_bytes_infallible(&mut payload);
-        let data = Bytes::from(payload);
-        let now = self.sim.now();
-        let (id, actions) = {
-            let slot = self.slots.get_mut(&node).expect("checked above");
-            let mut out = Actions::new();
-            let id = slot.node.on_client_propose(data, &mut out);
-            (id, out)
+        let target_reached = self
+            .workload
+            .target_commits
+            .is_some_and(|t| self.completed >= t);
+        let op = if target_reached {
+            // Final phase: one linearizable read per client, if configured.
+            if !self.workload.final_read || !self.final_issued.insert(node) {
+                return;
+            }
+            OutstandingOp {
+                session: SessionId::client(node.as_u64()),
+                seq: self.bump_seq(node),
+                op: ClientOp::Read(Consistency::Linearizable),
+                is_final: true,
+            }
+        } else {
+            let is_read = self.workload.read_ratio > 0.0
+                && self.op_rng.chance(self.workload.read_ratio);
+            let op = if is_read {
+                ClientOp::Read(self.workload.read_consistency)
+            } else {
+                let mut payload = vec![0u8; self.workload.payload_bytes];
+                self.payload_rng.fill_bytes_infallible(&mut payload);
+                ClientOp::Write(Bytes::from(payload))
+            };
+            OutstandingOp {
+                session: SessionId::client(node.as_u64()),
+                seq: self.bump_seq(node),
+                op,
+                is_final: false,
+            }
         };
-        self.metrics.proposal_started(id, now);
-        self.outstanding.insert(node, id);
-        self.process_actions(node, actions);
+        let now = self.sim.now();
+        self.metrics.op_started((op.session, op.seq), now);
+        if matches!(op.op, ClientOp::Read(Consistency::Linearizable)) {
+            self.safety.read_started(op.session, op.seq);
+        }
+        self.outstanding.insert(node, op.clone());
+        self.submit(node, &op);
+    }
+
+    fn bump_seq(&mut self, node: NodeId) -> u64 {
+        let c = self.next_seq.entry(node).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    /// Hands the request to the gateway node and arms the client timeout.
+    fn submit(&mut self, node: NodeId, op: &OutstandingOp) {
+        let req = ClientRequest {
+            session: op.session,
+            seq: op.seq,
+            op: op.op.clone(),
+        };
+        self.with_node(node, |n, out| n.on_client_request(req, out));
+        let timeout = self.workload.client_timeout;
+        let seq = op.seq;
+        self.sim
+            .schedule_after(timeout, SimEvent::ClientRetry { node, seq });
     }
 
     fn apply_fault(&mut self, fault: FaultAction) {
@@ -399,7 +606,9 @@ impl<P: ConsensusProtocol> Runner<P> {
                     }
                 }
                 self.net.set_down(node);
-                self.outstanding.remove(&node);
+                // The client's op stays outstanding: a recovered gateway
+                // gets the same (session, seq) resubmitted — the dedup
+                // table makes that exactly-once.
             }
             FaultAction::Recover(node) => {
                 let Some(factory) = &self.recover_fn else {
@@ -413,13 +622,21 @@ impl<P: ConsensusProtocol> Runner<P> {
                 }
                 self.net.set_up(node);
                 self.with_node(node, |n, out| n.bootstrap(out));
-                // A recovered proposer lost its in-flight proposal with its
-                // volatile state; restart its closed loop.
-                if self.workload.proposers.contains(&node)
-                    && !self.outstanding.contains_key(&node)
-                {
-                    let kick = des::SimDuration::from_millis(100);
-                    self.sim.schedule_after(kick, SimEvent::Propose { node });
+                // Restart the client loop: resubmit the in-flight op (the
+                // gateway's volatile request state died with it), or start
+                // fresh if none was outstanding.
+                if self.workload.proposers.contains(&node) {
+                    let kick = SimDuration::from_millis(100);
+                    match self.outstanding.get(&node) {
+                        Some(op) => {
+                            let seq = op.seq;
+                            self.sim
+                                .schedule_after(kick, SimEvent::ClientRetry { node, seq });
+                        }
+                        None => {
+                            self.sim.schedule_after(kick, SimEvent::Propose { node });
+                        }
+                    }
                 }
             }
             FaultAction::Partition { side_a, side_b } => {

@@ -1,14 +1,23 @@
-//! Online safety checking (Definition 2.1).
+//! Online safety checking (Definition 2.1) plus client-level
+//! linearizability checking for `Linearizable` reads.
 //!
 //! Every commit notification from every node flows through a
 //! [`SafetyChecker`]; if two sites ever commit different entries at the same
 //! index of the same log, the run records a violation with full context.
 //! Experiments assert [`SafetyChecker::assert_ok`] at the end of every run,
 //! including runs with crash/churn/partition schedules.
+//!
+//! The linearizability check works on real-time order at the client
+//! boundary: when a `Linearizable` read is **first submitted**, the checker
+//! snapshots, per scope, the highest commit index of any *completed* write
+//! and the highest floor of any *completed* linearizable read. When the
+//! read completes, its returned commit floor must be at least that
+//! snapshot — a linearizable read may never answer from a point before an
+//! operation that finished before the read began.
 
 use std::collections::HashMap;
 
-use wire::{EntryId, LogIndex, LogScope, NodeId};
+use wire::{EntryId, LogIndex, LogScope, NodeId, SessionId};
 
 /// A detected violation of the safety property.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -33,6 +42,32 @@ impl std::fmt::Display for SafetyViolation {
     }
 }
 
+/// A linearizability violation: a read answered from before its bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinViolation {
+    /// The reading session.
+    pub session: SessionId,
+    /// The read's sequence number.
+    pub seq: u64,
+    /// The scope of the returned floor.
+    pub scope: LogScope,
+    /// The commit floor the read returned.
+    pub floor: LogIndex,
+    /// The minimum floor real-time order required.
+    pub bound: LogIndex,
+}
+
+impl std::fmt::Display for LinViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "linearizability violation: read {}:{} returned {:?} floor {} below bound {} \
+             (an operation completed before the read began reached that index)",
+            self.session, self.seq, self.scope, self.floor, self.bound
+        )
+    }
+}
+
 /// Cross-site commit consistency checker.
 ///
 /// Local-scope commits are compared within a *domain* (a cluster); Global
@@ -44,6 +79,14 @@ pub struct SafetyChecker {
     violations: Vec<SafetyViolation>,
     domain_of: Option<Box<dyn Fn(NodeId) -> u64 + Send>>,
     commits_seen: u64,
+    /// Per scope: the highest index any *completed* operation (write commit
+    /// or linearizable-read floor) is known to have reached.
+    completed_bound: HashMap<LogScope, LogIndex>,
+    /// In-flight linearizable reads: the per-scope bound snapshot taken at
+    /// first submission.
+    read_bounds: HashMap<(SessionId, u64), [(LogScope, LogIndex); 2]>,
+    lin_violations: Vec<LinViolation>,
+    reads_checked: u64,
 }
 
 impl std::fmt::Debug for SafetyChecker {
@@ -51,6 +94,8 @@ impl std::fmt::Debug for SafetyChecker {
         f.debug_struct("SafetyChecker")
             .field("commits_seen", &self.commits_seen)
             .field("violations", &self.violations)
+            .field("reads_checked", &self.reads_checked)
+            .field("lin_violations", &self.lin_violations)
             .finish_non_exhaustive()
     }
 }
@@ -94,6 +139,89 @@ impl SafetyChecker {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Client-level linearizability checking
+    // ------------------------------------------------------------------
+
+    /// Records a client write completing with its application index: later
+    /// linearizable reads must not answer from before it.
+    pub fn write_completed(&mut self, scope: LogScope, index: LogIndex) {
+        let bound = self.completed_bound.entry(scope).or_insert(LogIndex::ZERO);
+        if index > *bound {
+            *bound = index;
+        }
+    }
+
+    /// Records a linearizable read being **first submitted**: snapshots the
+    /// current per-scope bounds the eventual answer must respect.
+    /// Idempotent for retries of the same `(session, seq)` — the
+    /// linearization window opens at the first invocation.
+    pub fn read_started(&mut self, session: SessionId, seq: u64) {
+        let snapshot = [
+            (
+                LogScope::Global,
+                self.completed_bound
+                    .get(&LogScope::Global)
+                    .copied()
+                    .unwrap_or(LogIndex::ZERO),
+            ),
+            (
+                LogScope::Local,
+                self.completed_bound
+                    .get(&LogScope::Local)
+                    .copied()
+                    .unwrap_or(LogIndex::ZERO),
+            ),
+        ];
+        self.read_bounds.entry((session, seq)).or_insert(snapshot);
+    }
+
+    /// Records a linearizable read completing with its answered floor,
+    /// checking it against the bound snapshotted at submission and folding
+    /// it into the bound for subsequent reads (reads must also be monotone
+    /// among themselves in real time).
+    pub fn read_completed(
+        &mut self,
+        session: SessionId,
+        seq: u64,
+        scope: LogScope,
+        floor: LogIndex,
+    ) {
+        self.reads_checked += 1;
+        if let Some(snapshot) = self.read_bounds.remove(&(session, seq)) {
+            let bound = snapshot
+                .iter()
+                .find(|(s, _)| *s == scope)
+                .map(|(_, b)| *b)
+                .unwrap_or(LogIndex::ZERO);
+            if floor < bound {
+                self.lin_violations.push(LinViolation {
+                    session,
+                    seq,
+                    scope,
+                    floor,
+                    bound,
+                });
+            }
+        }
+        // This read's floor becomes part of the bound: a later read must
+        // not observe less.
+        let bound = self.completed_bound.entry(scope).or_insert(LogIndex::ZERO);
+        if floor > *bound {
+            *bound = floor;
+        }
+    }
+
+    /// Linearizability violations recorded so far.
+    pub fn lin_violations(&self) -> &[LinViolation] {
+        &self.lin_violations
+    }
+
+    /// Number of linearizable reads checked.
+    pub fn reads_checked(&self) -> u64 {
+        self.reads_checked
+    }
+
     /// Violations recorded so far.
     pub fn violations(&self) -> &[SafetyViolation] {
         &self.violations
@@ -104,19 +232,24 @@ impl SafetyChecker {
         self.commits_seen
     }
 
-    /// `true` if no violation was recorded.
+    /// `true` if no violation (commit-consistency or linearizability) was
+    /// recorded.
     pub fn is_ok(&self) -> bool {
-        self.violations.is_empty()
+        self.violations.is_empty() && self.lin_violations.is_empty()
     }
 
     /// Panics with diagnostics on any violation.
     ///
     /// # Panics
     ///
-    /// Panics if the safety property was violated during the run.
+    /// Panics if the safety property (or read linearizability) was violated
+    /// during the run.
     pub fn assert_ok(&self) {
         if let Some(v) = self.violations.first() {
             panic!("{v} ({} more)", self.violations.len() - 1);
+        }
+        if let Some(v) = self.lin_violations.first() {
+            panic!("{v} ({} more)", self.lin_violations.len() - 1);
         }
     }
 }
@@ -171,6 +304,69 @@ mod tests {
         // Within a cluster they must agree.
         c.record(NodeId(1), LogScope::Local, LogIndex(1), id(1, 5));
         assert!(!c.is_ok());
+    }
+
+    #[test]
+    fn linearizable_read_below_completed_write_is_flagged() {
+        let mut c = SafetyChecker::new();
+        let s = SessionId::client(1);
+        c.write_completed(LogScope::Global, LogIndex(10));
+        c.read_started(s, 1);
+        c.read_completed(s, 1, LogScope::Global, LogIndex(9));
+        assert!(!c.is_ok());
+        assert_eq!(c.lin_violations().len(), 1);
+        assert_eq!(c.lin_violations()[0].bound, LogIndex(10));
+        assert!(c.lin_violations()[0].to_string().contains("linearizability"));
+    }
+
+    #[test]
+    fn linearizable_read_at_or_above_bound_passes() {
+        let mut c = SafetyChecker::new();
+        let s = SessionId::client(1);
+        c.write_completed(LogScope::Global, LogIndex(10));
+        c.read_started(s, 1);
+        // A write completing *after* the read started does not raise the
+        // read's bound (real-time order permits either answer).
+        c.write_completed(LogScope::Global, LogIndex(50));
+        c.read_completed(s, 1, LogScope::Global, LogIndex(10));
+        assert!(c.is_ok());
+        assert_eq!(c.reads_checked(), 1);
+        c.assert_ok();
+    }
+
+    #[test]
+    fn reads_are_monotone_among_themselves() {
+        let mut c = SafetyChecker::new();
+        let a = SessionId::client(1);
+        let b = SessionId::client(2);
+        c.read_started(a, 1);
+        c.read_completed(a, 1, LogScope::Global, LogIndex(30));
+        // A read starting after a completed read must not see less.
+        c.read_started(b, 1);
+        c.read_completed(b, 1, LogScope::Global, LogIndex(29));
+        assert!(!c.is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "linearizability violation")]
+    fn assert_ok_panics_on_lin_violation() {
+        let mut c = SafetyChecker::new();
+        let s = SessionId::client(1);
+        c.write_completed(LogScope::Global, LogIndex(5));
+        c.read_started(s, 1);
+        c.read_completed(s, 1, LogScope::Global, LogIndex(1));
+        c.assert_ok();
+    }
+
+    #[test]
+    fn scopes_bound_independently() {
+        let mut c = SafetyChecker::new();
+        let s = SessionId::client(1);
+        c.write_completed(LogScope::Local, LogIndex(40));
+        c.read_started(s, 1);
+        // A Global-scope answer is not bounded by Local-scope completions.
+        c.read_completed(s, 1, LogScope::Global, LogIndex(2));
+        assert!(c.is_ok());
     }
 
     #[test]

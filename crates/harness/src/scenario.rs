@@ -10,7 +10,30 @@ use consensus_core::{CRaftConfig, CRaftNode, FastRaftNode};
 use des::{SimDuration, SimRng, SimTime};
 use raft::{RaftNode, Timing};
 use simnet::{BernoulliLoss, Network, RegionLatency, Topology, UniformLatency};
-use wire::{ClusterId, Configuration, LogScope, NodeId};
+use wire::{ClusterId, Configuration, Consistency, LogScope, NodeId};
+
+/// Client read mix layered onto a scenario's closed-loop sessions.
+#[derive(Clone, Copy, Debug)]
+pub struct ReadMix {
+    /// Fraction of client operations that are reads (drawn per operation).
+    pub ratio: f64,
+    /// Consistency level of the mixed-in reads.
+    pub consistency: Consistency,
+    /// Each client issues one final `Linearizable` read after the target
+    /// is reached (read-your-writes handshake).
+    pub final_read: bool,
+}
+
+impl ReadMix {
+    /// A 50/50 linearizable read-write mix with the final read enabled.
+    pub fn half_linearizable() -> Self {
+        ReadMix {
+            ratio: 0.5,
+            consistency: Consistency::Linearizable,
+            final_read: true,
+        }
+    }
+}
 
 use crate::{FaultAction, Metrics, Runner, RunnerConfig, RunReport, SafetyChecker, Workload};
 
@@ -67,6 +90,9 @@ pub struct Scenario {
     /// Bias this node to win the first election (its election timeout is
     /// shortened). Used by experiments that need a known leader.
     pub leader_bias: Option<NodeId>,
+    /// Client read mix (None = the all-write workload every experiment
+    /// used before the session API).
+    pub reads: Option<ReadMix>,
 }
 
 impl Scenario {
@@ -88,6 +114,7 @@ impl Scenario {
             warmup: SimDuration::from_secs(3),
             faults: Vec::new(),
             leader_bias: None,
+            reads: None,
         }
     }
 
@@ -169,12 +196,18 @@ impl Scenario {
     }
 
     fn workload(&self) -> Workload {
-        Workload {
-            proposers: self.proposers.clone(),
-            payload_bytes: self.payload_bytes,
-            target_commits: self.target_commits,
-            start_at: SimTime::ZERO + self.warmup,
+        let mut w = Workload::writes_only(
+            self.proposers.clone(),
+            self.payload_bytes,
+            self.target_commits,
+            SimTime::ZERO + self.warmup,
+        );
+        if let Some(mix) = &self.reads {
+            w.read_ratio = mix.ratio;
+            w.read_consistency = mix.consistency;
+            w.final_read = mix.final_read;
         }
+        w
     }
 
     fn runner_cfg(&self, ack_scope: LogScope) -> RunnerConfig {

@@ -32,6 +32,7 @@ fn fast_raft_rejoin_after_compaction_installs_snapshot() {
             (SimTime::from_secs(25), FaultAction::Recover(NodeId(4))),
         ],
         leader_bias: Some(NodeId(0)),
+        reads: None,
     };
     let (report, _) = run_fast_raft(&s);
     assert!(report.safety_ok);
@@ -86,6 +87,7 @@ fn craft_successor_leader_installs_global_snapshot() {
         // compacted global log.
         faults: vec![(SimTime::from_secs(20), FaultAction::Crash(NodeId(0)))],
         leader_bias: None,
+        reads: None,
     };
     let craft = CRaftScenario {
         clusters,

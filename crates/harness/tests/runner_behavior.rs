@@ -22,6 +22,7 @@ fn base(seed: u64) -> Scenario {
         warmup: SimDuration::from_secs(3),
         faults: Vec::new(),
         leader_bias: None,
+        reads: None,
     }
 }
 

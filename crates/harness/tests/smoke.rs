@@ -57,6 +57,7 @@ fn craft_commits_globally() {
         warmup: SimDuration::from_secs(10),
         faults: Vec::new(),
         leader_bias: None,
+        reads: None,
     };
     let (report, _) = run_craft(
         &s,

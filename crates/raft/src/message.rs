@@ -1,30 +1,43 @@
-//! Classic Raft's message vocabulary (§III-A).
+//! Classic Raft's message vocabulary (§III-A), extended with the typed
+//! client-session surface (sessioned writes, linearizable reads).
 
 use bytes::Bytes;
 use wire::{
-    DecodeError, Decoder, Encoder, EntryId, EntryList, LogIndex, Message, NodeId, Snapshot, Term,
-    Wire,
+    ClientOutcome, DecodeError, Decoder, Encoder, EntryId, EntryList, LogIndex, Message, NodeId,
+    SessionId, Snapshot, Term, Wire,
 };
 
 /// Messages exchanged by classic Raft sites.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RaftMessage {
-    /// Proposer → leader: please replicate this value.
+    /// Gateway → leader: replicate this session-tagged write.
     Propose {
-        /// Proposal identity (proposer + sequence), used for deduplication.
+        /// Proposal identity (gateway + sequence), for in-flight dedup.
         id: EntryId,
+        /// The issuing client session.
+        session: SessionId,
+        /// Session-local sequence number (retries reuse it).
+        seq: u64,
         /// The value.
         data: Bytes,
     },
-    /// Leader → proposer: the fate of a proposal.
-    ProposeReply {
-        /// The proposal this replies to.
-        id: EntryId,
-        /// `true` once the entry is committed.
-        committed: bool,
-        /// Where the proposer should send future proposals (set when the
-        /// recipient is not the leader).
-        leader_hint: Option<NodeId>,
+    /// Gateway → leader: run a linearizable ReadIndex round and answer with
+    /// the confirmed commit floor.
+    ClientRead {
+        /// The issuing client session.
+        session: SessionId,
+        /// The request's sequence number.
+        seq: u64,
+    },
+    /// Any site → gateway: the typed outcome of a client request
+    /// (committed/duplicate write, read floor, redirect, retry).
+    ClientReply {
+        /// The session this answers.
+        session: SessionId,
+        /// The request's sequence number.
+        seq: u64,
+        /// What happened.
+        outcome: ClientOutcome,
     },
     /// Leader → follower: replicate entries / heartbeat.
     AppendEntries {
@@ -42,6 +55,12 @@ pub enum RaftMessage {
         entries: EntryList,
         /// Leader's commit index.
         leader_commit: LogIndex,
+        /// ReadIndex round tag: followers echo it in their reply, and a
+        /// pending linearizable read only counts acks whose echoed probe is
+        /// at least the probe current when the read was registered — an ack
+        /// already in flight when the read arrived proves nothing about
+        /// leadership at read time.
+        probe: u64,
     },
     /// Follower → leader: AppendEntries outcome.
     AppendEntriesReply {
@@ -53,6 +72,8 @@ pub enum RaftMessage {
         /// Highest index now known to match the leader (valid when
         /// `success`); on failure, a hint for nextIndex back-off.
         match_index: LogIndex,
+        /// Echo of the request's ReadIndex probe.
+        probe: u64,
     },
     /// Candidate → all: request a vote (§III-A).
     RequestVote {
@@ -98,7 +119,8 @@ impl RaftMessage {
     pub fn kind(&self) -> &'static str {
         match self {
             RaftMessage::Propose { .. } => "propose",
-            RaftMessage::ProposeReply { .. } => "propose_reply",
+            RaftMessage::ClientRead { .. } => "client_read",
+            RaftMessage::ClientReply { .. } => "client_reply",
             RaftMessage::AppendEntries { .. } => "append_entries",
             RaftMessage::AppendEntriesReply { .. } => "append_entries_reply",
             RaftMessage::RequestVote { .. } => "request_vote",
@@ -108,8 +130,8 @@ impl RaftMessage {
         }
     }
 
-    /// The term carried by the message, if any (Propose/ProposeReply are
-    /// term-free client traffic).
+    /// The term carried by the message, if any (client traffic is
+    /// term-free).
     pub fn term(&self) -> Option<Term> {
         match self {
             RaftMessage::AppendEntries { term, .. }
@@ -118,7 +140,9 @@ impl RaftMessage {
             | RaftMessage::RequestVoteReply { term, .. }
             | RaftMessage::InstallSnapshot { term, .. }
             | RaftMessage::InstallSnapshotReply { term, .. } => Some(*term),
-            RaftMessage::Propose { .. } | RaftMessage::ProposeReply { .. } => None,
+            RaftMessage::Propose { .. }
+            | RaftMessage::ClientRead { .. }
+            | RaftMessage::ClientReply { .. } => None,
         }
     }
 }
@@ -126,20 +150,32 @@ impl RaftMessage {
 impl Wire for RaftMessage {
     fn encode(&self, e: &mut Encoder) {
         match self {
-            RaftMessage::Propose { id, data } => {
+            RaftMessage::Propose {
+                id,
+                session,
+                seq,
+                data,
+            } => {
                 e.put_u8(0);
                 id.encode(e);
+                session.encode(e);
+                e.put_u64(*seq);
                 data.encode(e);
             }
-            RaftMessage::ProposeReply {
-                id,
-                committed,
-                leader_hint,
-            } => {
+            RaftMessage::ClientRead { session, seq } => {
                 e.put_u8(1);
-                id.encode(e);
-                committed.encode(e);
-                leader_hint.encode(e);
+                session.encode(e);
+                e.put_u64(*seq);
+            }
+            RaftMessage::ClientReply {
+                session,
+                seq,
+                outcome,
+            } => {
+                e.put_u8(8);
+                session.encode(e);
+                e.put_u64(*seq);
+                outcome.encode(e);
             }
             RaftMessage::AppendEntries {
                 term,
@@ -148,6 +184,7 @@ impl Wire for RaftMessage {
                 prev_term,
                 entries,
                 leader_commit,
+                probe,
             } => {
                 e.put_u8(2);
                 term.encode(e);
@@ -156,16 +193,19 @@ impl Wire for RaftMessage {
                 prev_term.encode(e);
                 entries.encode(e);
                 leader_commit.encode(e);
+                e.put_u64(*probe);
             }
             RaftMessage::AppendEntriesReply {
                 term,
                 success,
                 match_index,
+                probe,
             } => {
                 e.put_u8(3);
                 term.encode(e);
                 success.encode(e);
                 match_index.encode(e);
+                e.put_u64(*probe);
             }
             RaftMessage::RequestVote {
                 term,
@@ -206,12 +246,18 @@ impl Wire for RaftMessage {
         Ok(match d.u8()? {
             0 => RaftMessage::Propose {
                 id: EntryId::decode(d)?,
+                session: SessionId::decode(d)?,
+                seq: d.u64()?,
                 data: Bytes::decode(d)?,
             },
-            1 => RaftMessage::ProposeReply {
-                id: EntryId::decode(d)?,
-                committed: bool::decode(d)?,
-                leader_hint: Option::decode(d)?,
+            1 => RaftMessage::ClientRead {
+                session: SessionId::decode(d)?,
+                seq: d.u64()?,
+            },
+            8 => RaftMessage::ClientReply {
+                session: SessionId::decode(d)?,
+                seq: d.u64()?,
+                outcome: ClientOutcome::decode(d)?,
             },
             2 => RaftMessage::AppendEntries {
                 term: Term::decode(d)?,
@@ -220,11 +266,13 @@ impl Wire for RaftMessage {
                 prev_term: Term::decode(d)?,
                 entries: EntryList::decode(d)?,
                 leader_commit: LogIndex::decode(d)?,
+                probe: d.u64()?,
             },
             3 => RaftMessage::AppendEntriesReply {
                 term: Term::decode(d)?,
                 success: bool::decode(d)?,
                 match_index: LogIndex::decode(d)?,
+                probe: d.u64()?,
             },
             4 => RaftMessage::RequestVote {
                 term: Term::decode(d)?,
@@ -258,12 +306,13 @@ impl Wire for RaftMessage {
     /// default: the network layer charges `wire_size` on every send).
     fn encoded_len(&self) -> usize {
         1 + match self {
-            RaftMessage::Propose { id, data } => id.encoded_len() + data.encoded_len(),
-            RaftMessage::ProposeReply {
-                id, leader_hint, ..
-            } => id.encoded_len() + 1 + leader_hint.encoded_len(),
-            RaftMessage::AppendEntries { entries, .. } => 8 + 8 + 8 + 8 + entries.encoded_len() + 8,
-            RaftMessage::AppendEntriesReply { .. } => 8 + 1 + 8,
+            RaftMessage::Propose { id, data, .. } => id.encoded_len() + 8 + 8 + data.encoded_len(),
+            RaftMessage::ClientRead { .. } => 8 + 8,
+            RaftMessage::ClientReply { outcome, .. } => 8 + 8 + outcome.encoded_len(),
+            RaftMessage::AppendEntries { entries, .. } => {
+                8 + 8 + 8 + 8 + entries.encoded_len() + 8 + 8
+            }
+            RaftMessage::AppendEntriesReply { .. } => 8 + 1 + 8 + 8,
             RaftMessage::RequestVote { .. } => 8 + 8 + 8 + 8,
             RaftMessage::RequestVoteReply { .. } => 8 + 1,
             RaftMessage::InstallSnapshot { snapshot, .. } => 8 + 8 + snapshot.encoded_len(),
@@ -281,6 +330,7 @@ impl Message for RaftMessage {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wire::LogScope;
 
     fn roundtrip(m: &RaftMessage) {
         let b = m.to_bytes();
@@ -292,12 +342,28 @@ mod tests {
     fn all_variants_roundtrip() {
         roundtrip(&RaftMessage::Propose {
             id: EntryId::new(NodeId(1), 5),
+            session: SessionId::client(1),
+            seq: 6,
             data: Bytes::from_static(b"value"),
         });
-        roundtrip(&RaftMessage::ProposeReply {
-            id: EntryId::new(NodeId(1), 5),
-            committed: true,
-            leader_hint: Some(NodeId(2)),
+        roundtrip(&RaftMessage::ClientRead {
+            session: SessionId::client(1),
+            seq: 7,
+        });
+        roundtrip(&RaftMessage::ClientReply {
+            session: SessionId::client(1),
+            seq: 7,
+            outcome: ClientOutcome::ReadOk {
+                scope: LogScope::Global,
+                commit_floor: LogIndex(42),
+            },
+        });
+        roundtrip(&RaftMessage::ClientReply {
+            session: SessionId::client(2),
+            seq: 1,
+            outcome: ClientOutcome::Redirect {
+                leader_hint: Some(NodeId(3)),
+            },
         });
         roundtrip(&RaftMessage::AppendEntries {
             term: Term(3),
@@ -306,14 +372,22 @@ mod tests {
             prev_term: Term(2),
             entries: EntryList::from_vec(vec![(
                 LogIndex(10),
-                wire::LogEntry::data(Term(3), EntryId::new(NodeId(1), 5), Bytes::from_static(b"v")),
+                wire::LogEntry::write(
+                    Term(3),
+                    EntryId::new(NodeId(1), 5),
+                    SessionId::client(1),
+                    6,
+                    Bytes::from_static(b"v"),
+                ),
             )]),
             leader_commit: LogIndex(9),
+            probe: 4,
         });
         roundtrip(&RaftMessage::AppendEntriesReply {
             term: Term(3),
             success: false,
             match_index: LogIndex(4),
+            probe: 4,
         });
         roundtrip(&RaftMessage::RequestVote {
             term: Term(4),
@@ -334,6 +408,7 @@ mod tests {
                 last_term: Term(4),
                 config: wire::Configuration::new([NodeId(1), NodeId(2)]),
                 state: Snapshot::digest_state(42),
+                sessions: wire::SessionTable::new(),
             },
         });
         roundtrip(&RaftMessage::InstallSnapshotReply {
@@ -352,9 +427,19 @@ mod tests {
         assert_eq!(m.term(), Some(Term(4)));
         let p = RaftMessage::Propose {
             id: EntryId::new(NodeId(1), 0),
+            session: SessionId::client(1),
+            seq: 1,
             data: Bytes::new(),
         };
         assert_eq!(p.term(), None);
+        assert_eq!(
+            RaftMessage::ClientRead {
+                session: SessionId::client(1),
+                seq: 1
+            }
+            .term(),
+            None
+        );
     }
 
     #[test]
@@ -368,7 +453,8 @@ mod tests {
             prev_term: Term(0),
             entries: EntryList::empty(),
             leader_commit: LogIndex(0),
+            probe: 0,
         };
-        assert!(hb.wire_size() < 64, "heartbeat {} bytes", hb.wire_size());
+        assert!(hb.wire_size() < 72, "heartbeat {} bytes", hb.wire_size());
     }
 }

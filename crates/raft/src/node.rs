@@ -23,9 +23,10 @@ use bytes::Bytes;
 use des::SimRng;
 use storage::StableState;
 use wire::{
-    fold_commit_digest, Actions, Configuration, ConsensusProtocol, EntryId, EntryList, LogEntry,
-    LogIndex, LogScope, NodeId, Observation, Payload, PersistCmd, Snapshot, SparseLog, Term,
-    TimerKind,
+    fold_commit_digest, fold_session_digest, Actions, ClientOp, ClientOutcome, ClientRequest,
+    Configuration, Consistency, ConsensusProtocol, EntryId, EntryList, LogEntry, LogIndex,
+    LogScope, NodeId, Observation, Payload, PersistCmd, SessionApply, SessionId, SessionTable,
+    Snapshot, SparseLog, Term, TimerKind,
 };
 
 use crate::{RaftMessage, Timing};
@@ -55,6 +56,31 @@ impl std::fmt::Display for NotLeader {
 }
 
 impl std::error::Error for NotLeader {}
+
+/// A session-tagged client write traveling through the gateway's retry
+/// machinery until its commit is observed.
+#[derive(Clone, Debug)]
+struct PendingWrite {
+    session: SessionId,
+    seq: u64,
+    data: Bytes,
+}
+
+/// A linearizable read awaiting its ReadIndex leadership confirmation.
+#[derive(Clone, Debug)]
+struct PendingRead {
+    session: SessionId,
+    seq: u64,
+    /// Who to answer (`self` for reads registered at the leader-gateway).
+    reply_to: NodeId,
+    /// The commit floor captured at registration; returned once confirmed.
+    floor: LogIndex,
+    /// Probe the confirmation round must reach (acks echoing an older probe
+    /// prove nothing about leadership at read time).
+    probe: u64,
+    /// Members that acked a sufficiently fresh probe.
+    acks: BTreeSet<NodeId>,
+}
 
 /// A classic Raft site.
 #[derive(Debug)]
@@ -91,9 +117,24 @@ pub struct RaftNode {
     /// Catch-up (non-voting) members being prepared to join.
     learners: BTreeSet<NodeId>,
 
-    // ---- proposer state ----
+    // ---- applied client state (deterministic across replicas) ----
+    /// Per-session exactly-once dedup table; updated while applying
+    /// committed `Payload::Write` entries and carried inside snapshots.
+    sessions: SessionTable,
+
+    // ---- gateway (client-facing) state ----
     next_seq: u64,
-    pending: BTreeMap<EntryId, Bytes>,
+    /// In-flight session writes submitted at this node, by proposal id.
+    pending: BTreeMap<EntryId, PendingWrite>,
+    /// `(session, seq)` → proposal id for in-flight writes (client retry
+    /// idempotence at the gateway).
+    client_writes: HashMap<(SessionId, u64), EntryId>,
+    /// In-flight linearizable reads submitted at this node.
+    client_reads: BTreeSet<(SessionId, u64)>,
+
+    // ---- leader read path (ReadIndex) ----
+    pending_reads: Vec<PendingRead>,
+    read_probe: u64,
 
     // ---- leader bookkeeping ----
     /// Where each known proposal id sits in our log (dedup + notification).
@@ -133,8 +174,13 @@ impl RaftNode {
             next_index: BTreeMap::new(),
             match_index: BTreeMap::new(),
             learners: BTreeSet::new(),
+            sessions: SessionTable::new(),
             next_seq: 0,
             pending: BTreeMap::new(),
+            client_writes: HashMap::new(),
+            client_reads: BTreeSet::new(),
+            pending_reads: Vec::new(),
+            read_probe: 0,
             id_index: HashMap::new(),
         }
     }
@@ -161,6 +207,7 @@ impl RaftNode {
         if let Some(snap) = &node.snapshot {
             node.config = snap.config.clone();
             node.config_index = snap.last_index;
+            node.sessions = snap.sessions.clone();
             if let Some(digest) = snap.state_digest() {
                 node.state_digest = digest;
             }
@@ -219,6 +266,11 @@ impl RaftNode {
     /// Number of proposals issued here and not yet known committed.
     pub fn pending_proposals(&self) -> usize {
         self.pending.len()
+    }
+
+    /// The per-session exactly-once dedup table (applied state).
+    pub fn sessions(&self) -> &SessionTable {
+        &self.sessions
     }
 
     // ------------------------------------------------------------------
@@ -351,6 +403,9 @@ impl RaftNode {
         out: &mut Actions<RaftMessage>,
     ) {
         let was_leader = self.role == Role::Leader;
+        // Leadership (or the term it was confirmed under) is gone: any read
+        // still awaiting its ReadIndex confirmation must not be answered.
+        self.fail_pending_reads(out);
         if term > self.current_term {
             self.current_term = term;
             self.voted_for = None;
@@ -501,6 +556,7 @@ impl RaftNode {
                         prev_term,
                         entries: entries.clone(),
                         leader_commit: self.commit_index,
+                        probe: self.read_probe,
                     },
                 );
             }
@@ -523,6 +579,7 @@ impl RaftNode {
                 last_term: self.log.compacted_term(),
                 config: self.config_for_snapshot(horizon),
                 state: Snapshot::digest_state(self.state_digest),
+                sessions: self.sessions.clone(),
             }),
         }
     }
@@ -569,7 +626,7 @@ impl RaftNode {
                         members: entry.as_config().map(Configuration::len).unwrap_or(0),
                     });
                 }
-                self.resolve_commit_notifications(k, &entry, out);
+                self.apply_committed_entry(k, &entry, out);
                 out.commit(LogScope::Global, k, entry);
             }
             k = k.next();
@@ -600,6 +657,7 @@ impl RaftNode {
             last_term: self.log.term_at(through),
             config: self.config_for_snapshot(through),
             state: Snapshot::digest_state(self.state_digest),
+            sessions: self.sessions.clone(),
         };
         out.persist(PersistCmd::InstallSnapshot {
             snapshot: snapshot.clone(),
@@ -630,66 +688,248 @@ impl RaftNode {
         cfg.unwrap_or_else(|| self.config.clone())
     }
 
-    fn resolve_commit_notifications(
+    /// Applies one committed entry to the (simulated) state machine: the
+    /// session table for writes, plus proposer/gateway notifications.
+    fn apply_committed_entry(
         &mut self,
         index: LogIndex,
         entry: &LogEntry,
         out: &mut Actions<RaftMessage>,
     ) {
-        if !matches!(entry.payload, Payload::Data(_)) {
-            return;
-        }
-        let proposer = entry.id.proposer;
-        if proposer == self.id {
-            if self.pending.remove(&entry.id).is_some() {
-                out.observe(Observation::ProposalCommitted {
-                    id: entry.id,
-                    index,
-                    scope: LogScope::Global,
-                });
+        let Payload::Write { session, seq, .. } = &entry.payload else {
+            if entry.id.proposer == self.id {
+                self.pending.remove(&entry.id);
             }
-        } else if self.role == Role::Leader {
-            // "The leader then notifies the proposer."
+            return;
+        };
+        let (session, seq) = (*session, *seq);
+        // Exactly-once apply: the dedup table is part of applied state, so
+        // every replica — including one that recovered from a snapshot +
+        // suffix — makes the same first-application decision.
+        let outcome = match self.sessions.apply(session, seq, index) {
+            SessionApply::Applied => {
+                self.state_digest = fold_session_digest(self.state_digest, session, seq);
+                out.observe(Observation::SessionApplied {
+                    scope: LogScope::Global,
+                    session,
+                    seq,
+                    index,
+                });
+                ClientOutcome::Committed { index }
+            }
+            SessionApply::Duplicate { first_index } => {
+                out.observe(Observation::SessionDuplicate {
+                    scope: LogScope::Global,
+                    session,
+                    seq,
+                    first_index,
+                });
+                ClientOutcome::Duplicate { first_index }
+            }
+        };
+        if entry.id.proposer == self.id {
+            self.pending.remove(&entry.id);
+        }
+        if self.client_writes.contains_key(&(session, seq)) {
+            // The gateway observes its own commit: answer the client here.
+            self.respond_client(self.id, session, seq, outcome, out);
+        } else if self.role == Role::Leader && entry.id.proposer != self.id {
+            // "The leader then notifies the proposer" — covers gateways that
+            // lag behind the commit (they ignore non-pending replies).
             out.send(
-                proposer,
-                RaftMessage::ProposeReply {
-                    id: entry.id,
-                    committed: true,
-                    leader_hint: Some(self.id),
+                entry.id.proposer,
+                RaftMessage::ClientReply {
+                    session,
+                    seq,
+                    outcome,
                 },
             );
         }
     }
 
-    fn on_propose(&mut self, from: NodeId, id: EntryId, data: Bytes, out: &mut Actions<RaftMessage>) {
-        if self.role != Role::Leader {
+    /// Answers a client request: as an observation when the gateway is this
+    /// node, as a [`RaftMessage::ClientReply`] otherwise.
+    fn respond_client(
+        &mut self,
+        to: NodeId,
+        session: SessionId,
+        seq: u64,
+        outcome: ClientOutcome,
+        out: &mut Actions<RaftMessage>,
+    ) {
+        if to == self.id {
+            if let Some(id) = self.client_writes.remove(&(session, seq)) {
+                self.pending.remove(&id);
+            }
+            self.client_reads.remove(&(session, seq));
+            out.observe(Observation::ClientResponse {
+                session,
+                seq,
+                outcome,
+            });
+        } else {
             out.send(
-                from,
-                RaftMessage::ProposeReply {
-                    id,
-                    committed: false,
-                    leader_hint: self.leader_hint,
+                to,
+                RaftMessage::ClientReply {
+                    session,
+                    seq,
+                    outcome,
                 },
             );
-            return;
         }
-        if let Some(&idx) = self.id_index.get(&id) {
-            // Duplicate (proposer retried). If already committed, re-notify.
-            if idx <= self.commit_index {
+    }
+
+    fn on_propose(
+        &mut self,
+        from: NodeId,
+        id: EntryId,
+        session: SessionId,
+        seq: u64,
+        data: Bytes,
+        out: &mut Actions<RaftMessage>,
+    ) {
+        if self.role != Role::Leader {
+            if from != self.id {
                 out.send(
                     from,
-                    RaftMessage::ProposeReply {
-                        id,
-                        committed: true,
-                        leader_hint: Some(self.id),
+                    RaftMessage::ClientReply {
+                        session,
+                        seq,
+                        outcome: ClientOutcome::Redirect {
+                            leader_hint: self.leader_hint,
+                        },
                     },
                 );
             }
             return;
         }
-        let entry = LogEntry::data(self.current_term, id, data);
+        // Session dedup at the door: a seq the applied state already covers
+        // is answered without touching the log — this is what survives
+        // compaction and leader restarts (the table rides in the snapshot).
+        if let Some(first_index) = self.sessions.duplicate_of(session, seq) {
+            self.respond_client(
+                from,
+                session,
+                seq,
+                ClientOutcome::Duplicate { first_index },
+                out,
+            );
+            return;
+        }
+        if self.id_index.contains_key(&id) {
+            // In-flight duplicate (gateway retried): already replicating.
+            return;
+        }
+        // In-flight duplicate under a *different* proposal id (the gateway
+        // restarted and re-submitted the same session seq): let it through —
+        // apply-time dedup keeps the second commit a no-op.
+        let entry = LogEntry::write(self.current_term, id, session, seq, data);
         self.leader_append(entry, out);
         // Dispatch stays heartbeat-gated; the entry travels on the next tick.
+    }
+
+    // ------------------------------------------------------------------
+    // Linearizable reads (ReadIndex)
+    // ------------------------------------------------------------------
+
+    /// Leader side of a linearizable read: capture the commit floor, then
+    /// confirm leadership with a heartbeat round before answering.
+    fn register_read(
+        &mut self,
+        session: SessionId,
+        seq: u64,
+        reply_to: NodeId,
+        out: &mut Actions<RaftMessage>,
+    ) {
+        debug_assert_eq!(self.role, Role::Leader);
+        // A fresh leader's commit floor may lag entries committed by its
+        // predecessor until the no-op of its own term commits (Raft §8):
+        // until then the floor must not be served.
+        if self.log.term_at(self.commit_index) != self.current_term {
+            self.respond_client(reply_to, session, seq, ClientOutcome::Retry, out);
+            return;
+        }
+        let floor = self.commit_index;
+        if self.config.classic_quorum() <= 1 {
+            // A single-voter configuration confirms itself.
+            self.respond_client(
+                reply_to,
+                session,
+                seq,
+                ClientOutcome::ReadOk {
+                    scope: LogScope::Global,
+                    commit_floor: floor,
+                },
+                out,
+            );
+            return;
+        }
+        // Retry idempotence: a client resubmission of a read already being
+        // confirmed must not stack a second round — the pending round
+        // answers the retry too; just re-probe for liveness.
+        if self
+            .pending_reads
+            .iter()
+            .any(|r| r.session == session && r.seq == seq && r.reply_to == reply_to)
+        {
+            self.dispatch_append_entries(out);
+            return;
+        }
+        self.read_probe += 1;
+        self.pending_reads.push(PendingRead {
+            session,
+            seq,
+            reply_to,
+            floor,
+            probe: self.read_probe,
+            acks: BTreeSet::new(),
+        });
+        // Confirm now rather than waiting out the heartbeat period.
+        self.dispatch_append_entries(out);
+    }
+
+    /// Counts a follower's heartbeat ack toward pending ReadIndex rounds.
+    fn note_read_ack(&mut self, from: NodeId, probe: u64, out: &mut Actions<RaftMessage>) {
+        if self.pending_reads.is_empty() || !self.config.contains(from) {
+            return;
+        }
+        let quorum = self.config.classic_quorum();
+        let self_vote = usize::from(self.config.contains(self.id));
+        let mut reads = std::mem::take(&mut self.pending_reads);
+        let mut confirmed = Vec::new();
+        reads.retain_mut(|r| {
+            if probe >= r.probe {
+                r.acks.insert(from);
+            }
+            if r.acks.len() + self_vote >= quorum {
+                confirmed.push(r.clone());
+                false
+            } else {
+                true
+            }
+        });
+        self.pending_reads = reads;
+        for r in confirmed {
+            self.respond_client(
+                r.reply_to,
+                r.session,
+                r.seq,
+                ClientOutcome::ReadOk {
+                    scope: LogScope::Global,
+                    commit_floor: r.floor,
+                },
+                out,
+            );
+        }
+    }
+
+    /// Fails every pending ReadIndex round with `Retry` (leadership lost or
+    /// re-confirmed under a different term).
+    fn fail_pending_reads(&mut self, out: &mut Actions<RaftMessage>) {
+        let reads = std::mem::take(&mut self.pending_reads);
+        for r in reads {
+            self.respond_client(r.reply_to, r.session, r.seq, ClientOutcome::Retry, out);
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -702,6 +942,7 @@ impl RaftNode {
         prev_term: Term,
         entries: EntryList,
         leader_commit: LogIndex,
+        probe: u64,
         out: &mut Actions<RaftMessage>,
     ) {
         if term < self.current_term {
@@ -711,6 +952,7 @@ impl RaftNode {
                     term: self.current_term,
                     success: false,
                     match_index: LogIndex::ZERO,
+                    probe: 0,
                 },
             );
             return;
@@ -733,6 +975,7 @@ impl RaftNode {
                     // Safe resume hint: everything committed here matches the
                     // leader (Invariant 1), so the leader can restart there.
                     match_index: self.commit_index,
+                    probe,
                 },
             );
             return;
@@ -763,6 +1006,7 @@ impl RaftNode {
                 term: self.current_term,
                 success: true,
                 match_index: last_new,
+                probe,
             },
         );
     }
@@ -773,6 +1017,7 @@ impl RaftNode {
         term: Term,
         success: bool,
         match_index: LogIndex,
+        probe: u64,
         out: &mut Actions<RaftMessage>,
     ) {
         if term > self.current_term {
@@ -789,6 +1034,9 @@ impl RaftNode {
             }
             self.next_index.insert(from, match_index.next());
             self.advance_commit(out);
+            // A current-term ack confirms leadership for ReadIndex rounds
+            // registered at or before the echoed probe.
+            self.note_read_ack(from, probe, out);
         } else {
             // Back off using the follower's hint (its commit index).
             self.next_index.insert(from, match_index.next());
@@ -857,12 +1105,18 @@ impl RaftNode {
         if let Some(digest) = snapshot.state_digest() {
             self.state_digest = digest;
         }
+        // Adopt the applied session state: the snapshot's table covers
+        // strictly more commits than ours (last_index > old commit).
+        self.sessions = snapshot.sessions.clone();
         self.commit_index = last_index;
         self.snapshot = Some(snapshot);
         out.observe(Observation::SnapshotInstalled {
             scope: LogScope::Global,
             last_index,
         });
+        // Gateway sweep: writes submitted here whose application the
+        // install fast-forwarded past must still be answered.
+        self.sweep_client_pending(out);
         out.send(
             from,
             RaftMessage::InstallSnapshotReply {
@@ -870,6 +1124,25 @@ impl RaftNode {
                 last_index,
             },
         );
+    }
+
+    /// Answers any locally pending write the session table now covers (a
+    /// snapshot install can jump the commit floor across its application).
+    fn sweep_client_pending(&mut self, out: &mut Actions<RaftMessage>) {
+        let done: Vec<(SessionId, u64, LogIndex)> = self
+            .client_writes
+            .keys()
+            .filter_map(|&(s, q)| self.sessions.duplicate_of(s, q).map(|idx| (s, q, idx)))
+            .collect();
+        for (session, seq, first_index) in done {
+            self.respond_client(
+                self.id,
+                session,
+                seq,
+                ClientOutcome::Duplicate { first_index },
+                out,
+            );
+        }
     }
 
     fn on_install_snapshot_reply(
@@ -963,24 +1236,83 @@ impl RaftNode {
         if self.pending.is_empty() {
             return;
         }
-        let proposals: Vec<(EntryId, Bytes)> = self
+        let proposals: Vec<(EntryId, PendingWrite)> = self
             .pending
             .iter()
-            .map(|(id, d)| (*id, d.clone()))
+            .map(|(id, w)| (*id, w.clone()))
             .collect();
-        for (id, data) in proposals {
-            if self.role == Role::Leader {
-                self.on_propose(self.id, id, data, out);
-            } else if let Some(leader) = self.leader_hint {
-                out.send(leader, RaftMessage::Propose { id, data });
-            } else {
-                // Leader unknown: ask everyone; non-leaders answer with a
-                // hint.
-                let peers: Vec<NodeId> = self.config.peers(self.id).collect();
-                out.send_many(peers, RaftMessage::Propose { id, data });
-            }
+        for (id, w) in proposals {
+            self.route_write(id, w, out);
         }
         out.set_timer(TimerKind::ProposalRetry, self.timing.proposal_timeout);
+    }
+
+    /// Routes an in-flight session write: straight into the log at the
+    /// leader, to the hinted leader otherwise, to every peer when no hint
+    /// exists (non-leaders answer with a redirect).
+    fn route_write(&mut self, id: EntryId, w: PendingWrite, out: &mut Actions<RaftMessage>) {
+        if self.role == Role::Leader {
+            self.on_propose(self.id, id, w.session, w.seq, w.data, out);
+        } else if let Some(leader) = self.leader_hint {
+            out.send(
+                leader,
+                RaftMessage::Propose {
+                    id,
+                    session: w.session,
+                    seq: w.seq,
+                    data: w.data,
+                },
+            );
+        } else {
+            let peers: Vec<NodeId> = self.config.peers(self.id).collect();
+            out.send_many(
+                peers,
+                RaftMessage::Propose {
+                    id,
+                    session: w.session,
+                    seq: w.seq,
+                    data: w.data,
+                },
+            );
+        }
+    }
+
+    /// Gateway handling of a typed outcome arriving from another node.
+    fn on_client_reply(
+        &mut self,
+        session: SessionId,
+        seq: u64,
+        outcome: ClientOutcome,
+        out: &mut Actions<RaftMessage>,
+    ) {
+        if let ClientOutcome::Redirect { leader_hint } = &outcome {
+            if let Some(hint) = leader_hint {
+                self.leader_hint = Some(*hint);
+            }
+            // A redirected *write* stays pending: the ProposalRetry timer
+            // resubmits it against the updated hint. Re-routing here
+            // synchronously would ping-pong at network RTT against a
+            // deposed leader that still hints itself (and broadcast-storm
+            // while no hint exists).
+            if self.client_writes.contains_key(&(session, seq)) {
+                return;
+            }
+            // A redirected read surfaces to the caller, who retries against
+            // the (now updated) hint.
+            if self.client_reads.remove(&(session, seq)) {
+                out.observe(Observation::ClientResponse {
+                    session,
+                    seq,
+                    outcome,
+                });
+            }
+            return;
+        }
+        let was_write = self.client_writes.contains_key(&(session, seq));
+        let was_read = self.client_reads.contains(&(session, seq));
+        if was_write || was_read {
+            self.respond_client(self.id, session, seq, outcome, out);
+        }
     }
 }
 
@@ -993,10 +1325,12 @@ impl ConsensusProtocol for RaftNode {
 
     fn on_message(&mut self, from: NodeId, msg: RaftMessage, out: &mut Actions<RaftMessage>) {
         // Configuration filter: consensus messages from strangers are
-        // ignored (§III-A). Client traffic (Propose/ProposeReply) is exempt:
-        // proposers need not be voting members.
+        // ignored (§III-A). Client traffic is exempt: gateways need not be
+        // voting members.
         match &msg {
-            RaftMessage::Propose { .. } | RaftMessage::ProposeReply { .. } => {}
+            RaftMessage::Propose { .. }
+            | RaftMessage::ClientRead { .. }
+            | RaftMessage::ClientReply { .. } => {}
             _ => {
                 if !self.config.contains(from) && !self.learners.contains(&from) {
                     out.observe(Observation::MessageIgnored {
@@ -1007,23 +1341,33 @@ impl ConsensusProtocol for RaftNode {
             }
         }
         match msg {
-            RaftMessage::Propose { id, data } => self.on_propose(from, id, data, out),
-            RaftMessage::ProposeReply {
+            RaftMessage::Propose {
                 id,
-                committed,
-                leader_hint,
-            } => {
-                if let Some(hint) = leader_hint {
-                    self.leader_hint = Some(hint);
-                }
-                if committed && self.pending.remove(&id).is_some() {
-                    out.observe(Observation::ProposalCommitted {
-                        id,
-                        index: LogIndex::ZERO,
-                        scope: LogScope::Global,
-                    });
+                session,
+                seq,
+                data,
+            } => self.on_propose(from, id, session, seq, data, out),
+            RaftMessage::ClientRead { session, seq } => {
+                if self.role == Role::Leader {
+                    self.register_read(session, seq, from, out);
+                } else {
+                    out.send(
+                        from,
+                        RaftMessage::ClientReply {
+                            session,
+                            seq,
+                            outcome: ClientOutcome::Redirect {
+                                leader_hint: self.leader_hint,
+                            },
+                        },
+                    );
                 }
             }
+            RaftMessage::ClientReply {
+                session,
+                seq,
+                outcome,
+            } => self.on_client_reply(session, seq, outcome, out),
             RaftMessage::AppendEntries {
                 term,
                 leader,
@@ -1031,6 +1375,7 @@ impl ConsensusProtocol for RaftNode {
                 prev_term,
                 entries,
                 leader_commit,
+                probe,
             } => self.on_append_entries(
                 from,
                 term,
@@ -1039,13 +1384,15 @@ impl ConsensusProtocol for RaftNode {
                 prev_term,
                 entries,
                 leader_commit,
+                probe,
                 out,
             ),
             RaftMessage::AppendEntriesReply {
                 term,
                 success,
                 match_index,
-            } => self.on_append_reply(from, term, success, match_index, out),
+                probe,
+            } => self.on_append_reply(from, term, success, match_index, probe, out),
             RaftMessage::RequestVote {
                 term,
                 candidate,
@@ -1082,19 +1429,61 @@ impl ConsensusProtocol for RaftNode {
         }
     }
 
-    fn on_client_propose(&mut self, data: Bytes, out: &mut Actions<RaftMessage>) -> EntryId {
-        let id = self.fresh_id();
-        self.pending.insert(id, data.clone());
-        if self.role == Role::Leader {
-            self.on_propose(self.id, id, data, out);
-        } else if let Some(leader) = self.leader_hint {
-            out.send(leader, RaftMessage::Propose { id, data });
-        } else {
-            let peers: Vec<NodeId> = self.config.peers(self.id).collect();
-            out.send_many(peers, RaftMessage::Propose { id, data });
+    fn on_client_request(&mut self, req: ClientRequest, out: &mut Actions<RaftMessage>) {
+        let ClientRequest { session, seq, op } = req;
+        match op {
+            ClientOp::Write(data) => {
+                // Applied already? Answer without proposing (retry-safe).
+                if let Some(first_index) = self.sessions.duplicate_of(session, seq) {
+                    self.respond_client(
+                        self.id,
+                        session,
+                        seq,
+                        ClientOutcome::Duplicate { first_index },
+                        out,
+                    );
+                    return;
+                }
+                if self.client_writes.contains_key(&(session, seq)) {
+                    // Already in flight: the retry timer keeps pushing it.
+                    out.set_timer(TimerKind::ProposalRetry, self.timing.proposal_timeout);
+                    return;
+                }
+                let id = self.fresh_id();
+                let w = PendingWrite { session, seq, data };
+                self.pending.insert(id, w.clone());
+                self.client_writes.insert((session, seq), id);
+                self.route_write(id, w, out);
+                out.set_timer(TimerKind::ProposalRetry, self.timing.proposal_timeout);
+            }
+            ClientOp::Read(Consistency::StaleLocal) => {
+                out.observe(Observation::ClientResponse {
+                    session,
+                    seq,
+                    outcome: ClientOutcome::ReadOk {
+                        scope: LogScope::Global,
+                        commit_floor: self.commit_index,
+                    },
+                });
+            }
+            ClientOp::Read(Consistency::Linearizable) => {
+                if self.role == Role::Leader {
+                    self.client_reads.insert((session, seq));
+                    self.register_read(session, seq, self.id, out);
+                } else if let Some(leader) = self.leader_hint {
+                    self.client_reads.insert((session, seq));
+                    out.send(leader, RaftMessage::ClientRead { session, seq });
+                } else {
+                    // No leader known: tell the caller to retry after a
+                    // backoff (an election is likely in progress).
+                    out.observe(Observation::ClientResponse {
+                        session,
+                        seq,
+                        outcome: ClientOutcome::Retry,
+                    });
+                }
+            }
         }
-        out.set_timer(TimerKind::ProposalRetry, self.timing.proposal_timeout);
-        id
     }
 
     fn bootstrap(&mut self, out: &mut Actions<RaftMessage>) {

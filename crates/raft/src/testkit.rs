@@ -12,7 +12,10 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use storage::SimDisk;
-use wire::{Actions, Commit, ConsensusProtocol, EntryId, NodeId, Observation, TimerCmd, TimerKind};
+use wire::{
+    Actions, ClientRequest, Commit, Consistency, ConsensusProtocol, EntryId, NodeId, Observation,
+    SessionId, TimerCmd, TimerKind,
+};
 
 /// A lockstep network of protocol nodes.
 pub struct Lockstep<P: ConsensusProtocol> {
@@ -22,6 +25,9 @@ pub struct Lockstep<P: ConsensusProtocol> {
     commits: BTreeMap<NodeId, Vec<Commit>>,
     observations: Vec<(NodeId, Observation)>,
     disk: SimDisk,
+    /// Next client seq per node-derived session (survives node restarts,
+    /// like a real client outliving a gateway crash).
+    client_seq: BTreeMap<NodeId, u64>,
     /// Nodes currently crashed/stopped: their messages and timers are
     /// discarded.
     down: BTreeSet<NodeId>,
@@ -42,6 +48,7 @@ impl<P: ConsensusProtocol> Lockstep<P> {
             commits: BTreeMap::new(),
             observations: Vec::new(),
             disk: SimDisk::new(),
+            client_seq: BTreeMap::new(),
             down: BTreeSet::new(),
             link_ok: Box::new(|_, _| true),
             domain_of: Box::new(|_| 0),
@@ -172,15 +179,114 @@ impl<P: ConsensusProtocol> Lockstep<P> {
         }
     }
 
-    /// Submits a client proposal at `id` and routes the effects.
-    pub fn propose(&mut self, id: NodeId, data: &[u8]) -> EntryId {
-        let mut out = Actions::new();
-        let pid = {
-            let node = self.nodes.get_mut(&id).expect("unknown node");
-            node.on_client_propose(bytes::Bytes::copy_from_slice(data), &mut out)
+    /// Submits a session write at `id` (session = the node's id, seq
+    /// auto-incremented) and routes the effects. Returns the `(session,
+    /// seq)` key the eventual [`Observation::ClientResponse`] will carry.
+    pub fn propose(&mut self, id: NodeId, data: &[u8]) -> (SessionId, u64) {
+        let seq = {
+            let c = self.client_seq.entry(id).or_insert(0);
+            *c += 1;
+            *c
         };
-        self.route(id, out);
-        pid
+        let session = SessionId::client(id.as_u64());
+        self.client_request(
+            id,
+            ClientRequest::write(session, seq, bytes::Bytes::copy_from_slice(data)),
+        );
+        (session, seq)
+    }
+
+    /// Submits a read at `id` with the given consistency level. Returns the
+    /// request's `(session, seq)` key.
+    pub fn read(&mut self, id: NodeId, consistency: Consistency) -> (SessionId, u64) {
+        let seq = {
+            let c = self.client_seq.entry(id).or_insert(0);
+            *c += 1;
+            *c
+        };
+        let session = SessionId::client(id.as_u64());
+        self.client_request(id, ClientRequest::read(session, seq, consistency));
+        (session, seq)
+    }
+
+    /// Submits an arbitrary client request at `id` (e.g. a deliberate retry
+    /// of an earlier `(session, seq)`) and routes the effects.
+    pub fn client_request(&mut self, id: NodeId, req: ClientRequest) {
+        self.with_node(id, |node, out| node.on_client_request(req, out));
+    }
+
+    /// The typed responses observed at `id` for `(session, seq)`, in order.
+    pub fn responses_for(
+        &self,
+        id: NodeId,
+        session: SessionId,
+        seq: u64,
+    ) -> Vec<wire::ClientOutcome> {
+        self.observations
+            .iter()
+            .filter_map(|(n, o)| match o {
+                Observation::ClientResponse {
+                    session: s,
+                    seq: q,
+                    outcome,
+                } if *n == id && *s == session && *q == seq => Some(outcome.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All `SessionApplied` observations: `(node, scope, session, seq,
+    /// index)` — the raw material for exactly-once assertions.
+    pub fn session_applies(
+        &self,
+    ) -> Vec<(NodeId, wire::LogScope, SessionId, u64, wire::LogIndex)> {
+        self.observations
+            .iter()
+            .filter_map(|(n, o)| match o {
+                Observation::SessionApplied {
+                    scope,
+                    session,
+                    seq,
+                    index,
+                } => Some((*n, *scope, *session, *seq, *index)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Asserts exactly-once application: for every `(scope-domain, session,
+    /// seq)`, all [`Observation::SessionApplied`] emissions across all
+    /// nodes name the **same** log index — a retried seq is never applied
+    /// twice, at distinct indices, anywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a diagnostic when a seq applied at two indices.
+    pub fn assert_exactly_once(&self) {
+        use std::collections::HashMap;
+        let mut applied: HashMap<(u64, wire::LogScope, SessionId, u64), wire::LogIndex> =
+            HashMap::new();
+        for (node, scope, session, seq, index) in self.session_applies() {
+            let domain = match scope {
+                wire::LogScope::Local => (self.domain_of)(node),
+                wire::LogScope::Global => u64::MAX,
+            };
+            match applied.entry((domain, scope, session, seq)) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(index);
+                }
+                std::collections::hash_map::Entry::Occupied(o) => {
+                    assert_eq!(
+                        *o.get(),
+                        index,
+                        "EXACTLY-ONCE VIOLATION: {session}:{seq} applied at both {} and {} \
+                         ({scope:?}, observed at {node})",
+                        o.get(),
+                        index,
+                    );
+                }
+            }
+        }
     }
 
     /// Crashes a node: pending messages to it drop, timers disarm. The

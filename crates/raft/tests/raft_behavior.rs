@@ -46,7 +46,7 @@ fn single_node_cluster_self_elects_and_commits() {
     net.deliver_all();
     let commits = net.commits(NodeId(0));
     assert!(
-        commits.iter().any(|c| matches!(c.entry.payload, Payload::Data(_))),
+        commits.iter().any(|c| matches!(c.entry.payload, Payload::Write { .. })),
         "data entry should commit on a single-node cluster"
     );
     net.assert_safety();
@@ -81,7 +81,7 @@ fn proposal_commits_on_all_nodes_after_heartbeats() {
         assert!(
             net.commits(id)
                 .iter()
-                .any(|c| matches!(c.entry.payload, Payload::Data(_))),
+                .any(|c| matches!(c.entry.payload, Payload::Write { .. })),
             "{id} missing the data commit"
         );
     }
@@ -99,9 +99,10 @@ fn proposer_observes_commit_notification() {
     net.deliver_all();
     net.fire(leader, TimerKind::Heartbeat);
     net.deliver_all();
-    let committed = net.observations().iter().any(|(n, o)| {
-        *n == NodeId(1) && matches!(o, Observation::ProposalCommitted { id, .. } if *id == pid)
-    });
+    let committed = net
+        .responses_for(NodeId(1), pid.0, pid.1)
+        .iter()
+        .any(|o| matches!(o, wire::ClientOutcome::Committed { .. }));
     assert!(committed, "proposer never learned of its commit");
     assert_eq!(net.node(NodeId(1)).pending_proposals(), 0);
 }
@@ -226,7 +227,7 @@ fn commit_survives_leader_crash_and_reelection() {
     let committed_at: Vec<LogIndex> = net
         .commits(NodeId(1))
         .iter()
-        .filter(|c| matches!(c.entry.payload, Payload::Data(_)))
+        .filter(|c| matches!(c.entry.payload, Payload::Write { .. }))
         .map(|c| c.index)
         .collect();
     assert_eq!(committed_at.len(), 1);
@@ -238,7 +239,7 @@ fn commit_survives_leader_crash_and_reelection() {
     // index.
     let idx = committed_at[0];
     let entry = net.node(NodeId(1)).log().get(idx).expect("entry survived");
-    assert!(matches!(entry.payload, Payload::Data(_)));
+    assert!(matches!(entry.payload, Payload::Write { .. }));
     net.assert_safety();
 }
 
@@ -311,7 +312,7 @@ fn reconfiguration_adds_a_member() {
     assert!(net
         .commits(NodeId(3))
         .iter()
-        .any(|c| matches!(c.entry.payload, Payload::Data(_))));
+        .any(|c| matches!(c.entry.payload, Payload::Write { .. })));
     net.assert_safety();
 }
 
@@ -340,9 +341,10 @@ fn duplicate_proposal_is_committed_once() {
     let data_commits = net
         .commits(NodeId(0))
         .iter()
-        .filter(|c| c.entry.id == pid)
+        .filter(|c| c.entry.payload.session_key() == Some(pid))
         .count();
     assert_eq!(data_commits, 1, "duplicate proposal committed twice");
+    net.assert_exactly_once();
     net.assert_safety();
 }
 

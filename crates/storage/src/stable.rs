@@ -212,6 +212,7 @@ mod tests {
             last_term: Term(1),
             config: wire::Configuration::new([NodeId(1)]),
             state: Snapshot::digest_state(7),
+            sessions: wire::SessionTable::new(),
         };
         s.apply(&PersistCmd::InstallSnapshot {
             snapshot: snap.clone(),

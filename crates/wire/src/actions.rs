@@ -11,10 +11,9 @@
 //! This split keeps every protocol step deterministic and unit-testable, and
 //! lets one harness drive all three protocols identically.
 
-use bytes::Bytes;
 use des::SimDuration;
 
-use crate::{EntryId, LogEntry, LogIndex, NodeId, Term};
+use crate::{ClientOutcome, ClientRequest, EntryId, LogEntry, LogIndex, NodeId, SessionId, Term};
 
 /// The kinds of timers a protocol node can arm. Setting a timer of a kind
 /// **replaces** any pending timer of the same kind on the same node.
@@ -211,6 +210,56 @@ pub enum Observation {
         /// The snapshot's last covered index.
         last_index: LogIndex,
     },
+    /// The typed answer to a [`ClientRequest`] submitted *at this node*
+    /// (the gateway): the embedding relays it to the caller.
+    ClientResponse {
+        /// The issuing session.
+        session: SessionId,
+        /// The request's sequence number.
+        seq: u64,
+        /// What happened.
+        outcome: ClientOutcome,
+    },
+    /// A committed session-tagged operation took effect (first application)
+    /// at this site. Emitted by every applying replica; tests use it to
+    /// prove exactly-once semantics (per `(session, seq)` and scope, all
+    /// emissions name the same index).
+    SessionApplied {
+        /// Which log the entry committed in.
+        scope: LogScope,
+        /// The applying session.
+        session: SessionId,
+        /// The applied sequence number.
+        seq: u64,
+        /// Where it took effect.
+        index: LogIndex,
+    },
+    /// A committed entry was recognized as a session duplicate and its
+    /// application skipped (the retry-suppression path working as designed).
+    SessionDuplicate {
+        /// Which log the duplicate committed in.
+        scope: LogScope,
+        /// The session.
+        session: SessionId,
+        /// The duplicated sequence number.
+        seq: u64,
+        /// Where the first application landed (ZERO if unknown).
+        first_index: LogIndex,
+    },
+    /// C-Raft invariant probe (ROADMAP snapshot item b): a (re)activating
+    /// cluster leader found its reconstructed global log view
+    /// **front-gapped** — entries exist above a hole that starts right
+    /// after the snapshot horizon, because local compaction discarded
+    /// global-state entries the cached global snapshot does not cover. The
+    /// view is safe to hold (commits never cross the gap and §IV-B slot
+    /// voting protects decided indices) but the site must catch up via the
+    /// global leader's resend or snapshot before the gap region is usable.
+    GlobalViewGap {
+        /// The snapshot horizon the view is contiguous up to.
+        horizon: LogIndex,
+        /// The first retained entry above the gap.
+        first_retained: LogIndex,
+    },
     /// An incoming message was ignored, with the reason (not-in-config,
     /// stale term, duplicate, ...). Useful in tests.
     MessageIgnored {
@@ -360,9 +409,13 @@ pub trait ConsensusProtocol {
     /// Handles a timer of `kind` firing.
     fn on_timer(&mut self, kind: TimerKind, out: &mut Actions<Self::Message>);
 
-    /// Submits a client value at this node, returning the proposal id the
-    /// eventual [`Observation::ProposalCommitted`] will carry.
-    fn on_client_propose(&mut self, data: Bytes, out: &mut Actions<Self::Message>) -> EntryId;
+    /// Submits a typed client request at this node (the gateway). The
+    /// request is answered asynchronously through
+    /// [`Observation::ClientResponse`] carrying a [`ClientOutcome`]; the
+    /// caller retries the same `(session, seq)` on `Redirect`/`Retry`
+    /// outcomes or after a timeout — writes are exactly-once under retry by
+    /// the session dedup table.
+    fn on_client_request(&mut self, req: ClientRequest, out: &mut Actions<Self::Message>);
 
     /// Called once when the node starts (or restarts after a crash) to arm
     /// initial timers.

@@ -1,0 +1,411 @@
+//! The typed client-facing request/response vocabulary.
+//!
+//! The paper evaluates its protocols with anonymous fire-and-forget
+//! proposals; a production system needs a real client contract. This module
+//! defines it, uniformly for classic Raft, Fast Raft, and C-Raft:
+//!
+//! - a client opens a [`SessionId`] and issues [`ClientRequest`]s with a
+//!   monotonically increasing `seq`;
+//! - **writes** are exactly-once: every replica maintains a [`SessionTable`]
+//!   (session → applied seqs + result index) as part of *applied state*, so
+//!   a retried `seq` — across leader changes, crashes, and snapshot
+//!   compaction — is applied at most once. The table travels inside
+//!   [`crate::Snapshot`] and is folded into the commit digest;
+//! - **reads** carry a [`Consistency`] level: [`Consistency::Linearizable`]
+//!   runs a ReadIndex round at the leader (leadership confirmed by a
+//!   heartbeat quorum before answering at the commit floor), while
+//!   [`Consistency::StaleLocal`] is served immediately from any site's
+//!   commit floor;
+//! - every request is answered by a typed [`ClientOutcome`], surfaced to the
+//!   embedding through [`crate::Observation::ClientResponse`].
+//!
+//! A session must have at most one request in flight and issue `seq`s
+//! starting at 1; retries re-send the *same* `seq`. C-Raft reuses the same
+//! machinery at its **global** level: batch items carry their originating
+//! `(session, seq)`, and the global log applies batches item-wise through
+//! its own table — so a write whose item lands in two batches (a successor
+//! cluster leader re-batching after a crash) still applies globally exactly
+//! once. Global batches from one cluster can commit out of order, so one
+//! session's seqs may *apply* out of order there; the table's
+//! floor-plus-sparse-window representation handles that.
+
+use core::fmt;
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::{LogIndex, LogScope, NodeId};
+
+/// Identifier of a client session.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SessionId(pub u64);
+
+impl SessionId {
+    /// A client session with the given raw id.
+    pub const fn client(id: u64) -> Self {
+        SessionId(id)
+    }
+
+    /// The raw id.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// The consistency level of a client read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Consistency {
+    /// Linearizable **with respect to the log it reads**: the answer
+    /// reflects every operation that completed *on that log* before the
+    /// read was issued. Served by the leader after a ReadIndex round
+    /// (leadership confirmed by a heartbeat quorum). In C-Raft this is a
+    /// **global** read, confirmed through the global engine and answering
+    /// at the global commit floor — note that C-Raft writes are
+    /// acknowledged at *local* commit (§V-A), before their batch reaches
+    /// the global log, so a freshly acked write may not yet be visible to
+    /// a global read; clients needing global read-your-writes must wait
+    /// for the write's batch to commit globally.
+    Linearizable,
+    /// Possibly stale: served immediately from the receiving site's local
+    /// commit floor, with no coordination.
+    StaleLocal,
+}
+
+/// What a client asks for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientOp {
+    /// Replicate this value exactly once.
+    Write(Bytes),
+    /// Report the commit floor at the requested consistency level.
+    Read(Consistency),
+}
+
+impl ClientOp {
+    /// `true` for writes.
+    pub fn is_write(&self) -> bool {
+        matches!(self, ClientOp::Write(_))
+    }
+}
+
+/// One client request: a session-scoped, retry-safe operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClientRequest {
+    /// The issuing session.
+    pub session: SessionId,
+    /// Session-local sequence number (1-based; retries reuse it).
+    pub seq: u64,
+    /// The operation.
+    pub op: ClientOp,
+}
+
+impl ClientRequest {
+    /// A write request.
+    pub fn write(session: SessionId, seq: u64, data: Bytes) -> Self {
+        ClientRequest {
+            session,
+            seq,
+            op: ClientOp::Write(data),
+        }
+    }
+
+    /// A read request.
+    pub fn read(session: SessionId, seq: u64, consistency: Consistency) -> Self {
+        ClientRequest {
+            session,
+            seq,
+            op: ClientOp::Read(consistency),
+        }
+    }
+}
+
+/// The typed answer to a [`ClientRequest`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientOutcome {
+    /// The write was applied for the first time at `index`.
+    Committed {
+        /// Where the write landed in the log.
+        index: LogIndex,
+    },
+    /// The write was already applied by an earlier attempt — the retry was
+    /// suppressed. `first_index` is the original application index when the
+    /// replica still remembers it, [`LogIndex::ZERO`] for ancient seqs.
+    Duplicate {
+        /// Where the first application landed (ZERO if unknown).
+        first_index: LogIndex,
+    },
+    /// The read succeeded: the caller may read state through `commit_floor`
+    /// of the `scope` log at the requested consistency.
+    ReadOk {
+        /// Which log the floor belongs to (Global; Local for C-Raft's
+        /// stale local reads).
+        scope: LogScope,
+        /// The commit floor the answer reflects.
+        commit_floor: LogIndex,
+    },
+    /// The receiving node cannot serve the request; retry against
+    /// `leader_hint` (when `Some`) or any member (when `None`).
+    Redirect {
+        /// The believed current leader.
+        leader_hint: Option<NodeId>,
+    },
+    /// Transient condition (election in progress, leadership lost mid-read,
+    /// fresh leader without a committed entry of its term): retry the same
+    /// `(session, seq)` after a backoff.
+    Retry,
+}
+
+impl ClientOutcome {
+    /// `true` when the operation is finished (no retry needed).
+    pub fn is_terminal(&self) -> bool {
+        !matches!(
+            self,
+            ClientOutcome::Redirect { .. } | ClientOutcome::Retry
+        )
+    }
+
+    /// Short tag for traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ClientOutcome::Committed { .. } => "committed",
+            ClientOutcome::Duplicate { .. } => "duplicate",
+            ClientOutcome::ReadOk { .. } => "read_ok",
+            ClientOutcome::Redirect { .. } => "redirect",
+            ClientOutcome::Retry => "retry",
+        }
+    }
+}
+
+/// The outcome of applying a session-tagged operation to a [`SessionTable`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionApply {
+    /// First application: the operation took effect.
+    Applied,
+    /// The seq was already applied; the operation must be skipped.
+    Duplicate {
+        /// Where the first application landed (ZERO if unknown).
+        first_index: LogIndex,
+    },
+}
+
+/// Per-session applied state: which seqs have been applied, and where.
+///
+/// Seqs at or below `floor_seq` are all applied; `above` holds applied seqs
+/// beyond the floor (out-of-order application, which only cluster batch
+/// sessions exhibit). The window stays bounded by the session's in-flight
+/// depth: the floor advances as soon as it becomes contiguous.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SessionSlot {
+    /// Highest seq S such that all of `1..=S` are applied (0 = none).
+    pub floor_seq: u64,
+    /// Log index where `floor_seq` was applied (ZERO if unknown/ancient).
+    pub floor_index: LogIndex,
+    /// Applied seqs above the floor, with their application indices.
+    pub above: BTreeMap<u64, LogIndex>,
+}
+
+impl SessionSlot {
+    /// `true` if `seq` has been applied.
+    pub fn contains(&self, seq: u64) -> bool {
+        seq <= self.floor_seq || self.above.contains_key(&seq)
+    }
+
+    /// The application index of `seq`, if applied and still remembered.
+    fn first_index_of(&self, seq: u64) -> LogIndex {
+        if seq == self.floor_seq {
+            self.floor_index
+        } else {
+            self.above.get(&seq).copied().unwrap_or(LogIndex::ZERO)
+        }
+    }
+
+    /// Highest applied seq.
+    pub fn last_seq(&self) -> u64 {
+        self.above
+            .keys()
+            .next_back()
+            .copied()
+            .unwrap_or(self.floor_seq)
+    }
+}
+
+/// The per-session exactly-once dedup table — part of **applied state**.
+///
+/// Every replica updates its table identically while applying committed
+/// entries, so the table is a deterministic function of the committed
+/// sequence; it is captured into [`crate::Snapshot`]s and folded into the
+/// commit digest (see [`crate::fold_session_digest`]), which is what makes
+/// dedup survive log compaction and leader restarts.
+///
+/// # Examples
+///
+/// ```
+/// use wire::{LogIndex, SessionApply, SessionId, SessionTable};
+///
+/// let mut t = SessionTable::new();
+/// let s = SessionId::client(7);
+/// assert_eq!(t.apply(s, 1, LogIndex(10)), SessionApply::Applied);
+/// assert_eq!(
+///     t.apply(s, 1, LogIndex(12)),
+///     SessionApply::Duplicate { first_index: LogIndex(10) }
+/// );
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SessionTable {
+    sessions: BTreeMap<SessionId, SessionSlot>,
+}
+
+impl SessionTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        SessionTable::default()
+    }
+
+    /// Number of sessions tracked.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// `true` when no session has applied anything.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// The slot for `session`, if any seq applied.
+    pub fn get(&self, session: SessionId) -> Option<&SessionSlot> {
+        self.sessions.get(&session)
+    }
+
+    /// Iterates `(session, slot)` in deterministic (ascending id) order.
+    pub fn iter(&self) -> impl Iterator<Item = (SessionId, &SessionSlot)> {
+        self.sessions.iter().map(|(s, slot)| (*s, slot))
+    }
+
+    /// If `(session, seq)` was already applied, the index of its first
+    /// application (ZERO when no longer remembered).
+    pub fn duplicate_of(&self, session: SessionId, seq: u64) -> Option<LogIndex> {
+        let slot = self.sessions.get(&session)?;
+        slot.contains(seq).then(|| slot.first_index_of(seq))
+    }
+
+    /// Applies `(session, seq)` at log position `index`, recording it if it
+    /// is new and reporting a duplicate otherwise. Deterministic: replicas
+    /// applying the same committed sequence hold identical tables.
+    pub fn apply(&mut self, session: SessionId, seq: u64, index: LogIndex) -> SessionApply {
+        let slot = self.sessions.entry(session).or_default();
+        if slot.contains(seq) {
+            return SessionApply::Duplicate {
+                first_index: slot.first_index_of(seq),
+            };
+        }
+        slot.above.insert(seq, index);
+        // Advance the floor across the now-contiguous run so the window
+        // stays bounded by the session's in-flight depth.
+        while let Some(idx) = slot.above.remove(&(slot.floor_seq + 1)) {
+            slot.floor_seq += 1;
+            slot.floor_index = idx;
+        }
+        SessionApply::Applied
+    }
+
+    /// Restores a slot wholesale (codec path).
+    pub(crate) fn insert_slot(&mut self, session: SessionId, slot: SessionSlot) {
+        self.sessions.insert(session, slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_id_display() {
+        assert_eq!(SessionId::client(5).to_string(), "s5");
+        assert_eq!(SessionId::client(5), SessionId(5));
+    }
+
+    #[test]
+    fn in_order_applies_advance_floor() {
+        let mut t = SessionTable::new();
+        let s = SessionId::client(1);
+        for seq in 1..=5u64 {
+            assert_eq!(t.apply(s, seq, LogIndex(seq + 100)), SessionApply::Applied);
+        }
+        let slot = t.get(s).unwrap();
+        assert_eq!(slot.floor_seq, 5);
+        assert_eq!(slot.floor_index, LogIndex(105));
+        assert!(slot.above.is_empty());
+        assert_eq!(slot.last_seq(), 5);
+    }
+
+    #[test]
+    fn duplicates_report_first_index() {
+        let mut t = SessionTable::new();
+        let s = SessionId::client(1);
+        t.apply(s, 1, LogIndex(3));
+        assert_eq!(
+            t.apply(s, 1, LogIndex(9)),
+            SessionApply::Duplicate {
+                first_index: LogIndex(3)
+            }
+        );
+        assert_eq!(t.duplicate_of(s, 1), Some(LogIndex(3)));
+        assert_eq!(t.duplicate_of(s, 2), None);
+    }
+
+    #[test]
+    fn out_of_order_applies_are_not_duplicates() {
+        // C-Raft's global log applies batch items out of order when batches
+        // from one cluster commit in a different order than they were cut.
+        // Each distinct seq must apply exactly once regardless.
+        let mut t = SessionTable::new();
+        let s = SessionId::client(8);
+        assert_eq!(t.apply(s, 2, LogIndex(10)), SessionApply::Applied);
+        assert_eq!(t.apply(s, 1, LogIndex(11)), SessionApply::Applied);
+        let slot = t.get(s).unwrap();
+        assert_eq!(slot.floor_seq, 2, "floor catches up once contiguous");
+        assert!(slot.above.is_empty());
+        assert_eq!(
+            t.apply(s, 2, LogIndex(12)),
+            SessionApply::Duplicate {
+                first_index: LogIndex(10)
+            }
+        );
+    }
+
+    #[test]
+    fn ancient_duplicate_has_unknown_index() {
+        let mut t = SessionTable::new();
+        let s = SessionId::client(1);
+        t.apply(s, 1, LogIndex(1));
+        t.apply(s, 2, LogIndex(2));
+        // Seq 1 is below the floor and its index was merged away.
+        assert_eq!(t.duplicate_of(s, 1), Some(LogIndex::ZERO));
+        assert_eq!(t.duplicate_of(s, 2), Some(LogIndex(2)));
+    }
+
+    #[test]
+    fn outcome_terminality() {
+        assert!(ClientOutcome::Committed {
+            index: LogIndex(1)
+        }
+        .is_terminal());
+        assert!(ClientOutcome::ReadOk {
+            scope: LogScope::Global,
+            commit_floor: LogIndex(1)
+        }
+        .is_terminal());
+        assert!(!ClientOutcome::Retry.is_terminal());
+        assert!(!ClientOutcome::Redirect { leader_hint: None }.is_terminal());
+        assert_eq!(ClientOutcome::Retry.kind(), "retry");
+    }
+}

@@ -15,8 +15,9 @@ use core::fmt;
 use bytes::{Bytes, BytesMut};
 
 use crate::{
-    Approval, Batch, BatchItem, ClusterId, Configuration, EntryId, EntryList, GlobalState,
-    LogEntry, LogIndex, LogScope, NodeId, Payload, Snapshot, Term,
+    Approval, Batch, BatchItem, ClientOutcome, ClusterId, Configuration, Consistency, EntryId,
+    EntryList, GlobalState, LogEntry, LogIndex, LogScope, NodeId, Payload, SessionId, SessionSlot,
+    SessionTable, Snapshot, Term,
 };
 
 /// Error from decoding a malformed buffer.
@@ -371,6 +372,7 @@ wire_newtype_u64!(NodeId);
 wire_newtype_u64!(ClusterId);
 wire_newtype_u64!(Term);
 wire_newtype_u64!(LogIndex);
+wire_newtype_u64!(SessionId);
 
 impl Wire for EntryId {
     fn encode(&self, e: &mut Encoder) {
@@ -428,16 +430,18 @@ impl Wire for Approval {
 impl Wire for BatchItem {
     fn encode(&self, e: &mut Encoder) {
         self.id.encode(e);
+        self.key.encode(e);
         self.data.encode(e);
     }
     fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         Ok(BatchItem {
             id: EntryId::decode(d)?,
+            key: Option::decode(d)?,
             data: Bytes::decode(d)?,
         })
     }
     fn encoded_len(&self) -> usize {
-        self.id.encoded_len() + self.data.encoded_len()
+        self.id.encoded_len() + self.key.encoded_len() + self.data.encoded_len()
     }
 }
 
@@ -502,6 +506,139 @@ impl Wire for LogScope {
     }
 }
 
+impl Wire for Consistency {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u8(match self {
+            Consistency::Linearizable => 0,
+            Consistency::StaleLocal => 1,
+        });
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match d.u8()? {
+            0 => Ok(Consistency::Linearizable),
+            1 => Ok(Consistency::StaleLocal),
+            tag => Err(DecodeError::InvalidTag {
+                ty: "Consistency",
+                tag,
+            }),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Wire for ClientOutcome {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            ClientOutcome::Committed { index } => {
+                e.put_u8(0);
+                index.encode(e);
+            }
+            ClientOutcome::Duplicate { first_index } => {
+                e.put_u8(1);
+                first_index.encode(e);
+            }
+            ClientOutcome::ReadOk {
+                scope,
+                commit_floor,
+            } => {
+                e.put_u8(2);
+                scope.encode(e);
+                commit_floor.encode(e);
+            }
+            ClientOutcome::Redirect { leader_hint } => {
+                e.put_u8(3);
+                leader_hint.encode(e);
+            }
+            ClientOutcome::Retry => e.put_u8(4),
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(match d.u8()? {
+            0 => ClientOutcome::Committed {
+                index: LogIndex::decode(d)?,
+            },
+            1 => ClientOutcome::Duplicate {
+                first_index: LogIndex::decode(d)?,
+            },
+            2 => ClientOutcome::ReadOk {
+                scope: LogScope::decode(d)?,
+                commit_floor: LogIndex::decode(d)?,
+            },
+            3 => ClientOutcome::Redirect {
+                leader_hint: Option::decode(d)?,
+            },
+            4 => ClientOutcome::Retry,
+            tag => {
+                return Err(DecodeError::InvalidTag {
+                    ty: "ClientOutcome",
+                    tag,
+                })
+            }
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            ClientOutcome::Committed { .. } | ClientOutcome::Duplicate { .. } => 8,
+            ClientOutcome::ReadOk { .. } => 1 + 8,
+            ClientOutcome::Redirect { leader_hint } => leader_hint.encoded_len(),
+            ClientOutcome::Retry => 0,
+        }
+    }
+}
+
+impl Wire for SessionTable {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u32(u32::try_from(self.len()).expect("session table too large"));
+        for (session, slot) in self.iter() {
+            session.encode(e);
+            e.put_u64(slot.floor_seq);
+            slot.floor_index.encode(e);
+            e.put_u32(u32::try_from(slot.above.len()).expect("session window too large"));
+            for (seq, idx) in &slot.above {
+                e.put_u64(*seq);
+                idx.encode(e);
+            }
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let count = d.u32()? as usize;
+        if count > MAX_LEN {
+            return Err(DecodeError::LengthOverflow { declared: count });
+        }
+        let mut table = SessionTable::new();
+        for _ in 0..count {
+            let session = SessionId::decode(d)?;
+            let floor_seq = d.u64()?;
+            let floor_index = LogIndex::decode(d)?;
+            let above_count = d.u32()? as usize;
+            if above_count > MAX_LEN {
+                return Err(DecodeError::LengthOverflow {
+                    declared: above_count,
+                });
+            }
+            let mut slot = SessionSlot {
+                floor_seq,
+                floor_index,
+                above: Default::default(),
+            };
+            for _ in 0..above_count {
+                let seq = d.u64()?;
+                slot.above.insert(seq, LogIndex::decode(d)?);
+            }
+            table.insert_slot(session, slot);
+        }
+        Ok(table)
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self
+            .iter()
+            .map(|(_, slot)| 8 + 8 + 8 + 4 + 16 * slot.above.len())
+            .sum::<usize>()
+    }
+}
+
 impl Wire for Snapshot {
     fn encode(&self, e: &mut Encoder) {
         self.scope.encode(e);
@@ -509,6 +646,7 @@ impl Wire for Snapshot {
         self.last_term.encode(e);
         self.config.encode(e);
         self.state.encode(e);
+        self.sessions.encode(e);
     }
     fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         Ok(Snapshot {
@@ -517,10 +655,15 @@ impl Wire for Snapshot {
             last_term: Term::decode(d)?,
             config: Configuration::decode(d)?,
             state: Bytes::decode(d)?,
+            sessions: SessionTable::decode(d)?,
         })
     }
     fn encoded_len(&self) -> usize {
-        1 + 8 + 8 + self.config.encoded_len() + self.state.encoded_len()
+        1 + 8
+            + 8
+            + self.config.encoded_len()
+            + self.state.encoded_len()
+            + self.sessions.encoded_len()
     }
 }
 
@@ -544,6 +687,12 @@ impl Wire for Payload {
                 e.put_u8(4);
                 g.encode(e);
             }
+            Payload::Write { session, seq, data } => {
+                e.put_u8(5);
+                session.encode(e);
+                e.put_u64(*seq);
+                data.encode(e);
+            }
         }
     }
     fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
@@ -553,6 +702,11 @@ impl Wire for Payload {
             2 => Ok(Payload::Config(Configuration::decode(d)?)),
             3 => Ok(Payload::Batch(Batch::decode(d)?)),
             4 => Ok(Payload::GlobalState(GlobalState::decode(d)?)),
+            5 => Ok(Payload::Write {
+                session: SessionId::decode(d)?,
+                seq: d.u64()?,
+                data: Bytes::decode(d)?,
+            }),
             tag => Err(DecodeError::InvalidTag { ty: "Payload", tag }),
         }
     }
@@ -563,6 +717,7 @@ impl Wire for Payload {
             Payload::Config(c) => c.encoded_len(),
             Payload::Batch(b) => b.encoded_len(),
             Payload::GlobalState(g) => g.encoded_len(),
+            Payload::Write { data, .. } => 8 + 8 + data.encoded_len(),
         }
     }
 }
@@ -657,10 +812,12 @@ mod tests {
             vec![
                 BatchItem {
                     id: EntryId::new(NodeId(1), 0),
+                    key: Some((SessionId::client(7), 3)),
                     data: Bytes::from_static(b"a"),
                 },
                 BatchItem {
                     id: EntryId::new(NodeId(2), 1),
+                    key: None,
                     data: Bytes::from_static(b"bb"),
                 },
             ],
@@ -693,12 +850,19 @@ mod tests {
     fn snapshot_roundtrips() {
         roundtrip(&LogScope::Local);
         roundtrip(&LogScope::Global);
+        let mut sessions = SessionTable::new();
+        sessions.apply(SessionId::client(4), 1, LogIndex(9));
+        sessions.apply(SessionId::client(4), 2, LogIndex(11));
+        sessions.apply(SessionId::client(9), 3, LogIndex(30));
+        roundtrip(&sessions);
+        roundtrip(&SessionTable::new());
         roundtrip(&Snapshot {
             scope: LogScope::Global,
             last_index: LogIndex(200),
             last_term: Term(4),
             config: Configuration::new([NodeId(1), NodeId(2), NodeId(3)]),
             state: Snapshot::digest_state(0x1234_5678_9ABC_DEF0),
+            sessions,
         });
         roundtrip(&Snapshot {
             scope: LogScope::Local,
@@ -706,6 +870,34 @@ mod tests {
             last_term: Term(1),
             config: Configuration::new([NodeId(7)]),
             state: Bytes::new(),
+            sessions: SessionTable::new(),
+        });
+    }
+
+    #[test]
+    fn client_types_roundtrip() {
+        roundtrip(&SessionId::client(9));
+        roundtrip(&SessionId::client(u64::MAX));
+        roundtrip(&Consistency::Linearizable);
+        roundtrip(&Consistency::StaleLocal);
+        roundtrip(&ClientOutcome::Committed {
+            index: LogIndex(12),
+        });
+        roundtrip(&ClientOutcome::Duplicate {
+            first_index: LogIndex(7),
+        });
+        roundtrip(&ClientOutcome::ReadOk {
+            scope: LogScope::Global,
+            commit_floor: LogIndex(40),
+        });
+        roundtrip(&ClientOutcome::Redirect {
+            leader_hint: Some(NodeId(2)),
+        });
+        roundtrip(&ClientOutcome::Retry);
+        roundtrip(&Payload::Write {
+            session: SessionId::client(1),
+            seq: 5,
+            data: Bytes::from_static(b"value"),
         });
     }
 

@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 
-use crate::{ClusterId, Configuration, EntryId, LogIndex, Term};
+use crate::{ClusterId, Configuration, EntryId, LogIndex, SessionId, Term};
 
 /// Who made an entry durable at a site: the site itself (fast track) or the
 /// leader (classic track). §IV-A, the `insertedBy` field.
@@ -49,6 +49,12 @@ impl fmt::Display for Approval {
 pub struct BatchItem {
     /// Original proposal id (for deduplication and client notification).
     pub id: EntryId,
+    /// The originating client write's `(session, seq)`, when the value came
+    /// through the session API: the **global** log applies batches
+    /// item-wise through its own session table, so a value whose item lands
+    /// in two batches (successor leader re-batching after a crash, a batch
+    /// retry racing global compaction) still applies globally exactly once.
+    pub key: Option<(SessionId, u64)>,
     /// The replicated value.
     pub data: Bytes,
 }
@@ -115,6 +121,17 @@ pub enum Payload {
     Noop,
     /// Application data.
     Data(Bytes),
+    /// A session-tagged client write (exactly-once semantics): replicas
+    /// apply it through their `SessionTable`, so a retried `seq` that
+    /// commits at a second index is recognized and skipped.
+    Write {
+        /// The issuing client session.
+        session: SessionId,
+        /// The session-local sequence number (retries reuse it).
+        seq: u64,
+        /// The written value.
+        data: Bytes,
+    },
     /// A membership change: the complete new configuration (§IV-D).
     Config(Configuration),
     /// A batch of locally committed entries (C-Raft global log).
@@ -129,9 +146,20 @@ impl Payload {
         match self {
             Payload::Noop => "noop",
             Payload::Data(_) => "data",
+            Payload::Write { .. } => "write",
             Payload::Config(_) => "config",
             Payload::Batch(_) => "batch",
             Payload::GlobalState(_) => "gstate",
+        }
+    }
+
+    /// The `(session, seq)` this payload applies under exactly-once
+    /// semantics, if any. Batches dedup **item-wise** (each
+    /// [`BatchItem::key`]), not as a whole.
+    pub fn session_key(&self) -> Option<(SessionId, u64)> {
+        match self {
+            Payload::Write { session, seq, .. } => Some((*session, *seq)),
+            _ => None,
         }
     }
 
@@ -166,6 +194,16 @@ impl LogEntry {
             term,
             id,
             payload: Payload::Data(data),
+            approval: Approval::LeaderApproved,
+        }
+    }
+
+    /// Creates a session-tagged client write entry.
+    pub fn write(term: Term, id: EntryId, session: SessionId, seq: u64, data: Bytes) -> Self {
+        LogEntry {
+            term,
+            id,
+            payload: Payload::Write { session, seq, data },
             approval: Approval::LeaderApproved,
         }
     }
@@ -369,6 +407,7 @@ mod tests {
             0,
             vec![BatchItem {
                 id: id(1, 0),
+                key: None,
                 data: Bytes::from_static(b"v"),
             }],
         );
@@ -384,6 +423,7 @@ mod tests {
             0,
             vec![BatchItem {
                 id: id(1, 0),
+                key: None,
                 data: Bytes::from_static(b"v"),
             }],
         );

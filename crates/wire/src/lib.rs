@@ -12,6 +12,9 @@
 //!   compacted into a [`Snapshot`]);
 //! - the sans-IO protocol interface: [`Actions`], [`ConsensusProtocol`],
 //!   [`TimerKind`], [`PersistCmd`], [`Observation`];
+//! - the typed client contract: [`ClientRequest`] (sessioned writes and
+//!   reads with a [`Consistency`] level), [`ClientOutcome`], and the
+//!   exactly-once [`SessionTable`] carried inside snapshots;
 //! - a compact binary codec ([`Wire`], [`Encoder`], [`Decoder`]) used for
 //!   exact bandwidth accounting and verified by roundtrip property tests.
 //!
@@ -29,6 +32,7 @@
 #![warn(missing_docs)]
 
 mod actions;
+mod client;
 mod codec;
 mod config;
 mod entry;
@@ -41,6 +45,10 @@ pub use actions::{
     Actions, Commit, ConsensusProtocol, LogScope, Message, Observation, PersistCmd, TimerCmd,
     TimerKind,
 };
+pub use client::{
+    ClientOp, ClientOutcome, ClientRequest, Consistency, SessionApply, SessionId, SessionSlot,
+    SessionTable,
+};
 pub use codec::{DecodeError, Decoder, Encoder, Wire};
 pub use config::{AppendBudget, Configuration};
 pub use entry::{Approval, Batch, BatchItem, EntryList, GlobalState, LogEntry, Payload};
@@ -50,4 +58,4 @@ pub use quorum::{
     classic_quorum, fast_quorum, is_classic_quorum, is_fast_quorum,
     min_chosen_votes_in_classic_quorum,
 };
-pub use snapshot::{fold_commit_digest, Snapshot};
+pub use snapshot::{fold_commit_digest, fold_session_digest, Snapshot};

@@ -208,6 +208,19 @@ impl SparseLog {
         self.first_gap() == self.last_index().next()
     }
 
+    /// Detects a **front gap**: the log holds entries, but the lowest one
+    /// sits above `compacted_through + 1`, i.e. a hole starts immediately
+    /// after the snapshot horizon. A log grown through normal protocol
+    /// operation never front-gaps (compaction only ever consumes a
+    /// contiguous occupied prefix); only externally reconstructed views —
+    /// C-Raft's global log rebuilt from partially compacted global-state
+    /// entries — can. Returns `(horizon, first_retained)` when gapped.
+    pub fn front_gap(&self) -> Option<(LogIndex, LogIndex)> {
+        let first = *self.entries.keys().next()?;
+        (first > self.compacted_through + 1)
+            .then(|| (self.compacted_through(), LogIndex(first)))
+    }
+
     /// Number of occupied indices.
     pub fn len(&self) -> usize {
         self.entries.len()

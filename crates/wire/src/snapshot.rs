@@ -12,7 +12,7 @@
 
 use bytes::Bytes;
 
-use crate::{Configuration, EntryId, LogIndex, LogScope, Term};
+use crate::{Configuration, EntryId, LogIndex, LogScope, SessionId, SessionTable, Term};
 
 /// Folds one committed `(index, id)` pair into a running commit digest —
 /// the simulation's stand-in for applying an entry to a state machine.
@@ -24,6 +24,23 @@ pub fn fold_commit_digest(digest: u64, index: LogIndex, id: EntryId) -> u64 {
         ^ id.proposer.as_u64().wrapping_mul(0xBF58_476D_1CE4_E5B9)
         ^ id.seq.wrapping_mul(0x94D0_49BB_1331_11EB);
     // splitmix64 finalizer: avalanche so consecutive indices diverge.
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Folds one session-tagged write application into the commit digest, so
+/// the digest covers the exactly-once *applied* state (not just the raw log
+/// sequence): a duplicate that commits at a second index folds as a log
+/// entry but never as a session application, and two replicas agree on
+/// their digest only if they also agree on which seqs took effect.
+pub fn fold_session_digest(digest: u64, session: SessionId, seq: u64) -> u64 {
+    let mut x = digest
+        ^ session.as_u64().wrapping_mul(0xD6E8_FEB8_6659_FD93)
+        ^ seq.wrapping_mul(0xA24B_AED4_963E_E407);
     x ^= x >> 30;
     x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x ^= x >> 27;
@@ -51,6 +68,13 @@ pub struct Snapshot {
     pub config: Configuration,
     /// Opaque application-state image through `last_index`.
     pub state: Bytes,
+    /// The per-session exactly-once dedup table as of `last_index`. Part of
+    /// applied state: without it, a client retry racing a leader restart
+    /// across the compaction boundary could be applied twice at distinct
+    /// indices (the restarted leader's in-log dedup ids were compacted
+    /// away). Carrying the table in the snapshot fixes that by
+    /// construction.
+    pub sessions: SessionTable,
 }
 
 impl Snapshot {
@@ -79,6 +103,7 @@ mod tests {
             last_term: Term(3),
             config: Configuration::new([NodeId(1), NodeId(2)]),
             state: Snapshot::digest_state(0xDEAD_BEEF_1234_5678),
+            sessions: SessionTable::new(),
         };
         assert_eq!(s.state_digest(), Some(0xDEAD_BEEF_1234_5678));
     }
@@ -102,6 +127,16 @@ mod tests {
     }
 
     #[test]
+    fn session_digest_differs_from_commit_digest() {
+        let s = SessionId::client(1);
+        let a = fold_session_digest(0, s, 1);
+        let b = fold_commit_digest(0, LogIndex(1), EntryId::new(NodeId(1), 1));
+        assert_ne!(a, b, "session folds must not collide with commit folds");
+        assert_ne!(a, fold_session_digest(0, s, 2));
+        assert_ne!(a, fold_session_digest(0, SessionId::client(2), 1));
+    }
+
+    #[test]
     fn non_digest_state_is_none() {
         let s = Snapshot {
             scope: LogScope::Local,
@@ -109,6 +144,7 @@ mod tests {
             last_term: Term(1),
             config: Configuration::new([NodeId(1)]),
             state: Bytes::from_static(b"not a digest"),
+            sessions: SessionTable::new(),
         };
         assert_eq!(s.state_digest(), None);
     }

@@ -5,7 +5,7 @@ use bytes::Bytes;
 use proptest::prelude::*;
 use wire::{
     Approval, Batch, BatchItem, ClusterId, Configuration, EntryId, GlobalState, LogEntry,
-    LogIndex, NodeId, Payload, SparseLog, Term, Wire,
+    LogIndex, NodeId, Payload, SessionId, SparseLog, Term, Wire,
 };
 
 fn arb_node_id() -> impl Strategy<Value = NodeId> {
@@ -37,7 +37,13 @@ fn arb_batch() -> impl Strategy<Value = Batch> {
         any::<u64>().prop_map(ClusterId),
         any::<u64>(),
         proptest::collection::vec(
-            (arb_entry_id(), arb_bytes()).prop_map(|(id, data)| BatchItem { id, data }),
+            (arb_entry_id(), arb_bytes(), any::<bool>(), any::<u64>(), any::<u64>()).prop_map(
+                |(id, data, keyed, s, q)| BatchItem {
+                    id,
+                    key: keyed.then_some((SessionId(s), q)),
+                    data,
+                },
+            ),
             0..8,
         ),
     )
@@ -48,9 +54,30 @@ fn arb_flat_payload() -> impl Strategy<Value = Payload> {
     prop_oneof![
         Just(Payload::Noop),
         arb_bytes().prop_map(Payload::Data),
+        (any::<u64>(), any::<u64>(), arb_bytes()).prop_map(|(s, seq, data)| Payload::Write {
+            session: SessionId(s),
+            seq,
+            data,
+        }),
         arb_config().prop_map(Payload::Config),
         arb_batch().prop_map(Payload::Batch),
     ]
+}
+
+fn arb_session_table() -> impl Strategy<Value = wire::SessionTable> {
+    proptest::collection::vec(
+        (any::<u64>(), proptest::collection::btree_set(1..64u64, 1..6)),
+        0..5,
+    )
+    .prop_map(|sessions| {
+        let mut t = wire::SessionTable::new();
+        for (s, seqs) in sessions {
+            for (i, seq) in seqs.into_iter().enumerate() {
+                t.apply(SessionId(s), seq, LogIndex(100 + i as u64));
+            }
+        }
+        t
+    })
 }
 
 fn arb_flat_entry() -> impl Strategy<Value = LogEntry> {
@@ -116,6 +143,13 @@ proptest! {
     fn config_roundtrip(c in arb_config()) {
         let back = Configuration::from_bytes(&c.to_bytes()).unwrap();
         prop_assert_eq!(back, c);
+    }
+
+    #[test]
+    fn session_table_roundtrip(t in arb_session_table()) {
+        let bytes = t.to_bytes();
+        prop_assert_eq!(bytes.len(), t.encoded_len());
+        prop_assert_eq!(wire::SessionTable::from_bytes(&bytes).unwrap(), t);
     }
 
     #[test]

@@ -43,12 +43,7 @@ fn main() {
         root.split_indexed("node", 9),
     ));
 
-    let workload = Workload {
-        proposers: vec![NodeId(1)],
-        payload_bytes: 64,
-        target_commits: None,
-        start_at: SimTime::from_secs(3),
-    };
+    let workload = Workload::writes_only(vec![NodeId(1)], 64, None, SimTime::from_secs(3));
     let faults = vec![
         (SimTime::from_secs(8), FaultAction::SilentLeave(NodeId(3))),
         (SimTime::from_secs(8), FaultAction::SilentLeave(NodeId(4))),

@@ -55,14 +55,15 @@ pub mod sim {
     pub use storage::{ScopeState, SimDisk, StableState};
 }
 
-/// Shared consensus types and the wire codec.
+/// Shared consensus types, the client contract, and the wire codec.
 pub mod types {
     pub use wire::{
         classic_quorum, fast_quorum, is_classic_quorum, is_fast_quorum,
-        min_chosen_votes_in_classic_quorum, Actions, Approval, Batch, BatchItem, ClusterId,
-        Commit, Configuration, ConsensusProtocol, DecodeError, Decoder, Encoder, EntryId,
-        GlobalState, LogEntry, LogIndex, LogScope, Message, NodeId, Observation, Payload,
-        PersistCmd, SparseLog, Term, TimerCmd, TimerKind, Wire,
+        min_chosen_votes_in_classic_quorum, Actions, Approval, Batch, BatchItem, ClientOp,
+        ClientOutcome, ClientRequest, ClusterId, Commit, Configuration, Consistency,
+        ConsensusProtocol, DecodeError, Decoder, Encoder, EntryId, GlobalState, LogEntry,
+        LogIndex, LogScope, Message, NodeId, Observation, Payload, PersistCmd, SessionId,
+        SessionTable, SparseLog, Term, TimerCmd, TimerKind, Wire,
     };
 }
 
@@ -72,7 +73,7 @@ pub mod bench {
     pub use harness::experiments;
     pub use harness::{
         run_classic_raft, run_craft, run_fast_raft, CRaftScenario, FaultAction, LatencySample,
-        LatencyStats, Metrics, NetSummary, NetworkKind, Runner, RunnerConfig, RunReport,
-        SafetyChecker, SafetyViolation, Scenario, Workload,
+        LatencyStats, LinViolation, Metrics, NetSummary, NetworkKind, ReadMix, Runner,
+        RunnerConfig, RunReport, SafetyChecker, SafetyViolation, Scenario, Workload,
     };
 }

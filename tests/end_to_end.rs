@@ -115,6 +115,7 @@ fn craft_safety_with_cluster_leader_crash() {
         // successor which must rejoin the global level.
         faults: vec![(SimTime::from_secs(25), FaultAction::Crash(NodeId(3)))],
         leader_bias: None,
+        reads: None,
     };
     let craft = CRaftScenario {
         clusters: 3,

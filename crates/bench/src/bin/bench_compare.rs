@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! bench_compare --baseline ci/bench_baseline.json [--threshold 0.20] <current.json>...
+//! bench_compare --baseline ci/bench_baseline.json [--threshold 0.20] [--exact] <current.json>...
 //! ```
 //!
 //! The baseline maps bench names to `series` objects (`{"fig5": {"craft/10":
@@ -17,18 +17,26 @@
 //! The simulator is deterministic, so for identical code the numbers match
 //! the baseline exactly; the threshold only absorbs intentional,
 //! benign-but-measurable behavior shifts.
+//!
+//! `--exact` replaces the threshold with bit-for-bit reproduction: every
+//! baseline key must match the current value exactly (up to float-print
+//! rounding). Refactors that claim to be behavior-identical — the simulator
+//! being deterministic, *any* divergence means behavior changed — are gated
+//! with this mode.
 
 use bench::json::{parse, Value};
 
 struct Args {
     baseline: String,
     threshold: f64,
+    exact: bool,
     current: Vec<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut baseline = None;
     let mut threshold = 0.20;
+    let mut exact = false;
     let mut current = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -46,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--threshold needs a number")?;
             }
+            "--exact" => exact = true,
             other if !other.starts_with("--") => current.push(other.to_string()),
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -57,8 +66,14 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         baseline,
         threshold,
+        exact,
         current,
     })
+}
+
+/// Equality up to float-print rounding (values travel through `{:.2}`).
+fn matches_exactly(cur: f64, base: f64) -> bool {
+    (cur - base).abs() <= 1e-9 * base.abs().max(1.0)
 }
 
 fn load(path: &str) -> Result<Value, String> {
@@ -103,7 +118,11 @@ fn main() {
             failures += 1;
             continue;
         };
-        println!("== {name} (threshold -{:.0}%)", args.threshold * 100.0);
+        if args.exact {
+            println!("== {name} (exact reproduction)");
+        } else {
+            println!("== {name} (threshold -{:.0}%)", args.threshold * 100.0);
+        }
         for (key, base_val) in base_series {
             let Some(base) = base_val.as_num() else {
                 eprintln!("FAIL {name}/{key}: baseline value is not a number");
@@ -114,6 +133,17 @@ fn main() {
                 None => {
                     eprintln!("FAIL {name}/{key}: missing from current run");
                     failures += 1;
+                }
+                Some(cur) if args.exact => {
+                    if matches_exactly(cur, base) {
+                        println!("  ok {key}: {cur:.2} == baseline (exact)");
+                    } else {
+                        eprintln!(
+                            "FAIL {name}/{key}: {cur:.2} != baseline {base:.2} — the \
+                             deterministic series diverged, so behavior changed"
+                        );
+                        failures += 1;
+                    }
                 }
                 Some(cur) => {
                     let floor = base * (1.0 - args.threshold);

@@ -1,0 +1,343 @@
+//! Deterministic microbenchmark for the dense-prefix `wire::SparseLog`.
+//!
+//! Drives the rewritten log and an in-bin `BTreeMap<u64, LogEntry>`
+//! baseline (the exact representation it replaced) through the protocols'
+//! hot access patterns — appends, point lookups (`get` + `term_at` during
+//! ack verification), commit scans over the contiguous run, and budgeted
+//! AppendEntries range collection — under a counting global allocator.
+//! Prints machine-readable JSON with per-workload throughput (million
+//! ops/sec), allocation counts, and the new/old speedup ratios the CI gate
+//! watches; the before/after record lives in `BENCH_log.json`.
+//!
+//! The op sequences are seeded and identical for both representations, so
+//! the allocation counts are exactly reproducible; wall-clock throughput
+//! varies by machine, which is why the **gated** series are the relative
+//! speedups, not the absolute rates. The binary itself enforces the hard
+//! acceptance floor: ≥ 2× point-lookup and commit-scan throughput and no
+//! more allocations than the baseline on the collection path.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use wire::{
+    AppendBudget, EntryId, EntryList, LogEntry, LogIndex, NodeId, SparseLog, Term, Wire,
+};
+
+/// Wraps the system allocator with relaxed atomic counters.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// xorshift64*: deterministic, dependency-free index sampling.
+fn xs(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+fn entry(term: u64, seq: u64, payload: &Bytes) -> LogEntry {
+    LogEntry::data(Term(term), EntryId::new(NodeId(1), seq), payload.clone())
+}
+
+/// The previous `SparseLog` representation, reproduced as the baseline.
+#[derive(Default)]
+struct BTreeLog {
+    entries: BTreeMap<u64, LogEntry>,
+}
+
+impl BTreeLog {
+    fn insert(&mut self, i: u64, e: LogEntry) {
+        self.entries.insert(i, e);
+    }
+
+    fn get(&self, i: u64) -> Option<&LogEntry> {
+        self.entries.get(&i)
+    }
+
+    fn term_at(&self, i: u64) -> Term {
+        self.get(i).map_or(Term::ZERO, |e| e.term)
+    }
+
+    /// The old collection path: a growing clone vector, then the frozen
+    /// `Arc<[T]>` copy `EntryList::from_vec` used to make.
+    fn collect_range_budgeted(
+        &self,
+        from: u64,
+        to: u64,
+        budget: AppendBudget,
+    ) -> std::sync::Arc<[(LogIndex, LogEntry)]> {
+        let mut out: Vec<(LogIndex, LogEntry)> = Vec::new();
+        let mut bytes = 0usize;
+        for (&i, e) in self.entries.range(from..=to) {
+            let sz = 8 + e.encoded_len();
+            if !budget.admits(out.len(), bytes, sz) {
+                break;
+            }
+            bytes += sz;
+            out.push((LogIndex(i), e.clone()));
+        }
+        out.into()
+    }
+}
+
+struct Cell {
+    workload: &'static str,
+    old_mops: f64,
+    new_mops: f64,
+    old_allocs: u64,
+    new_allocs: u64,
+}
+
+impl Cell {
+    fn speedup(&self) -> f64 {
+        self.new_mops / self.old_mops
+    }
+}
+
+fn measured(ops: u64, run: impl FnOnce() -> u64) -> (f64, u64) {
+    let a0 = ALLOC_CALLS.load(Ordering::Relaxed);
+    let t0 = std::time::Instant::now();
+    let sink = run();
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    let a1 = ALLOC_CALLS.load(Ordering::Relaxed);
+    // Keep the optimizer honest without polluting stdout's JSON.
+    if sink == u64::MAX {
+        eprintln!("sink {sink}");
+    }
+    (ops as f64 / secs / 1e6, a1 - a0)
+}
+
+fn main() {
+    let opts = bench::BenchOpts::from_args();
+    let (n, lookups, scans, collects): (u64, u64, u64, u64) = if opts.quick {
+        (8_192, 2_000_000, 400, 20_000)
+    } else {
+        (16_384, 8_000_000, 1_600, 80_000)
+    };
+    let seed = 0x0010_6B0B ^ opts.seed_list()[0];
+    let payload = Bytes::from(vec![0x5A; 64]);
+    let budget = AppendBudget::new(64, 8 * 1024);
+
+    // ---- append: grow an n-entry log from empty, repeated ----
+    let reps = 8u64;
+    let append = {
+        let (old_mops, old_allocs) = measured(n * reps, || {
+            let mut acc = 0u64;
+            for r in 0..reps {
+                let mut log = BTreeLog::default();
+                for i in 1..=n {
+                    log.insert(i, entry(1 + (i & 3), i ^ r, &payload));
+                }
+                acc ^= log.entries.len() as u64;
+            }
+            acc
+        });
+        let (new_mops, new_allocs) = measured(n * reps, || {
+            let mut acc = 0u64;
+            for r in 0..reps {
+                let mut log = SparseLog::new();
+                for i in 1..=n {
+                    log.append(entry(1 + (i & 3), i ^ r, &payload));
+                }
+                acc ^= log.len() as u64;
+            }
+            acc
+        });
+        Cell {
+            workload: "append",
+            old_mops,
+            new_mops,
+            old_allocs,
+            new_allocs,
+        }
+    };
+
+    // ---- shared pre-built logs for the read-side workloads ----
+    let mut old_log = BTreeLog::default();
+    let mut new_log = SparseLog::new();
+    for i in 1..=n {
+        let e = entry(1 + (i & 3), i, &payload);
+        old_log.insert(i, e.clone());
+        new_log.insert(LogIndex(i), e);
+    }
+
+    // ---- point lookups: get + term_at at random indices (the per-message
+    //      inner loop of Fast Raft's ack verification) ----
+    let lookup = {
+        let (old_mops, old_allocs) = measured(lookups, || {
+            let mut s = seed;
+            let mut acc = 0u64;
+            for _ in 0..lookups {
+                let i = 1 + xs(&mut s) % n;
+                acc = acc
+                    .wrapping_add(old_log.term_at(i).as_u64())
+                    .wrapping_add(old_log.get(i).map_or(0, |e| e.id.seq));
+            }
+            acc
+        });
+        let (new_mops, new_allocs) = measured(lookups, || {
+            let mut s = seed;
+            let mut acc = 0u64;
+            for _ in 0..lookups {
+                let i = LogIndex(1 + xs(&mut s) % n);
+                acc = acc
+                    .wrapping_add(new_log.term_at(i).as_u64())
+                    .wrapping_add(new_log.get(i).map_or(0, |e| e.id.seq));
+            }
+            acc
+        });
+        Cell {
+            workload: "lookup",
+            old_mops,
+            new_mops,
+            old_allocs,
+            new_allocs,
+        }
+    };
+
+    // ---- commit scan: walk the contiguous run from index 1, the shape of
+    //      advance_commit_classic / decision_point ----
+    let scan = {
+        let (old_mops, old_allocs) = measured(scans * n, || {
+            let mut acc = 0u64;
+            for _ in 0..scans {
+                let mut k = 1u64;
+                while let Some(e) = old_log.get(k) {
+                    acc = acc.wrapping_add(e.term.as_u64());
+                    k += 1;
+                }
+            }
+            acc
+        });
+        let (new_mops, new_allocs) = measured(scans * n, || {
+            let mut acc = 0u64;
+            for _ in 0..scans {
+                for (_, e) in new_log.contiguous_from(LogIndex(1)) {
+                    acc = acc.wrapping_add(e.term.as_u64());
+                }
+            }
+            acc
+        });
+        Cell {
+            workload: "scan",
+            old_mops,
+            new_mops,
+            old_allocs,
+            new_allocs,
+        }
+    };
+
+    // ---- budgeted collection: assemble AppendEntries batches from random
+    //      resume points (one per recipient group per dispatch) ----
+    let collect = {
+        let (old_mops, old_allocs) = measured(collects, || {
+            let mut s = seed ^ 0xC0;
+            let mut acc = 0u64;
+            for _ in 0..collects {
+                let from = 1 + xs(&mut s) % n;
+                let got = old_log.collect_range_budgeted(from, n, budget);
+                acc = acc.wrapping_add(got.len() as u64);
+            }
+            acc
+        });
+        let (new_mops, new_allocs) = measured(collects, || {
+            let mut s = seed ^ 0xC0;
+            let mut acc = 0u64;
+            for _ in 0..collects {
+                let from = LogIndex(1 + xs(&mut s) % n);
+                let got: EntryList =
+                    new_log.collect_range_budgeted(from, LogIndex(n), budget);
+                acc = acc.wrapping_add(got.len() as u64);
+            }
+            acc
+        });
+        Cell {
+            workload: "collect",
+            old_mops,
+            new_mops,
+            old_allocs,
+            new_allocs,
+        }
+    };
+
+    let cells = [append, lookup, scan, collect];
+    let mut lines = String::new();
+    for c in &cells {
+        lines.push_str(&format!(
+            "    \"{}\": {{\"old_mops\": {:.3}, \"new_mops\": {:.3}, \"speedup\": {:.2}, \
+             \"old_allocs\": {}, \"new_allocs\": {}}},\n",
+            c.workload,
+            c.old_mops,
+            c.new_mops,
+            c.speedup(),
+            c.old_allocs,
+            c.new_allocs,
+        ));
+    }
+    let lookup = &cells[1];
+    let scan = &cells[2];
+    let collect = &cells[3];
+    let append = &cells[0];
+    let alloc_ratio = collect.old_allocs as f64 / collect.new_allocs.max(1) as f64;
+    let json = format!(
+        "{{\n  \"bench\": \"log_probe\",\n  \"n\": {n},\n  \"cells\": {{\n{}  }},\n  \
+         \"series\": {{\n    \"log/lookup_speedup\": {:.2},\n    \"log/scan_speedup\": {:.2},\n    \
+         \"log/append_speedup\": {:.2},\n    \"log/collect_alloc_ratio\": {:.2}\n  }}\n}}\n",
+        lines.trim_end_matches(",\n").to_string() + "\n",
+        lookup.speedup(),
+        scan.speedup(),
+        append.speedup(),
+        alloc_ratio,
+    );
+    print!("{json}");
+
+    // Hard acceptance floors (the ISSUE's ≥2× criterion), independent of
+    // the CI baseline file: fail loudly when the dense layout stops paying.
+    assert!(
+        lookup.speedup() >= 2.0,
+        "point-lookup speedup {:.2} below the 2x floor",
+        lookup.speedup()
+    );
+    assert!(
+        scan.speedup() >= 2.0,
+        "commit-scan speedup {:.2} below the 2x floor",
+        scan.speedup()
+    );
+    assert!(
+        collect.new_allocs <= collect.old_allocs,
+        "budgeted collection allocates more than the BTreeMap baseline \
+         ({} vs {})",
+        collect.new_allocs,
+        collect.old_allocs
+    );
+    assert!(
+        append.speedup() >= 0.8,
+        "append throughput regressed by more than 20% ({:.2}x)",
+        append.speedup()
+    );
+    opts.write_json(&json);
+}

@@ -45,13 +45,22 @@ use raft::{Role, Timing};
 use wire::{
     fold_commit_digest, fold_session_digest, Actions, Approval, ClientOp, ClientOutcome,
     ClientRequest, Configuration, Consistency, EntryId, EntryList, LogEntry, LogIndex, LogScope,
-    NodeId, Observation, Payload, PersistCmd, SessionApply, SessionId, SessionTable, Snapshot,
-    Term, TimerKind,
+    NodeId, Observation, Payload, PersistCmd, ReadIndexQueue, SessionApply, SessionId,
+    SessionTable, Snapshot, Term, TimerKind,
 };
 
 use crate::gate::{GatePurpose, GateToken, GateVerdict, InsertGate};
 use crate::message::FastRaftMessage;
 use crate::possible::PossibleEntries;
+
+/// Defensive ceiling on how far above this site's log a remote-addressed
+/// insert may point. The dense-prefix `SparseLog` materializes interior
+/// holes as slots, so memory is proportional to the *addressed index span*;
+/// honest traffic only ever targets the bounded in-flight window above the
+/// contiguous prefix (§IV), but a corrupt or byzantine peer naming index
+/// 2^40 must be dropped at the door rather than allocate a terabyte of
+/// slots. Far above any legitimate window — never trips in a healthy run.
+const MAX_INSERT_WINDOW: u64 = 1 << 20;
 
 /// Cached `ENGINE_TRACE` env check: protocol-step tracing to stderr for
 /// debugging runs (set the variable to any value to enable).
@@ -169,22 +178,6 @@ struct AckState {
     remaining: usize,
 }
 
-/// A linearizable read awaiting its ReadIndex leadership confirmation.
-#[derive(Clone, Debug)]
-struct PendingRead {
-    session: SessionId,
-    seq: u64,
-    /// Who to answer (`self` for reads registered at the leader-gateway).
-    reply_to: NodeId,
-    /// The commit floor captured at registration; returned once confirmed.
-    floor: LogIndex,
-    /// Probe the confirmation round must reach (acks echoing an older probe
-    /// prove nothing about leadership at read time).
-    probe: u64,
-    /// Members that acked a sufficiently fresh probe.
-    acks: BTreeSet<NodeId>,
-}
-
 /// One consensus level of Fast Raft: a sans-IO state machine.
 #[derive(Debug)]
 pub struct FastRaftEngine {
@@ -245,9 +238,8 @@ pub struct FastRaftEngine {
     /// `(session, seq)` → proposal id for in-flight writes.
     client_writes: HashMap<(SessionId, u64), EntryId>,
 
-    // ---- leader read path (ReadIndex) ----
-    pending_reads: Vec<PendingRead>,
-    read_probe: u64,
+    // ---- leader read path (ReadIndex; shared machinery in wire::read) ----
+    reads: ReadIndexQueue,
 
     // ---- proposer ----
     next_seq: u64,
@@ -364,8 +356,7 @@ impl FastRaftEngine {
             sessions: SessionTable::new(),
             client_pending: BTreeMap::new(),
             client_writes: HashMap::new(),
-            pending_reads: Vec::new(),
-            read_probe: 0,
+            reads: ReadIndexQueue::new(),
             next_seq: 0,
             pending_proposals: BTreeMap::new(),
             join_contacts,
@@ -718,6 +709,26 @@ impl FastRaftEngine {
         if self.reject_session_duplicate(&entry, out) {
             return;
         }
+        // Expired-session refusal is safe at this door: the leader is the
+        // single acceptance point for forwarded proposals, so refusing here
+        // guarantees the op was placed nowhere — the client may reopen a
+        // session and resubmit without risking a double apply. (The table
+        // can lag on a fresh leader; a false positive then only costs the
+        // client a session reopen, never correctness.)
+        if self.timing.session_ttl > 0 {
+            if let Some((session, seq)) = entry.payload.session_key() {
+                if self.sessions.is_expired_retry(session, seq) {
+                    self.respond_client(
+                        entry.id.proposer,
+                        session,
+                        seq,
+                        ClientOutcome::SessionExpired,
+                        out,
+                    );
+                    return;
+                }
+            }
+        }
         // Dedup: retries of ids already in the log are ignored (commit
         // notification flows from emit_commit_effects).
         if let Some(&idx) = self.id_index.get(&entry.id) {
@@ -772,17 +783,23 @@ impl FastRaftEngine {
         let Some((session, seq)) = entry.payload.session_key() else {
             return false;
         };
-        let Some(first_index) = self.sessions.duplicate_of(session, seq) else {
-            return false;
-        };
-        self.respond_client(
-            entry.id.proposer,
-            session,
-            seq,
-            ClientOutcome::Duplicate { first_index },
-            out,
-        );
-        true
+        if let Some(first_index) = self.sessions.duplicate_of(session, seq) {
+            self.respond_client(
+                entry.id.proposer,
+                session,
+                seq,
+                ClientOutcome::Duplicate { first_index },
+                out,
+            );
+            return true;
+        }
+        // Deliberately NO expired-session refusal here: this runs on the
+        // any-replica broadcast insert path (`on_propose_at`), where one
+        // *lagging* replica's table must not veto an op the rest of the
+        // quorum is placing. Expiry is enforced where it is safe — the
+        // single-door checks (`client_write`, `leader_accept_forwarded`)
+        // and, authoritatively, at apply time (`emit_commit_effects`).
+        false
     }
 
     /// Registers an externally recovered proposal for retry tracking
@@ -855,6 +872,13 @@ impl FastRaftEngine {
                 ClientOutcome::Duplicate { first_index },
                 out,
             );
+            return;
+        }
+        // Stale write from an expired (evicted) session: refuse before
+        // anything is placed — terminal, so the client knows to open a
+        // fresh session instead of re-sending the same seq forever.
+        if self.timing.session_ttl > 0 && self.sessions.is_expired_retry(session, seq) {
+            self.respond_client(self.id, session, seq, ClientOutcome::SessionExpired, out);
             return;
         }
         if let Some(id) = self.client_writes.get(&(session, seq)) {
@@ -1041,55 +1065,22 @@ impl FastRaftEngine {
             );
             return;
         }
-        // Retry idempotence: a client resubmission of a read already being
-        // confirmed must not stack a second round (it would grow unbounded
-        // while the leader lacks an ack quorum, then answer in duplicate).
-        // The pending round answers the retry too; just re-probe for
-        // liveness in case the original heartbeats were lost.
-        if self
-            .pending_reads
-            .iter()
-            .any(|r| r.session == session && r.seq == seq && r.reply_to == reply_to)
-        {
+        // Retry idempotence (see `wire::ReadIndexQueue::is_pending`): the
+        // pending round answers the retry too; just re-probe for liveness
+        // in case the original heartbeats were lost.
+        if self.reads.is_pending(session, seq, reply_to) {
             self.dispatch_append_entries(out);
             return;
         }
-        self.read_probe += 1;
-        self.pending_reads.push(PendingRead {
-            session,
-            seq,
-            reply_to,
-            floor,
-            probe: self.read_probe,
-            acks: BTreeSet::new(),
-        });
+        self.reads.register(session, seq, reply_to, floor);
         // Confirm now rather than waiting out the heartbeat period.
         self.dispatch_append_entries(out);
     }
 
     /// Counts a follower's heartbeat ack toward pending ReadIndex rounds.
     fn note_read_ack(&mut self, from: NodeId, probe: u64, out: &mut Actions<FastRaftMessage>) {
-        if self.pending_reads.is_empty() || !self.config.contains(from) {
-            return;
-        }
-        let quorum = self.config.classic_quorum();
-        let self_vote = usize::from(self.config.contains(self.id));
         let scope = self.scope;
-        let mut reads = std::mem::take(&mut self.pending_reads);
-        let mut confirmed = Vec::new();
-        reads.retain_mut(|r| {
-            if probe >= r.probe {
-                r.acks.insert(from);
-            }
-            if r.acks.len() + self_vote >= quorum {
-                confirmed.push(r.clone());
-                false
-            } else {
-                true
-            }
-        });
-        self.pending_reads = reads;
-        for r in confirmed {
+        for r in self.reads.note_ack(from, probe, &self.config, self.id) {
             self.respond_client(
                 r.reply_to,
                 r.session,
@@ -1106,8 +1097,7 @@ impl FastRaftEngine {
     /// Fails every pending ReadIndex round with `Retry` (leadership lost or
     /// re-confirmed under a different term).
     fn fail_pending_reads(&mut self, out: &mut Actions<FastRaftMessage>) {
-        let reads = std::mem::take(&mut self.pending_reads);
-        for r in reads {
+        for r in self.reads.drain() {
             self.respond_client(r.reply_to, r.session, r.seq, ClientOutcome::Retry, out);
         }
     }
@@ -1519,6 +1509,14 @@ impl FastRaftEngine {
             // vote for. A losing proposal re-targets from its retry path.
             return;
         }
+        if index.as_u64()
+            > self.log.last_index().as_u64().max(self.commit_index.as_u64()) + MAX_INSERT_WINDOW
+        {
+            out.observe(Observation::MessageIgnored {
+                reason: "proposed index beyond the insert window",
+            });
+            return;
+        }
         if self.log.get(index).is_none() {
             let e = entry.with_approval(Approval::SelfApproved);
             match gate.begin(index, &e, GatePurpose::ProposerInsert) {
@@ -1659,13 +1657,15 @@ impl FastRaftEngine {
     /// leader: the position the decision loop works on. Skips inherited
     /// leader-approved entries (fixed decisions the classic track commits).
     fn decision_point(&self) -> LogIndex {
+        // One slice pass over the contiguous run above the commit point —
+        // the run iterator stops at the first hole by construction, so only
+        // the approval needs checking per slot.
         let mut k = self.commit_index.next();
-        while self
-            .log
-            .get(k)
-            .is_some_and(|e| e.approval == Approval::LeaderApproved)
-        {
-            k = k.next();
+        for (i, e) in self.log.contiguous_from(k) {
+            if e.approval != Approval::LeaderApproved {
+                break;
+            }
+            k = i.next();
         }
         k
     }
@@ -2032,7 +2032,7 @@ impl FastRaftEngine {
                         entries: entries.clone(),
                         leader_commit: self.commit_index,
                         global_commit: LogIndex::ZERO,
-                        probe: self.read_probe,
+                        probe: self.reads.probe(),
                     },
                 );
             }
@@ -2116,6 +2116,8 @@ impl FastRaftEngine {
         // every other recipient of this batch; entries that land are cloned
         // out of it so the per-site approval stamp never touches the shared
         // allocation.
+        let insert_bound =
+            self.log.last_index().as_u64().max(self.commit_index.as_u64()) + MAX_INSERT_WINDOW;
         let mut to_insert = Vec::new();
         for (idx, entry) in entries.iter() {
             let idx = *idx;
@@ -2123,6 +2125,13 @@ impl FastRaftEngine {
             // possibly compacted away); writing there is never needed and
             // would violate the compaction horizon.
             if idx <= self.commit_index {
+                continue;
+            }
+            // Defensive: an index absurdly far above this log would force
+            // the dense layout to materialize the whole span as slots.
+            // Beyond the contiguity anchor it cannot advance matchIndex
+            // anyway, so dropping it costs nothing.
+            if idx.as_u64() > insert_bound {
                 continue;
             }
             let needs_write = match self.log.get(idx) {
@@ -2328,13 +2337,11 @@ impl FastRaftEngine {
         // decision loop / hole filling repairs the hole, after which the run
         // extends and the suffix becomes committable.
         let mut reach = self.commit_index;
-        while reach < self.last_leader_index
-            && self
-                .log
-                .get(reach.next())
-                .is_some_and(|e| e.approval == Approval::LeaderApproved)
-        {
-            reach = reach.next();
+        for (i, e) in self.log.contiguous_from(self.commit_index.next()) {
+            if i > self.last_leader_index || e.approval != Approval::LeaderApproved {
+                break;
+            }
+            reach = i;
         }
         let mut k = reach;
         while k > self.commit_index {
@@ -2420,6 +2427,16 @@ impl FastRaftEngine {
         // every replica makes the same first-application decision — a
         // retried seq that commits at a second index is a no-op everywhere.
         let session_outcome = entry.payload.session_key().map(|(session, seq)| {
+            // Apply-time expiry check — authoritative: the table covers
+            // every commit below `k`, so an untracked session at seq > 1
+            // *was* evicted. Without this, a duplicate placement of the
+            // same seq still sitting in the log when the eviction ran
+            // would re-apply here (its dedup history is gone). Identical
+            // on every replica (same table at the same `k`), no digest
+            // fold — replicas stay convergent.
+            if self.timing.session_ttl > 0 && self.sessions.is_expired_retry(session, seq) {
+                return (session, seq, ClientOutcome::SessionExpired);
+            }
             match self.sessions.apply(session, seq, k) {
                 SessionApply::Applied => {
                     self.state_digest = fold_session_digest(self.state_digest, session, seq);
@@ -2567,6 +2584,19 @@ impl FastRaftEngine {
                     self.pending_proposals.remove(&entry.id);
                 }
             }
+        }
+        // Deterministic session expiry: idleness is measured in committed
+        // log distance, and the sweep runs once per committed index — every
+        // replica applies the identical eviction sequence regardless of how
+        // its commits were batched, so the digest fold keeps snapshots
+        // convergent.
+        for session in self.sessions.evict_idle(k, self.timing.session_ttl) {
+            self.state_digest = wire::fold_session_evicted(self.state_digest, session);
+            out.observe(Observation::SessionEvicted {
+                scope: self.scope,
+                session,
+                at: k,
+            });
         }
         out.commit(self.scope, k, entry);
     }

@@ -44,6 +44,7 @@ pub fn run(seed: u64, commits: u64) -> RoundsResult {
         max_entries_per_append: 128,
         max_bytes_per_append: 64 * 1024,
         snapshot_threshold: 1024,
+        session_ttl: 0,
     };
     // Proposer chosen among followers (the figures draw P distinct from L).
     let mut rng = SimRng::seed_from_u64(seed ^ 0x0F16);

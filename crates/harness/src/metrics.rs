@@ -105,6 +105,10 @@ pub struct Metrics {
     pub duplicates_suppressed: u64,
     /// Client-side resubmissions (timeouts plus Redirect/Retry outcomes).
     pub client_retries: u64,
+    /// Writes refused or skipped because their session idled past
+    /// `Timing::session_ttl` and was garbage-collected (terminal
+    /// `SessionExpired` outcomes observed at gateways).
+    pub sessions_expired: u64,
     /// Front-gapped global view detections at (re)activating C-Raft
     /// cluster leaders (ROADMAP snapshot item b probe).
     pub global_view_gaps: u64,

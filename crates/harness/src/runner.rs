@@ -498,6 +498,18 @@ impl<P: ConsensusProtocol> Runner<P> {
                 self.sim
                     .schedule_after(backoff, SimEvent::ClientRetry { node, seq });
             }
+            ClientOutcome::SessionExpired => {
+                // Terminal: the session idled past the TTL and its dedup
+                // history is gone — re-sending the same (session, seq)
+                // would loop forever. The op was *not* applied by this
+                // request; a fuller client would reopen a session and
+                // resubmit there. The closed-loop harness counts it
+                // completed and moves on (its scenarios run with expiry
+                // disabled, so this arm is exercised by unit tests only).
+                self.metrics.sessions_expired += 1;
+                self.metrics.op_completed((session, seq), now, false);
+                self.finish_op(node, &op);
+            }
         }
     }
 

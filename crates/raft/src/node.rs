@@ -25,8 +25,8 @@ use storage::StableState;
 use wire::{
     fold_commit_digest, fold_session_digest, Actions, ClientOp, ClientOutcome, ClientRequest,
     Configuration, Consistency, ConsensusProtocol, EntryId, EntryList, LogEntry, LogIndex,
-    LogScope, NodeId, Observation, Payload, PersistCmd, SessionApply, SessionId, SessionTable,
-    Snapshot, SparseLog, Term, TimerKind,
+    LogScope, NodeId, Observation, Payload, PersistCmd, ReadIndexQueue, SessionApply, SessionId,
+    SessionTable, Snapshot, SparseLog, Term, TimerKind,
 };
 
 use crate::{RaftMessage, Timing};
@@ -64,22 +64,6 @@ struct PendingWrite {
     session: SessionId,
     seq: u64,
     data: Bytes,
-}
-
-/// A linearizable read awaiting its ReadIndex leadership confirmation.
-#[derive(Clone, Debug)]
-struct PendingRead {
-    session: SessionId,
-    seq: u64,
-    /// Who to answer (`self` for reads registered at the leader-gateway).
-    reply_to: NodeId,
-    /// The commit floor captured at registration; returned once confirmed.
-    floor: LogIndex,
-    /// Probe the confirmation round must reach (acks echoing an older probe
-    /// prove nothing about leadership at read time).
-    probe: u64,
-    /// Members that acked a sufficiently fresh probe.
-    acks: BTreeSet<NodeId>,
 }
 
 /// A classic Raft site.
@@ -132,9 +116,8 @@ pub struct RaftNode {
     /// In-flight linearizable reads submitted at this node.
     client_reads: BTreeSet<(SessionId, u64)>,
 
-    // ---- leader read path (ReadIndex) ----
-    pending_reads: Vec<PendingRead>,
-    read_probe: u64,
+    // ---- leader read path (ReadIndex; shared machinery in wire::read) ----
+    reads: ReadIndexQueue,
 
     // ---- leader bookkeeping ----
     /// Where each known proposal id sits in our log (dedup + notification).
@@ -179,8 +162,7 @@ impl RaftNode {
             pending: BTreeMap::new(),
             client_writes: HashMap::new(),
             client_reads: BTreeSet::new(),
-            pending_reads: Vec::new(),
-            read_probe: 0,
+            reads: ReadIndexQueue::new(),
             id_index: HashMap::new(),
         }
     }
@@ -556,7 +538,7 @@ impl RaftNode {
                         prev_term,
                         entries: entries.clone(),
                         leader_commit: self.commit_index,
-                        probe: self.read_probe,
+                        probe: self.reads.probe(),
                     },
                 );
             }
@@ -627,11 +609,26 @@ impl RaftNode {
                     });
                 }
                 self.apply_committed_entry(k, &entry, out);
+                self.evict_idle_sessions(k, out);
                 out.commit(LogScope::Global, k, entry);
             }
             k = k.next();
         }
         self.maybe_compact(out);
+    }
+
+    /// Deterministic session expiry (per committed index, in committed log
+    /// distance): every replica applies the identical eviction sequence, so
+    /// the digest fold keeps snapshots convergent.
+    fn evict_idle_sessions(&mut self, at: LogIndex, out: &mut Actions<RaftMessage>) {
+        for session in self.sessions.evict_idle(at, self.timing.session_ttl) {
+            self.state_digest = wire::fold_session_evicted(self.state_digest, session);
+            out.observe(Observation::SessionEvicted {
+                scope: LogScope::Global,
+                session,
+                at,
+            });
+        }
     }
 
     /// Compacts the committed prefix into a snapshot once its retained
@@ -703,28 +700,39 @@ impl RaftNode {
             return;
         };
         let (session, seq) = (*session, *seq);
-        // Exactly-once apply: the dedup table is part of applied state, so
-        // every replica — including one that recovered from a snapshot +
-        // suffix — makes the same first-application decision.
-        let outcome = match self.sessions.apply(session, seq, index) {
-            SessionApply::Applied => {
-                self.state_digest = fold_session_digest(self.state_digest, session, seq);
-                out.observe(Observation::SessionApplied {
-                    scope: LogScope::Global,
-                    session,
-                    seq,
-                    index,
-                });
-                ClientOutcome::Committed { index }
-            }
-            SessionApply::Duplicate { first_index } => {
-                out.observe(Observation::SessionDuplicate {
-                    scope: LogScope::Global,
-                    session,
-                    seq,
-                    first_index,
-                });
-                ClientOutcome::Duplicate { first_index }
+        // Apply-time expiry check — authoritative (the table covers every
+        // commit below `index`): a committed duplicate placement that
+        // outlived its session's eviction must not re-apply. Identical on
+        // every replica, no digest fold; the proposer/gateway is still
+        // notified through the normal path below.
+        let outcome = if self.timing.session_ttl > 0
+            && self.sessions.is_expired_retry(session, seq)
+        {
+            ClientOutcome::SessionExpired
+        } else {
+            // Exactly-once apply: the dedup table is part of applied state,
+            // so every replica — including one that recovered from a
+            // snapshot + suffix — makes the same first-application decision.
+            match self.sessions.apply(session, seq, index) {
+                SessionApply::Applied => {
+                    self.state_digest = fold_session_digest(self.state_digest, session, seq);
+                    out.observe(Observation::SessionApplied {
+                        scope: LogScope::Global,
+                        session,
+                        seq,
+                        index,
+                    });
+                    ClientOutcome::Committed { index }
+                }
+                SessionApply::Duplicate { first_index } => {
+                    out.observe(Observation::SessionDuplicate {
+                        scope: LogScope::Global,
+                        session,
+                        seq,
+                        first_index,
+                    });
+                    ClientOutcome::Duplicate { first_index }
+                }
             }
         };
         if entry.id.proposer == self.id {
@@ -816,6 +824,15 @@ impl RaftNode {
             );
             return;
         }
+        // Stale write from an expired (evicted) session: refuse before
+        // placement — the leader is the single placement point, so nothing
+        // lands anywhere and the client may safely open a fresh session.
+        // Terminal (`SessionExpired`, not `Retry`): re-sending the same seq
+        // would loop forever.
+        if self.timing.session_ttl > 0 && self.sessions.is_expired_retry(session, seq) {
+            self.respond_client(from, session, seq, ClientOutcome::SessionExpired, out);
+            return;
+        }
         if self.id_index.contains_key(&id) {
             // In-flight duplicate (gateway retried): already replicating.
             return;
@@ -864,52 +881,20 @@ impl RaftNode {
             );
             return;
         }
-        // Retry idempotence: a client resubmission of a read already being
-        // confirmed must not stack a second round — the pending round
-        // answers the retry too; just re-probe for liveness.
-        if self
-            .pending_reads
-            .iter()
-            .any(|r| r.session == session && r.seq == seq && r.reply_to == reply_to)
-        {
+        // Retry idempotence (see `wire::ReadIndexQueue::is_pending`): the
+        // pending round answers the retry too; just re-probe for liveness.
+        if self.reads.is_pending(session, seq, reply_to) {
             self.dispatch_append_entries(out);
             return;
         }
-        self.read_probe += 1;
-        self.pending_reads.push(PendingRead {
-            session,
-            seq,
-            reply_to,
-            floor,
-            probe: self.read_probe,
-            acks: BTreeSet::new(),
-        });
+        self.reads.register(session, seq, reply_to, floor);
         // Confirm now rather than waiting out the heartbeat period.
         self.dispatch_append_entries(out);
     }
 
     /// Counts a follower's heartbeat ack toward pending ReadIndex rounds.
     fn note_read_ack(&mut self, from: NodeId, probe: u64, out: &mut Actions<RaftMessage>) {
-        if self.pending_reads.is_empty() || !self.config.contains(from) {
-            return;
-        }
-        let quorum = self.config.classic_quorum();
-        let self_vote = usize::from(self.config.contains(self.id));
-        let mut reads = std::mem::take(&mut self.pending_reads);
-        let mut confirmed = Vec::new();
-        reads.retain_mut(|r| {
-            if probe >= r.probe {
-                r.acks.insert(from);
-            }
-            if r.acks.len() + self_vote >= quorum {
-                confirmed.push(r.clone());
-                false
-            } else {
-                true
-            }
-        });
-        self.pending_reads = reads;
-        for r in confirmed {
+        for r in self.reads.note_ack(from, probe, &self.config, self.id) {
             self.respond_client(
                 r.reply_to,
                 r.session,
@@ -926,8 +911,7 @@ impl RaftNode {
     /// Fails every pending ReadIndex round with `Retry` (leadership lost or
     /// re-confirmed under a different term).
     fn fail_pending_reads(&mut self, out: &mut Actions<RaftMessage>) {
-        let reads = std::mem::take(&mut self.pending_reads);
-        for r in reads {
+        for r in self.reads.drain() {
             self.respond_client(r.reply_to, r.session, r.seq, ClientOutcome::Retry, out);
         }
     }
@@ -981,8 +965,18 @@ impl RaftNode {
             return;
         }
 
+        // Defensive ceiling mirroring consensus-core's MAX_INSERT_WINDOW:
+        // the dense log materializes the addressed span as slots, so an
+        // absurd index from a corrupt peer must be dropped, not allocated.
+        // Classic-Raft entries are contiguous from prev_index, so a jump
+        // past the window is malformed — stop processing the batch there.
+        let insert_bound =
+            self.log.last_index().as_u64().max(self.commit_index.as_u64()) + (1 << 20);
         let mut last_new = prev_index;
         for (idx, entry) in entries.iter() {
+            if idx.as_u64() > insert_bound {
+                break;
+            }
             // Entries at or below the commit index are already decided
             // (and possibly compacted away); writing there is never needed
             // and would violate the compaction horizon.
@@ -1440,6 +1434,19 @@ impl ConsensusProtocol for RaftNode {
                         session,
                         seq,
                         ClientOutcome::Duplicate { first_index },
+                        out,
+                    );
+                    return;
+                }
+                // Stale write from an expired session (see `on_propose`):
+                // terminal, nothing was placed.
+                if self.timing.session_ttl > 0 && self.sessions.is_expired_retry(session, seq)
+                {
+                    self.respond_client(
+                        self.id,
+                        session,
+                        seq,
+                        ClientOutcome::SessionExpired,
                         out,
                     );
                     return;

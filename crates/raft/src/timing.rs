@@ -49,6 +49,22 @@ pub struct Timing {
     /// retained index catch up by snapshot transfer instead of log replay.
     /// `0` disables compaction (the pre-snapshot unbounded behavior).
     pub snapshot_threshold: u64,
+    /// Session expiry TTL in **committed log indices** (the deterministic
+    /// clock all replicas share): a session whose last applied activity
+    /// lies more than this many commits below the commit floor is evicted
+    /// from the `wire::SessionTable`, its eviction folded into the commit
+    /// digest, and its stale retries refused with the **terminal**
+    /// `wire::ClientOutcome::SessionExpired` instead of `Duplicate` (the
+    /// client must open a fresh session). Bounds the table by *live*
+    /// sessions instead of every session ever seen.
+    /// `0` (the default) disables expiry — exactly-once dedup state is
+    /// then retained forever, the pre-expiry behavior.
+    ///
+    /// Caveat: a stale retry is only *detectable* for `seq > 1`; an expired
+    /// session retrying its very first write re-applies it (see
+    /// `wire::SessionTable::is_expired_retry` for the full statement of
+    /// the trade).
+    pub session_ttl: u64,
 }
 
 impl Timing {
@@ -66,6 +82,7 @@ impl Timing {
             max_entries_per_append: 128,
             max_bytes_per_append: 64 * 1024,
             snapshot_threshold: 1024,
+            session_ttl: 0,
         }
     }
 
@@ -84,6 +101,7 @@ impl Timing {
             max_entries_per_append: 128,
             max_bytes_per_append: 64 * 1024,
             snapshot_threshold: 1024,
+            session_ttl: 0,
         }
     }
 

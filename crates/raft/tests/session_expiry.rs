@@ -1,0 +1,102 @@
+//! Classic-Raft session expiry: the same deterministic TTL eviction the
+//! Fast Raft engine runs (see `crates/core/tests/session_expiry.rs`),
+//! through `RaftNode`'s shared `wire::SessionTable` machinery.
+
+use des::SimRng;
+use raft::testkit::Lockstep;
+use raft::{RaftNode, Role, Timing};
+use wire::{
+    ClientOutcome, ClientRequest, Configuration, NodeId, Observation, SessionId, TimerKind,
+};
+
+const TTL: u64 = 8;
+
+fn cluster(ttl: u64) -> Lockstep<RaftNode> {
+    let cfg: Configuration = (0..3).map(NodeId).collect();
+    let mut timing = Timing::lan();
+    timing.session_ttl = ttl;
+    Lockstep::new((0..3).map(|i| {
+        RaftNode::new(
+            NodeId(i),
+            cfg.clone(),
+            timing,
+            SimRng::seed_from_u64(8100 + i),
+        )
+    }))
+}
+
+fn elect(net: &mut Lockstep<RaftNode>, who: NodeId) -> NodeId {
+    net.fire(who, TimerKind::Election);
+    net.deliver_all();
+    assert_eq!(net.node(who).role(), Role::Leader);
+    who
+}
+
+fn commit_write(net: &mut Lockstep<RaftNode>, leader: NodeId, gw: NodeId, data: &[u8]) {
+    net.propose(gw, data);
+    net.deliver_all();
+    net.fire(leader, TimerKind::Heartbeat);
+    net.deliver_all();
+    // Second round propagates the advanced commit floor to followers.
+    net.fire(leader, TimerKind::Heartbeat);
+    net.deliver_all();
+}
+
+#[test]
+fn idle_session_evicted_and_stale_retry_answers_retry() {
+    let mut net = cluster(TTL);
+    let leader = elect(&mut net, NodeId(0));
+    let idle = SessionId::client(1);
+    commit_write(&mut net, leader, NodeId(1), b"idle-1");
+    commit_write(&mut net, leader, NodeId(1), b"idle-2");
+    for i in 0..(TTL + 4) {
+        commit_write(&mut net, leader, NodeId(2), format!("busy-{i}").as_bytes());
+    }
+    // Evicted on every replica, deterministically, digest convergent.
+    let d0 = net.node(NodeId(0)).state_digest();
+    for id in net.ids() {
+        assert!(net.node(id).sessions().get(idle).is_none(), "{id}");
+        assert_eq!(net.node(id).state_digest(), d0, "{id}: digest diverged");
+    }
+    assert!(net
+        .observations()
+        .iter()
+        .any(|(_, o)| matches!(o, Observation::SessionEvicted { session, .. } if *session == idle)));
+
+    // A stale retry of the evicted session's seq 2 answers the terminal
+    // SessionExpired — the dedup history is gone and re-placing it could
+    // apply twice; a plain Retry would have the client loop forever.
+    net.client_request(
+        leader,
+        ClientRequest::write(idle, 2, bytes::Bytes::from_static(b"idle-2")),
+    );
+    net.deliver_all();
+    let outcomes = net.responses_for(leader, idle, 2);
+    assert!(
+        outcomes
+            .iter()
+            .any(|o| matches!(o, ClientOutcome::SessionExpired)),
+        "expected SessionExpired, got {outcomes:?}"
+    );
+    assert!(!outcomes
+        .iter()
+        .any(|o| matches!(o, ClientOutcome::Duplicate { .. })));
+    net.assert_exactly_once();
+    net.assert_safety();
+}
+
+#[test]
+fn ttl_zero_retains_sessions_forever() {
+    let mut net = cluster(0);
+    let leader = elect(&mut net, NodeId(0));
+    commit_write(&mut net, leader, NodeId(1), b"one");
+    for i in 0..30 {
+        commit_write(&mut net, leader, NodeId(2), format!("busy-{i}").as_bytes());
+    }
+    for id in net.ids() {
+        assert!(
+            net.node(id).sessions().get(SessionId::client(1)).is_some(),
+            "{id}: evicted with expiry disabled"
+        );
+    }
+}

@@ -246,6 +246,24 @@ pub enum Observation {
         /// Where the first application landed (ZERO if unknown).
         first_index: LogIndex,
     },
+    /// An idle session was garbage-collected from the applied
+    /// [`crate::SessionTable`]: its last activity lies more than the
+    /// configured `session_ttl` committed indices below the commit floor.
+    /// Emitted by every applying replica (eviction is deterministic, a pure
+    /// function of the committed sequence) and folded into the commit
+    /// digest via [`crate::fold_session_evicted`]. Writes from the evicted
+    /// session are answered with the terminal
+    /// [`crate::ClientOutcome::SessionExpired`] from now on (never
+    /// `Duplicate`, and never re-applied — the apply-time check skips a
+    /// committed duplicate that outlived the eviction).
+    SessionEvicted {
+        /// Which log's applied state evicted the session.
+        scope: LogScope,
+        /// The expired session.
+        session: SessionId,
+        /// The commit index at which the eviction took effect.
+        at: LogIndex,
+    },
     /// C-Raft invariant probe (ROADMAP snapshot item b): a (re)activating
     /// cluster leader found its reconstructed global log view
     /// **front-gapped** — entries exist above a hole that starts right

@@ -162,6 +162,13 @@ pub enum ClientOutcome {
     /// fresh leader without a committed entry of its term): retry the same
     /// `(session, seq)` after a backoff.
     Retry,
+    /// **Terminal**: the session sat idle past the configured TTL and its
+    /// exactly-once history was garbage-collected; this `(session, seq)`
+    /// can no longer be deduplicated and was *not* (re)applied by the
+    /// answering path. Re-sending the same `(session, seq)` will fail the
+    /// same way — the client must open a fresh session (and, knowing the
+    /// op was not applied by this request, may resubmit it there).
+    SessionExpired,
 }
 
 impl ClientOutcome {
@@ -181,6 +188,7 @@ impl ClientOutcome {
             ClientOutcome::ReadOk { .. } => "read_ok",
             ClientOutcome::Redirect { .. } => "redirect",
             ClientOutcome::Retry => "retry",
+            ClientOutcome::SessionExpired => "session_expired",
         }
     }
 }
@@ -211,6 +219,12 @@ pub struct SessionSlot {
     pub floor_index: LogIndex,
     /// Applied seqs above the floor, with their application indices.
     pub above: BTreeMap<u64, LogIndex>,
+    /// Commit index of the most recent apply touching this session
+    /// (first applications *and* committed duplicates). Idleness for
+    /// session expiry is measured against this in **log distance**, the
+    /// deterministic stand-in for wall-clock time: every replica sees the
+    /// same committed sequence, so every replica evicts identically.
+    pub last_active: LogIndex,
 }
 
 impl SessionSlot {
@@ -259,10 +273,28 @@ impl SessionSlot {
 ///     SessionApply::Duplicate { first_index: LogIndex(10) }
 /// );
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct SessionTable {
     sessions: BTreeMap<SessionId, SessionSlot>,
+    /// Lower bound on every tracked slot's `last_active` — the O(1) fast
+    /// path of [`SessionTable::evict_idle`]: a sweep whose horizon has not
+    /// crossed this bound cannot evict anything and returns immediately,
+    /// so the per-commit sweep is O(1) until idleness actually accrues.
+    /// Pure cache (applies never lower `last_active`, so the bound stays
+    /// valid; sweeps recompute it), excluded from equality.
+    idle_floor: u64,
 }
+
+/// Equality is over the tracked sessions only: `idle_floor` is a sweep
+/// cache, recomputed on demand, and differs between a table and its codec
+/// round trip without the tables being observably different.
+impl PartialEq for SessionTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.sessions == other.sessions
+    }
+}
+
+impl Eq for SessionTable {}
 
 impl SessionTable {
     /// An empty table.
@@ -302,6 +334,7 @@ impl SessionTable {
     /// applying the same committed sequence hold identical tables.
     pub fn apply(&mut self, session: SessionId, seq: u64, index: LogIndex) -> SessionApply {
         let slot = self.sessions.entry(session).or_default();
+        slot.last_active = slot.last_active.max(index);
         if slot.contains(seq) {
             return SessionApply::Duplicate {
                 first_index: slot.first_index_of(seq),
@@ -315,6 +348,93 @@ impl SessionTable {
             slot.floor_index = idx;
         }
         SessionApply::Applied
+    }
+
+    /// Evicts every session whose last activity lies more than `ttl`
+    /// committed indices below `now`, returning the evicted ids in
+    /// deterministic (ascending) order. `ttl == 0` disables expiry.
+    ///
+    /// Idleness is measured in **log distance**, not wall time: the commit
+    /// index is the one clock all replicas share, so eviction is a pure
+    /// function of the committed sequence — replicas stay convergent, and
+    /// the caller folds each eviction into the commit digest
+    /// (`crate::fold_session_evicted`) so snapshots prove it.
+    ///
+    /// An evicted session's history is forgotten: a stale retry of one of
+    /// its seqs no longer answers `Duplicate` — it is refused with the
+    /// terminal [`crate::ClientOutcome::SessionExpired`] (see
+    /// [`SessionTable::is_expired_retry`] for where that answer is
+    /// authoritative) and the client must open a fresh session. That is
+    /// the deliberate trade that keeps the table bounded by *live*
+    /// sessions instead of every session ever seen.
+    pub fn evict_idle(&mut self, now: LogIndex, ttl: u64) -> Vec<SessionId> {
+        if ttl == 0 || self.sessions.is_empty() {
+            return Vec::new();
+        }
+        let horizon = now.as_u64().saturating_sub(ttl);
+        if horizon <= self.idle_floor {
+            // Nothing can be older than the cached bound: O(1), no alloc.
+            return Vec::new();
+        }
+        let mut evicted = Vec::new();
+        let mut oldest_retained = u64::MAX;
+        // BTreeMap::retain visits keys in ascending order, which is what
+        // keeps the eviction sequence — and therefore the digest folds —
+        // deterministic across replicas.
+        self.sessions.retain(|s, slot| {
+            if slot.last_active.as_u64() < horizon {
+                evicted.push(*s);
+                false
+            } else {
+                oldest_retained = oldest_retained.min(slot.last_active.as_u64());
+                true
+            }
+        });
+        // Everything retained is ≥ horizon; future applies only go up.
+        self.idle_floor = if self.sessions.is_empty() {
+            horizon
+        } else {
+            oldest_retained
+        };
+        evicted
+    }
+
+    /// `true` when `(session, seq)` reads as a write from an **expired**
+    /// session: the table does not track the session, yet the seq is not a
+    /// session-opening first request. Sessions issue seqs from 1
+    /// contiguously with at most one in flight, so seq `n > 1` is only ever
+    /// sent after `n-1` applied — a table that has applied everything
+    /// committed so far and still lacks the session can only have evicted
+    /// it.
+    ///
+    /// Where the answer is authoritative matters:
+    ///
+    /// - **At apply time** (a committed `Write` about to be applied at
+    ///   index `k`): the table covers every commit below `k`, so `true`
+    ///   is exact — the write is skipped and answered
+    ///   [`ClientOutcome::SessionExpired`]. This is the check that keeps a
+    ///   duplicate placement that outlives its session's eviction from
+    ///   re-applying.
+    /// - **At a propose door**: the local table may simply *lag* the
+    ///   commit sequence (fresh leader, follower gateway), so `true` can
+    ///   be a false positive. Doors may still refuse with `SessionExpired`
+    ///   — but only where refusal guarantees the op was placed **nowhere**
+    ///   (the gateway submission door, a single leader's acceptance door),
+    ///   so a client reopening a session and resubmitting cannot cause a
+    ///   double apply. The any-replica broadcast insert path must *not*
+    ///   consult this: one lagging replica would otherwise veto an op that
+    ///   the rest of the quorum is already placing.
+    ///
+    /// **Boundary:** an unknown session with `seq == 1` is indistinguishable
+    /// from a new session opening, so it is *not* flagged — a client whose
+    /// only-ever write (seq 1) applied, went unacked, and who then retries
+    /// after sitting idle past the TTL will have that write re-applied.
+    /// This is the classic expiry trade (Raft dissertation §6.3): closing
+    /// it needs an explicit session-registration op so "open" and "write"
+    /// are distinct commands; until then, exactly-once is guaranteed for
+    /// live sessions and for every detectable stale retry (`seq > 1`).
+    pub fn is_expired_retry(&self, session: SessionId, seq: u64) -> bool {
+        seq > 1 && !self.sessions.contains_key(&session)
     }
 
     /// Restores a slot wholesale (codec path).
@@ -391,6 +511,76 @@ mod tests {
         // Seq 1 is below the floor and its index was merged away.
         assert_eq!(t.duplicate_of(s, 1), Some(LogIndex::ZERO));
         assert_eq!(t.duplicate_of(s, 2), Some(LogIndex(2)));
+    }
+
+    #[test]
+    fn evict_idle_removes_only_idle_sessions() {
+        let mut t = SessionTable::new();
+        let idle = SessionId::client(1);
+        let busy = SessionId::client(2);
+        t.apply(idle, 1, LogIndex(10));
+        t.apply(busy, 1, LogIndex(10));
+        t.apply(busy, 2, LogIndex(100));
+        // ttl 50 at commit 100: idle (last active 10) goes, busy stays.
+        assert_eq!(t.evict_idle(LogIndex(100), 50), vec![idle]);
+        assert!(t.get(idle).is_none());
+        assert!(t.get(busy).is_some());
+        // Re-running at the same point is a no-op (determinism).
+        assert!(t.evict_idle(LogIndex(100), 50).is_empty());
+    }
+
+    #[test]
+    fn evict_idle_disabled_by_zero_ttl() {
+        let mut t = SessionTable::new();
+        t.apply(SessionId::client(1), 1, LogIndex(1));
+        assert!(t.evict_idle(LogIndex(1_000_000), 0).is_empty());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn evict_idle_returns_ascending_ids() {
+        let mut t = SessionTable::new();
+        for id in [5u64, 1, 3] {
+            t.apply(SessionId::client(id), 1, LogIndex(1));
+        }
+        let evicted = t.evict_idle(LogIndex(100), 10);
+        assert_eq!(
+            evicted,
+            vec![SessionId(1), SessionId(3), SessionId(5)],
+            "deterministic eviction order is what keeps digests convergent"
+        );
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn committed_duplicates_refresh_activity() {
+        let mut t = SessionTable::new();
+        let s = SessionId::client(1);
+        t.apply(s, 1, LogIndex(10));
+        // A committed retry of seq 1 at index 90 counts as activity...
+        assert!(matches!(
+            t.apply(s, 1, LogIndex(90)),
+            SessionApply::Duplicate { .. }
+        ));
+        // ...so the session survives a ttl-50 sweep at commit 100.
+        assert!(t.evict_idle(LogIndex(100), 50).is_empty());
+        assert_eq!(t.get(s).unwrap().last_active, LogIndex(90));
+    }
+
+    #[test]
+    fn expired_retry_detection() {
+        let mut t = SessionTable::new();
+        let s = SessionId::client(1);
+        t.apply(s, 1, LogIndex(1));
+        t.apply(s, 2, LogIndex(2));
+        // Tracked session: never an expired retry.
+        assert!(!t.is_expired_retry(s, 2));
+        t.evict_idle(LogIndex(500), 100);
+        // Evicted: seq > 1 can only be a stale retry (answer Retry)...
+        assert!(t.is_expired_retry(s, 2));
+        assert_eq!(t.duplicate_of(s, 2), None, "history is forgotten");
+        // ...while seq 1 reads as a fresh session opening.
+        assert!(!t.is_expired_retry(s, 1));
     }
 
     #[test]

@@ -552,6 +552,7 @@ impl Wire for ClientOutcome {
                 leader_hint.encode(e);
             }
             ClientOutcome::Retry => e.put_u8(4),
+            ClientOutcome::SessionExpired => e.put_u8(5),
         }
     }
     fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
@@ -570,6 +571,7 @@ impl Wire for ClientOutcome {
                 leader_hint: Option::decode(d)?,
             },
             4 => ClientOutcome::Retry,
+            5 => ClientOutcome::SessionExpired,
             tag => {
                 return Err(DecodeError::InvalidTag {
                     ty: "ClientOutcome",
@@ -583,7 +585,7 @@ impl Wire for ClientOutcome {
             ClientOutcome::Committed { .. } | ClientOutcome::Duplicate { .. } => 8,
             ClientOutcome::ReadOk { .. } => 1 + 8,
             ClientOutcome::Redirect { leader_hint } => leader_hint.encoded_len(),
-            ClientOutcome::Retry => 0,
+            ClientOutcome::Retry | ClientOutcome::SessionExpired => 0,
         }
     }
 }
@@ -595,6 +597,7 @@ impl Wire for SessionTable {
             session.encode(e);
             e.put_u64(slot.floor_seq);
             slot.floor_index.encode(e);
+            slot.last_active.encode(e);
             e.put_u32(u32::try_from(slot.above.len()).expect("session window too large"));
             for (seq, idx) in &slot.above {
                 e.put_u64(*seq);
@@ -612,6 +615,7 @@ impl Wire for SessionTable {
             let session = SessionId::decode(d)?;
             let floor_seq = d.u64()?;
             let floor_index = LogIndex::decode(d)?;
+            let last_active = LogIndex::decode(d)?;
             let above_count = d.u32()? as usize;
             if above_count > MAX_LEN {
                 return Err(DecodeError::LengthOverflow {
@@ -622,6 +626,7 @@ impl Wire for SessionTable {
                 floor_seq,
                 floor_index,
                 above: Default::default(),
+                last_active,
             };
             for _ in 0..above_count {
                 let seq = d.u64()?;
@@ -634,7 +639,7 @@ impl Wire for SessionTable {
     fn encoded_len(&self) -> usize {
         4 + self
             .iter()
-            .map(|(_, slot)| 8 + 8 + 8 + 4 + 16 * slot.above.len())
+            .map(|(_, slot)| 8 + 8 + 8 + 8 + 4 + 16 * slot.above.len())
             .sum::<usize>()
     }
 }

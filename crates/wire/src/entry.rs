@@ -295,17 +295,18 @@ impl fmt::Display for LogEntry {
 /// assert_eq!(shared[0].0, LogIndex(3));
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-pub struct EntryList(Arc<[(LogIndex, LogEntry)]>);
+pub struct EntryList(Arc<Vec<(LogIndex, LogEntry)>>);
 
 impl EntryList {
-    /// Freezes a vector of indexed entries into a shareable list.
+    /// Freezes a vector of indexed entries into a shareable list. O(1): the
+    /// vector is moved behind the refcount, not copied element-wise.
     pub fn from_vec(entries: Vec<(LogIndex, LogEntry)>) -> Self {
-        EntryList(entries.into())
+        EntryList(Arc::new(entries))
     }
 
     /// The empty list (pure heartbeat).
     pub fn empty() -> Self {
-        EntryList(Arc::from(Vec::new()))
+        EntryList(Arc::new(Vec::new()))
     }
 
     /// Number of entries.
@@ -325,7 +326,7 @@ impl EntryList {
 
     /// The entries as a slice.
     pub fn as_slice(&self) -> &[(LogIndex, LogEntry)] {
-        &self.0
+        self.0.as_slice()
     }
 }
 
@@ -338,7 +339,7 @@ impl Default for EntryList {
 impl core::ops::Deref for EntryList {
     type Target = [(LogIndex, LogEntry)];
     fn deref(&self) -> &Self::Target {
-        &self.0
+        self.0.as_slice()
     }
 }
 
@@ -350,7 +351,7 @@ impl From<Vec<(LogIndex, LogEntry)>> for EntryList {
 
 impl FromIterator<(LogIndex, LogEntry)> for EntryList {
     fn from_iter<I: IntoIterator<Item = (LogIndex, LogEntry)>>(iter: I) -> Self {
-        EntryList(iter.into_iter().collect())
+        EntryList(Arc::new(iter.into_iter().collect()))
     }
 }
 

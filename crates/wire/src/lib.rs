@@ -39,6 +39,7 @@ mod entry;
 mod ids;
 mod log;
 mod quorum;
+mod read;
 mod snapshot;
 
 pub use actions::{
@@ -58,4 +59,5 @@ pub use quorum::{
     classic_quorum, fast_quorum, is_classic_quorum, is_fast_quorum,
     min_chosen_votes_in_classic_quorum,
 };
-pub use snapshot::{fold_commit_digest, fold_session_digest, Snapshot};
+pub use read::{PendingRead, ReadIndexQueue};
+pub use snapshot::{fold_commit_digest, fold_session_digest, fold_session_evicted, Snapshot};

@@ -2,11 +2,33 @@
 //!
 //! Classic Raft treats the log as a dense, append-only list. Fast Raft lets
 //! proposers address specific indices directly, so a follower can hold an
-//! entry at index `i` while index `j < i` is still empty (§III-B). The log is
-//! therefore a sparse map from index to entry; classic Raft simply maintains
-//! the invariant that it never creates holes.
+//! entry at index `i` while index `j < i` is still empty (§III-B). The log
+//! is therefore logically a sparse map from index to entry; classic Raft
+//! simply maintains the invariant that it never creates holes.
+//!
+//! ## Representation: a dense prefix with a sparse overlay
+//!
+//! Holes are rare and *structured*: they only ever live in the bounded
+//! in-flight window above the contiguous committed prefix (§IV), so the
+//! dominant-case shape of the log is a dense array, not a search tree. The
+//! log is stored as a `VecDeque<Option<LogEntry>>` of **slots** indexed by
+//! offset from [`SparseLog::first_index`]:
+//!
+//! - `get`/`get_mut`/`term_at` are O(1) slot loads (the hot path: every
+//!   Fast Raft message consults the log);
+//! - `append`/`insert` fill slots (growing the tail with `None`s when a
+//!   proposer addresses an index above the end);
+//! - `compact_to`/`install_snapshot`/`truncate_from` are front/back drains;
+//! - an occupancy count plus a cached [`SparseLog::first_gap`] cursor keep
+//!   hole queries O(1) amortized (the cursor only ever advances over each
+//!   slot once, except when `remove`/`truncate_from` pull it back).
+//!
+//! Two structural invariants keep the layout canonical (so derived equality
+//! is observational equality): slot 0 always corresponds to
+//! `compacted_through + 1`, and the last slot, when any exist, is occupied
+//! (no trailing `None`s — `last_index` is pure arithmetic).
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 use crate::{Approval, AppendBudget, EntryList, LogEntry, LogIndex, Term, Wire};
 
@@ -35,14 +57,32 @@ use crate::{Approval, AppendBudget, EntryList, LogEntry, LogIndex, Term, Wire};
 /// assert_eq!(log.first_gap(), LogIndex(1));
 /// assert_eq!(log.first_index(), LogIndex(1));
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SparseLog {
-    entries: BTreeMap<u64, LogEntry>,
+    /// Dense slot array: `slots[i]` holds the entry at index
+    /// `compacted_through + 1 + i`. The last slot, if any, is occupied.
+    slots: VecDeque<Option<LogEntry>>,
     /// Highest compacted (snapshotted) index; 0 = nothing compacted.
     compacted_through: u64,
     /// Term of the (removed) entry at `compacted_through` — the snapshot
     /// boundary term, needed for log-matching at the compaction horizon.
     compacted_term: Term,
+    /// Number of occupied slots.
+    occupied: usize,
+    /// Cached lowest unoccupied index above the compaction horizon.
+    first_gap: u64,
+}
+
+impl Default for SparseLog {
+    fn default() -> Self {
+        SparseLog {
+            slots: VecDeque::new(),
+            compacted_through: 0,
+            compacted_term: Term::ZERO,
+            occupied: 0,
+            first_gap: 1,
+        }
+    }
 }
 
 impl SparseLog {
@@ -51,14 +91,44 @@ impl SparseLog {
         SparseLog::default()
     }
 
+    /// The slot offset of `index`, when it falls inside the stored range.
+    #[inline]
+    fn pos(&self, index: LogIndex) -> Option<usize> {
+        let i = index.as_u64();
+        if i <= self.compacted_through {
+            return None;
+        }
+        let off = (i - self.compacted_through - 1) as usize;
+        (off < self.slots.len()).then_some(off)
+    }
+
+    /// Advances the cached first-gap cursor over any occupied run.
+    fn advance_first_gap(&mut self) {
+        while let Some(off) = self.pos(LogIndex(self.first_gap)) {
+            if self.slots[off].is_some() {
+                self.first_gap += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Drops trailing unoccupied slots so `last_index` stays arithmetic.
+    fn trim_back(&mut self) {
+        while matches!(self.slots.back(), Some(None)) {
+            self.slots.pop_back();
+        }
+    }
+
     /// The entry at `index`, if present.
     pub fn get(&self, index: LogIndex) -> Option<&LogEntry> {
-        self.entries.get(&index.as_u64())
+        self.slots[self.pos(index)?].as_ref()
     }
 
     /// Mutable access to the entry at `index`.
     pub fn get_mut(&mut self, index: LogIndex) -> Option<&mut LogEntry> {
-        self.entries.get_mut(&index.as_u64())
+        let off = self.pos(index)?;
+        self.slots[off].as_mut()
     }
 
     /// Inserts (or replaces) the entry at `index`, returning the previous
@@ -75,7 +145,24 @@ impl SparseLog {
             "cannot insert at {index}: compacted through #{}",
             self.compacted_through
         );
-        self.entries.insert(index.as_u64(), entry)
+        let off = (index.as_u64() - self.compacted_through - 1) as usize;
+        let old = if off < self.slots.len() {
+            self.slots[off].replace(entry)
+        } else {
+            // Grow the tail: interior slots between the old end and `index`
+            // become holes.
+            self.slots.resize(off, None);
+            self.slots.push_back(Some(entry));
+            None
+        };
+        if old.is_none() {
+            self.occupied += 1;
+            if index.as_u64() == self.first_gap {
+                self.first_gap += 1;
+                self.advance_first_gap();
+            }
+        }
+        old
     }
 
     // ------------------------------------------------------------------
@@ -106,17 +193,20 @@ impl SparseLog {
     /// horizon (unchanged if nothing could be compacted).
     pub fn compact_to(&mut self, through: LogIndex) -> LogIndex {
         // Never compact across a hole, and never move backwards.
-        let bound = self.first_gap().prev_saturating().as_u64();
+        let bound = self.first_gap.saturating_sub(1);
         let target = through.as_u64().min(bound);
         if target <= self.compacted_through {
             return self.compacted_through();
         }
-        self.compacted_term = self
-            .entries
-            .get(&target)
+        // The whole range (compacted_through, target] is occupied (it lies
+        // below the first gap), so the drain is a front pointer move.
+        let drained = (target - self.compacted_through) as usize;
+        self.compacted_term = self.slots[drained - 1]
+            .as_ref()
             .map(|e| e.term)
             .expect("contiguous prefix below first_gap is occupied");
-        self.entries = self.entries.split_off(&(target + 1));
+        self.slots.drain(..drained);
+        self.occupied -= drained;
         self.compacted_through = target;
         self.compacted_through()
     }
@@ -132,53 +222,77 @@ impl SparseLog {
             return false;
         }
         let suffix_consistent = self
-            .entries
-            .get(&last_index.as_u64())
+            .get(last_index)
             .is_some_and(|e| e.term == last_term);
         if suffix_consistent {
-            self.entries = self.entries.split_off(&(last_index.as_u64() + 1));
+            let drained = (last_index.as_u64() - self.compacted_through) as usize;
+            let dropped = self
+                .slots
+                .drain(..drained)
+                .filter(Option::is_some)
+                .count();
+            self.occupied -= dropped;
         } else {
-            self.entries.clear();
+            self.slots.clear();
+            self.occupied = 0;
         }
         self.compacted_through = last_index.as_u64();
         self.compacted_term = last_term;
+        self.trim_back();
+        self.first_gap = self.compacted_through + 1;
+        self.advance_first_gap();
         true
     }
 
     /// Appends after the current last index, returning the new entry's index.
     pub fn append(&mut self, entry: LogEntry) -> LogIndex {
         let index = self.last_index().next();
-        self.entries.insert(index.as_u64(), entry);
+        self.slots.push_back(Some(entry));
+        self.occupied += 1;
+        if index.as_u64() == self.first_gap {
+            self.first_gap += 1;
+            // Appending lands past every stored slot; nothing above it can
+            // already be occupied, so no further advance is needed.
+        }
         index
     }
 
     /// Removes the entry at `index`, returning it if present.
     pub fn remove(&mut self, index: LogIndex) -> Option<LogEntry> {
-        self.entries.remove(&index.as_u64())
+        let off = self.pos(index)?;
+        let old = self.slots[off].take();
+        if old.is_some() {
+            self.occupied -= 1;
+            self.first_gap = self.first_gap.min(index.as_u64());
+            self.trim_back();
+        }
+        old
     }
 
     /// Removes all entries at `from` and beyond (classic-Raft conflict
     /// truncation). Returns how many entries were removed. Truncation never
     /// reaches below the compaction horizon (those indices hold no entries).
     pub fn truncate_from(&mut self, from: LogIndex) -> usize {
-        let removed: Vec<u64> = self
-            .entries
-            .range(from.as_u64()..)
-            .map(|(&i, _)| i)
-            .collect();
-        for i in &removed {
-            self.entries.remove(i);
+        let cut = from.as_u64().max(self.compacted_through + 1);
+        let off = (cut - self.compacted_through - 1) as usize;
+        if off >= self.slots.len() {
+            return 0;
         }
-        removed.len()
+        let removed = self
+            .slots
+            .drain(off..)
+            .filter(Option::is_some)
+            .count();
+        self.occupied -= removed;
+        self.first_gap = self.first_gap.min(cut);
+        self.trim_back();
+        removed
     }
 
     /// The highest occupied index; for a fully compacted (or empty) log this
     /// is the compaction horizon ([`LogIndex::ZERO`] when never compacted).
     pub fn last_index(&self) -> LogIndex {
-        self.entries
-            .keys()
-            .next_back()
-            .map_or(LogIndex(self.compacted_through), |&i| LogIndex(i))
+        LogIndex(self.compacted_through + self.slots.len() as u64)
     }
 
     /// The term of the entry at `index`: [`Term::ZERO`] for the sentinel or
@@ -193,19 +307,12 @@ impl SparseLog {
     /// The lowest unoccupied index above the compaction horizon. For a dense
     /// log this is `last_index + 1`; with holes it is the first hole.
     pub fn first_gap(&self) -> LogIndex {
-        let mut expect = self.compacted_through + 1;
-        for (&i, _) in self.entries.range(expect..) {
-            if i != expect {
-                break;
-            }
-            expect += 1;
-        }
-        LogIndex(expect)
+        LogIndex(self.first_gap)
     }
 
     /// `true` if indices `first_index..=last_index` are all occupied.
     pub fn is_dense(&self) -> bool {
-        self.first_gap() == self.last_index().next()
+        self.first_gap == self.last_index().as_u64() + 1
     }
 
     /// Detects a **front gap**: the log holds entries, but the lowest one
@@ -216,24 +323,59 @@ impl SparseLog {
     /// C-Raft's global log rebuilt from partially compacted global-state
     /// entries — can. Returns `(horizon, first_retained)` when gapped.
     pub fn front_gap(&self) -> Option<(LogIndex, LogIndex)> {
-        let first = *self.entries.keys().next()?;
-        (first > self.compacted_through + 1)
-            .then(|| (self.compacted_through(), LogIndex(first)))
+        if self.occupied == 0 || self.slots.front()?.is_some() {
+            return None;
+        }
+        // The leading run of holes is exactly the front gap; scanning it is
+        // proportional to the gap itself, which only the reconstruction
+        // path ever creates (and keeps small).
+        let lead = self.slots.iter().take_while(|s| s.is_none()).count() as u64;
+        Some((
+            self.compacted_through(),
+            LogIndex(self.compacted_through + 1 + lead),
+        ))
     }
 
     /// Number of occupied indices.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.occupied
     }
 
     /// `true` if no entries are stored.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.occupied == 0
     }
 
     /// Iterates `(index, entry)` pairs in ascending index order.
     pub fn iter(&self) -> impl Iterator<Item = (LogIndex, &LogEntry)> {
-        self.entries.iter().map(|(&i, e)| (LogIndex(i), e))
+        let base = self.compacted_through + 1;
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, s)| s.as_ref().map(|e| (LogIndex(base + i as u64), e)))
+    }
+
+    /// The slots of `[from, to]` as (at most) two contiguous slices plus the
+    /// absolute index of the first returned slot. O(1) positioning — range
+    /// walks start at their offset instead of searching.
+    fn slot_slices(
+        &self,
+        from: LogIndex,
+        to: LogIndex,
+    ) -> (u64, &[Option<LogEntry>], &[Option<LogEntry>]) {
+        let base = self.compacted_through + 1;
+        let end = base + self.slots.len() as u64; // exclusive
+        let lo = from.as_u64().max(base);
+        let hi = to.as_u64().saturating_add(1).min(end); // exclusive
+        if lo >= hi {
+            return (lo, &[], &[]);
+        }
+        let (a, b) = ((lo - base) as usize, (hi - base) as usize);
+        let (s1, s2) = self.slots.as_slices();
+        let n1 = s1.len();
+        let first = &s1[a.min(n1)..b.min(n1)];
+        let second = &s2[a.saturating_sub(n1)..b.saturating_sub(n1)];
+        (lo, first, second)
     }
 
     /// Iterates occupied `(index, entry)` pairs within `[from, to]`.
@@ -242,9 +384,30 @@ impl SparseLog {
         from: LogIndex,
         to: LogIndex,
     ) -> impl Iterator<Item = (LogIndex, &LogEntry)> {
-        self.entries
-            .range(from.as_u64()..=to.as_u64())
-            .map(|(&i, e)| (LogIndex(i), e))
+        let (start, s1, s2) = self.slot_slices(from, to);
+        s1.iter()
+            .chain(s2)
+            .enumerate()
+            .filter_map(move |(i, s)| s.as_ref().map(|e| (LogIndex(start + i as u64), e)))
+    }
+
+    /// Iterates the **contiguous occupied run** starting at `from`: yields
+    /// `(from, e)`, `(from+1, e)`, ... and stops at the first hole (or the
+    /// end of the log). The protocols' commit scans and decision loops walk
+    /// this run as a slice pass instead of issuing per-index lookups.
+    pub fn contiguous_from(
+        &self,
+        from: LogIndex,
+    ) -> impl Iterator<Item = (LogIndex, &LogEntry)> {
+        let (start, s1, s2) = self.slot_slices(from, self.last_index());
+        // A clamped start means `from` itself holds no entry (below the
+        // horizon or past the end): the run rooted at `from` is empty.
+        let aligned = start == from.as_u64();
+        s1.iter()
+            .chain(s2)
+            .take_while(move |s| aligned && s.is_some())
+            .enumerate()
+            .filter_map(move |(i, s)| s.as_ref().map(|e| (LogIndex(start + i as u64), e)))
     }
 
     /// Collects clones of entries in `[from, to]` that are present,
@@ -260,21 +423,30 @@ impl SparseLog {
     ///
     /// The budget charges each entry its `(index, entry)` wire encoding, the
     /// exact bytes it occupies inside an AppendEntries message.
+    ///
+    /// Zero-copy, single pass: entries clone — `Bytes` payloads by refcount
+    /// — straight into a buffer pre-sized to the admission bound
+    /// (`min(range span, entry cap)`, so it never grows), and the buffer is
+    /// *moved* behind the list's `Arc`. No per-recipient-group intermediate
+    /// vector and no freeze-time copy exist anymore.
     pub fn collect_range_budgeted(
         &self,
         from: LogIndex,
         to: LogIndex,
         budget: AppendBudget,
     ) -> EntryList {
-        let mut out: Vec<(LogIndex, LogEntry)> = Vec::new();
+        let (start, s1, s2) = self.slot_slices(from, to);
+        let span = s1.len() + s2.len();
+        let mut out = Vec::with_capacity(span.min(budget.max_entries));
         let mut bytes = 0usize;
-        for (i, e) in self.range(from, to) {
+        for (i, slot) in s1.iter().chain(s2).enumerate() {
+            let Some(e) = slot.as_ref() else { continue };
             let sz = 8 + e.encoded_len();
             if !budget.admits(out.len(), bytes, sz) {
                 break;
             }
             bytes += sz;
-            out.push((i, e.clone()));
+            out.push((LogIndex(start + i as u64), e.clone()));
         }
         EntryList::from_vec(out)
     }
@@ -290,20 +462,27 @@ impl SparseLog {
     /// The highest index holding a **leader-approved** entry, which is Fast
     /// Raft's `lastLeaderIndex` (§IV-A).
     pub fn last_leader_index(&self) -> LogIndex {
-        self.entries
+        let base = self.compacted_through + 1;
+        self.slots
             .iter()
+            .enumerate()
             .rev()
-            .find(|(_, e)| e.approval == Approval::LeaderApproved)
-            .map_or(LogIndex::ZERO, |(&i, _)| LogIndex(i))
+            .find_map(|(i, s)| {
+                s.as_ref()
+                    .filter(|e| e.approval == Approval::LeaderApproved)
+                    .map(|_| LogIndex(base + i as u64))
+            })
+            .unwrap_or(LogIndex::ZERO)
     }
 
     /// The configuration from the highest-indexed config entry, if any —
     /// "the last configuration appended to the log" (§IV-A).
     pub fn latest_config(&self) -> Option<(LogIndex, &crate::Configuration)> {
-        self.entries
-            .iter()
-            .rev()
-            .find_map(|(&i, e)| e.as_config().map(|c| (LogIndex(i), c)))
+        let base = self.compacted_through + 1;
+        self.slots.iter().enumerate().rev().find_map(|(i, s)| {
+            s.as_ref()
+                .and_then(|e| e.as_config().map(|c| (LogIndex(base + i as u64), c)))
+        })
     }
 }
 
@@ -377,6 +556,31 @@ mod tests {
     }
 
     #[test]
+    fn truncate_resets_first_gap_and_trims_holes() {
+        let mut log = SparseLog::new();
+        log.insert(LogIndex(1), entry(1, 0));
+        log.insert(LogIndex(2), entry(1, 1));
+        log.insert(LogIndex(5), entry(1, 2)); // holes at 3, 4
+        assert_eq!(log.truncate_from(LogIndex(5)), 1);
+        // The trailing holes at 3 and 4 vanish with the entry above them.
+        assert_eq!(log.last_index(), LogIndex(2));
+        assert_eq!(log.first_gap(), LogIndex(3));
+        assert!(log.is_dense());
+    }
+
+    #[test]
+    fn remove_pulls_first_gap_back() {
+        let mut log: SparseLog = (0..4).map(|s| entry(1, s)).collect();
+        assert_eq!(log.first_gap(), LogIndex(5));
+        log.remove(LogIndex(2));
+        assert_eq!(log.first_gap(), LogIndex(2));
+        assert_eq!(log.last_index(), LogIndex(4));
+        // Re-filling the hole advances the cursor across the existing run.
+        log.insert(LogIndex(2), entry(2, 9));
+        assert_eq!(log.first_gap(), LogIndex(5));
+    }
+
+    #[test]
     fn term_at_sentinel_and_hole() {
         let mut log = SparseLog::new();
         log.insert(LogIndex(3), entry(4, 0));
@@ -394,6 +598,28 @@ mod tests {
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].0, LogIndex(1));
         assert_eq!(got[1].0, LogIndex(3));
+    }
+
+    #[test]
+    fn contiguous_from_stops_at_hole() {
+        let mut log = SparseLog::new();
+        log.insert(LogIndex(1), entry(1, 0));
+        log.insert(LogIndex(2), entry(1, 1));
+        log.insert(LogIndex(4), entry(1, 2)); // hole at 3
+        let run: Vec<u64> = log
+            .contiguous_from(LogIndex(1))
+            .map(|(i, _)| i.as_u64())
+            .collect();
+        assert_eq!(run, vec![1, 2]);
+        assert_eq!(log.contiguous_from(LogIndex(3)).count(), 0);
+        let run4: Vec<u64> = log
+            .contiguous_from(LogIndex(4))
+            .map(|(i, _)| i.as_u64())
+            .collect();
+        assert_eq!(run4, vec![4]);
+        // A start below the horizon or above the end yields nothing
+        // contiguous with `from` itself.
+        assert_eq!(log.contiguous_from(LogIndex(9)).count(), 0);
     }
 
     #[test]
@@ -575,5 +801,37 @@ mod tests {
         assert_eq!(log.first_index(), LogIndex(11));
         // A stale snapshot is refused.
         assert!(!log.install_snapshot(LogIndex(5), Term(2)));
+    }
+
+    #[test]
+    fn front_gap_detection_on_reconstructed_view() {
+        let mut log = SparseLog::new();
+        assert_eq!(log.front_gap(), None);
+        log.insert(LogIndex(4), entry(1, 0));
+        log.insert(LogIndex(5), entry(1, 1));
+        assert_eq!(log.front_gap(), Some((LogIndex::ZERO, LogIndex(4))));
+        // Filling the front closes the gap.
+        for i in 1..=3u64 {
+            log.insert(LogIndex(i), entry(1, 10 + i));
+        }
+        assert_eq!(log.front_gap(), None);
+        assert!(log.is_dense());
+    }
+
+    #[test]
+    fn layout_is_canonical_for_equality() {
+        // Two logs with identical observable content compare equal no
+        // matter how they were built (append vs out-of-order insert vs
+        // remove-then-insert) — the canonical layout has no hidden state.
+        let a: SparseLog = (0..3).map(|s| entry(1, s)).collect();
+        let mut b = SparseLog::new();
+        b.insert(LogIndex(3), entry(1, 2));
+        b.insert(LogIndex(1), entry(1, 0));
+        b.insert(LogIndex(2), entry(1, 1));
+        assert_eq!(a, b);
+        let mut c = a.clone();
+        c.insert(LogIndex(9), entry(1, 9));
+        c.remove(LogIndex(9));
+        assert_eq!(a, c);
     }
 }

@@ -49,6 +49,22 @@ pub fn fold_session_digest(digest: u64, session: SessionId, seq: u64) -> u64 {
     x
 }
 
+/// Folds one session **eviction** into the commit digest. Session expiry
+/// (idle past `session_ttl` committed indices) removes applied state, so it
+/// must be part of the digest the same way applications are: two replicas
+/// agree on their digest only if they also agree on which sessions were
+/// garbage-collected — which keeps snapshots taken before and after an
+/// eviction distinguishable and provably convergent.
+pub fn fold_session_evicted(digest: u64, session: SessionId) -> u64 {
+    let mut x = digest ^ session.as_u64().wrapping_mul(0x8CB9_2BA7_2F3D_8DD7) ^ 0x5851_F42D_4C95_7F2D;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
 /// A compacted-prefix snapshot of one replicated log.
 ///
 /// The `state` field is the application-state image covering every entry
@@ -134,6 +150,18 @@ mod tests {
         assert_ne!(a, b, "session folds must not collide with commit folds");
         assert_ne!(a, fold_session_digest(0, s, 2));
         assert_ne!(a, fold_session_digest(0, SessionId::client(2), 1));
+    }
+
+    #[test]
+    fn evicted_fold_is_distinct() {
+        let s = SessionId::client(1);
+        let e = fold_session_evicted(0, s);
+        assert_ne!(e, 0);
+        assert_ne!(e, fold_session_digest(0, s, 1), "eviction ≠ application");
+        assert_ne!(e, fold_session_evicted(0, SessionId::client(2)));
+        // Folding an eviction changes the digest even after applications.
+        let applied = fold_session_digest(0, s, 1);
+        assert_ne!(fold_session_evicted(applied, s), applied);
     }
 
     #[test]

@@ -43,24 +43,16 @@ use bytes::Bytes;
 use des::SimRng;
 use raft::{Role, Timing};
 use wire::{
-    fold_commit_digest, fold_session_digest, Actions, Approval, ClientOp, ClientOutcome,
-    ClientRequest, Configuration, Consistency, EntryId, EntryList, LogEntry, LogIndex, LogScope,
+    fold_commit_digest, fold_session_digest, session_state_current, Actions, Approval, ClientOp,
+    ClientOutcome, ClientRequest, Configuration, Consistency, EntryId, EntryList, LogEntry,
+    LogIndex, LogScope,
     NodeId, Observation, Payload, PersistCmd, ReadIndexQueue, SessionApply, SessionId,
-    SessionTable, Snapshot, Term, TimerKind,
+    SessionTable, Snapshot, Term, TimerKind, MAX_INSERT_WINDOW,
 };
 
 use crate::gate::{GatePurpose, GateToken, GateVerdict, InsertGate};
 use crate::message::FastRaftMessage;
 use crate::possible::PossibleEntries;
-
-/// Defensive ceiling on how far above this site's log a remote-addressed
-/// insert may point. The dense-prefix `SparseLog` materializes interior
-/// holes as slots, so memory is proportional to the *addressed index span*;
-/// honest traffic only ever targets the bounded in-flight window above the
-/// contiguous prefix (§IV), but a corrupt or byzantine peer naming index
-/// 2^40 must be dropped at the door rather than allocate a terabyte of
-/// slots. Far above any legitimate window — never trips in a healthy run.
-const MAX_INSERT_WINDOW: u64 = 1 << 20;
 
 /// Cached `ENGINE_TRACE` env check: protocol-step tracing to stderr for
 /// debugging runs (set the variable to any value to enable).
@@ -709,26 +701,6 @@ impl FastRaftEngine {
         if self.reject_session_duplicate(&entry, out) {
             return;
         }
-        // Expired-session refusal is safe at this door: the leader is the
-        // single acceptance point for forwarded proposals, so refusing here
-        // guarantees the op was placed nowhere — the client may reopen a
-        // session and resubmit without risking a double apply. (The table
-        // can lag on a fresh leader; a false positive then only costs the
-        // client a session reopen, never correctness.)
-        if self.timing.session_ttl > 0 {
-            if let Some((session, seq)) = entry.payload.session_key() {
-                if self.sessions.is_expired_retry(session, seq) {
-                    self.respond_client(
-                        entry.id.proposer,
-                        session,
-                        seq,
-                        ClientOutcome::SessionExpired,
-                        out,
-                    );
-                    return;
-                }
-            }
-        }
         // Dedup: retries of ids already in the log are ignored (commit
         // notification flows from emit_commit_effects).
         if let Some(&idx) = self.id_index.get(&entry.id) {
@@ -743,6 +715,37 @@ impl FastRaftEngine {
                 );
             }
             return;
+        }
+        // Expired-session refusal — strictly *after* the in-flight dedup
+        // above (a pair already replicating must never be told "placed
+        // nowhere"), and only once this leader's applied table provably
+        // covers every commit: a fresh leader's table merely lags until an
+        // entry of its own term commits, so "expired" can be a false
+        // positive for a live session whose writes are committed but not
+        // yet applied here. Refusing terminally then would have the client
+        // reopen a session and resubmit while the surviving placement
+        // applies — a double apply. A not-yet-current leader instead falls
+        // through and *places* the op: the placement is itself the
+        // own-term entry that makes the leader current (answering Retry
+        // here would livelock on a quiescent leader — nothing else ever
+        // commits an own-term entry, see `register_read`'s nudge), and the
+        // authoritative apply-time check below answers exactly once it
+        // commits. Once current, the refusal is exact and terminal (any
+        // same-pair placement still in the log under another proposal id
+        // is skipped by the same apply-time check).
+        if self.timing.session_ttl > 0 && self.applied_session_state_current() {
+            if let Some((session, seq)) = entry.payload.session_key() {
+                if self.sessions.is_expired_retry(session, seq) {
+                    self.respond_client(
+                        entry.id.proposer,
+                        session,
+                        seq,
+                        ClientOutcome::SessionExpired,
+                        out,
+                    );
+                    return;
+                }
+            }
         }
         if !self.leader_log_settled() && self.assign_cursor <= self.last_leader_index {
             // A fresh leader with an undecided backlog must not hand out
@@ -796,9 +799,10 @@ impl FastRaftEngine {
         // Deliberately NO expired-session refusal here: this runs on the
         // any-replica broadcast insert path (`on_propose_at`), where one
         // *lagging* replica's table must not veto an op the rest of the
-        // quorum is placing. Expiry is enforced where it is safe — the
-        // single-door checks (`client_write`, `leader_accept_forwarded`)
-        // and, authoritatively, at apply time (`emit_commit_effects`).
+        // quorum is placing. Expiry is enforced where it is exact — the
+        // single-door checks (`client_write`, `leader_accept_forwarded`),
+        // gated on `applied_session_state_current`, and authoritatively at
+        // apply time (`emit_commit_effects`).
         false
     }
 
@@ -874,13 +878,6 @@ impl FastRaftEngine {
             );
             return;
         }
-        // Stale write from an expired (evicted) session: refuse before
-        // anything is placed — terminal, so the client knows to open a
-        // fresh session instead of re-sending the same seq forever.
-        if self.timing.session_ttl > 0 && self.sessions.is_expired_retry(session, seq) {
-            self.respond_client(self.id, session, seq, ClientOutcome::SessionExpired, out);
-            return;
-        }
         if let Some(id) = self.client_writes.get(&(session, seq)) {
             if self.pending_proposals.contains_key(id) {
                 // Already in flight: the proposal-retry machinery keeps
@@ -891,6 +888,21 @@ impl FastRaftEngine {
                 );
                 return;
             }
+        }
+        // Stale write from an expired (evicted) session: terminal refusal
+        // only when this gateway happens to be the leader with a provably
+        // current applied table (see `applied_session_state_current`) — on
+        // any other gateway the table may simply lag the commit sequence
+        // and "expired" can be a false positive for a live session. Those
+        // fall through: the op is placed and routed onward, and the leader
+        // door or the authoritative apply-time check rules, relayed back
+        // through the normal ClientReply path.
+        if self.timing.session_ttl > 0
+            && self.sessions.is_expired_retry(session, seq)
+            && self.applied_session_state_current()
+        {
+            self.respond_client(self.id, session, seq, ClientOutcome::SessionExpired, out);
+            return;
         }
         self.client_pending
             .insert((session, seq), ClientOp::Write(data.clone()));
@@ -937,6 +949,18 @@ impl FastRaftEngine {
                 }
             }
         }
+    }
+
+    /// `true` when this node's applied session table provably covers every
+    /// write the cluster has ever committed: it is the leader and an entry
+    /// of its own term has committed (the shared
+    /// [`wire::session_state_current`] condition). Only then is a
+    /// door-level `SessionTable::is_expired_retry` verdict exact;
+    /// elsewhere the table may simply lag and "expired" can be a false
+    /// positive for a perfectly live session.
+    fn applied_session_state_current(&self) -> bool {
+        self.role == Role::Leader
+            && session_state_current(&self.log, self.commit_index, self.current_term)
     }
 
     /// Answers a client request: as an observation when the gateway is this
@@ -2515,6 +2539,20 @@ impl FastRaftEngine {
                 let items: Vec<(SessionId, u64)> =
                     b.items.iter().filter_map(|item| item.key).collect();
                 for (session, seq) in items {
+                    // Deliberately NO apply-time expiry skip here, unlike
+                    // the Write arm: "untracked session at seq > 1" does
+                    // not imply "duplicate of an evicted session" for
+                    // batch items. They pass no session-vetting door, and
+                    // the global commit index aggregates every cluster's
+                    // traffic, so a steadily-writing session at one quiet
+                    // colo can see more than `session_ttl` of *global* log
+                    // distance between its own consecutive items — its
+                    // next, genuinely fresh item would be silently dropped
+                    // (already acked locally, absent globally). Applying
+                    // re-creates the slot instead; the narrow cost is that
+                    // a duplicate item placement outliving a global
+                    // eviction re-applies, which only loses dedup, never
+                    // data.
                     match self.sessions.apply(session, seq, k) {
                         SessionApply::Applied => {
                             self.state_digest =

@@ -175,6 +175,105 @@ fn late_committed_duplicate_does_not_reapply_after_eviction() {
 }
 
 #[test]
+fn fresh_leader_lagging_table_never_terminally_refuses_live_session() {
+    // The false-positive race the currency gate closes: a fresh leader's
+    // applied table lags until an entry of its own term commits, so a live
+    // session whose writes are committed-but-not-applied-here reads as
+    // "expired" (`seq > 1`, session untracked). The old door refused such
+    // a retry terminally ("placed nowhere") while the broadcast fast path
+    // had already placed the same (session, seq) on every replica — the
+    // client would reopen a session and resubmit, and the surviving
+    // placement would apply the op a second time.
+    let mut net = cluster(TTL);
+    let leader = elect(&mut net, NodeId(0));
+    let live = SessionId::client(1);
+    // (live, 1) commits and is acked at the old leader; followers hold the
+    // entry but their commit floor — and therefore their tables — lag.
+    net.client_request(
+        leader,
+        ClientRequest::write(live, 1, bytes::Bytes::from_static(b"w1")),
+    );
+    net.deliver_all();
+    net.fire(leader, TimerKind::LeaderTick);
+    net.deliver_all();
+    assert!(net
+        .responses_for(leader, live, 1)
+        .iter()
+        .any(|o| matches!(o, ClientOutcome::Committed { .. })));
+    // (live, 2) goes out on the broadcast fast path: placed on every
+    // replica's log, verified, but not yet decided — in flight, unacked.
+    net.client_request(
+        leader,
+        ClientRequest::write(live, 2, bytes::Bytes::from_static(b"w2")),
+    );
+    net.deliver_all();
+    assert!(
+        net.node(NodeId(1)).sessions().get(live).is_none(),
+        "precondition: the follower's table must lag the commit"
+    );
+    // Elect node 1 delivering only the vote traffic: stop as soon as it
+    // turns Leader, before settling its backlog catches its table up.
+    net.fire(NodeId(1), TimerKind::Election);
+    while net.node(NodeId(1)).role() != Role::Leader {
+        assert!(net.deliver_one(), "election wedged");
+    }
+    assert!(net.node(NodeId(1)).sessions().get(live).is_none());
+    // The client times out on (live, 2) and retries it at the new leader,
+    // whose lagging table reads the live session as "expired". The door
+    // must not answer the terminal SessionExpired: the op is re-placed (or
+    // Retry-refused) and apply-time dedup keeps it exactly-once.
+    net.client_request(
+        NodeId(1),
+        ClientRequest::write(live, 2, bytes::Bytes::from_static(b"w2")),
+    );
+    let early = net.responses_for(NodeId(1), live, 2);
+    assert!(
+        !early
+            .iter()
+            .any(|o| matches!(o, ClientOutcome::SessionExpired)),
+        "lagging fresh leader terminally refused a live session: {early:?}"
+    );
+    // Let the new leader settle, commit its backlog, and catch up; drive
+    // enough rounds that the retry (and any proposal retries) resolve.
+    net.deliver_all();
+    for _ in 0..4 {
+        net.fire(NodeId(1), TimerKind::LeaderTick);
+        net.deliver_all();
+        net.fire(NodeId(1), TimerKind::Heartbeat);
+        net.deliver_all();
+    }
+    net.client_request(
+        NodeId(1),
+        ClientRequest::write(live, 2, bytes::Bytes::from_static(b"w2")),
+    );
+    net.deliver_all();
+    for _ in 0..2 {
+        net.fire(NodeId(1), TimerKind::LeaderTick);
+        net.deliver_all();
+        net.fire(NodeId(1), TimerKind::Heartbeat);
+        net.deliver_all();
+    }
+    let outcomes = net.responses_for(NodeId(1), live, 2);
+    assert!(
+        !outcomes
+            .iter()
+            .any(|o| matches!(o, ClientOutcome::SessionExpired)),
+        "live session must never be told SessionExpired: {outcomes:?}"
+    );
+    assert!(
+        outcomes.iter().any(|o| matches!(
+            o,
+            ClientOutcome::Committed { .. } | ClientOutcome::Duplicate { .. }
+        )),
+        "caught-up leader must accept or dedup the retry, got {outcomes:?}"
+    );
+    // The core guarantee: (live, 2) applied at exactly one index anywhere,
+    // despite the duplicate placement surviving the leader change.
+    net.assert_exactly_once();
+    net.assert_safety();
+}
+
+#[test]
 fn retries_within_ttl_still_answer_duplicate() {
     let mut net = cluster(TTL);
     let leader = elect(&mut net, NodeId(0));

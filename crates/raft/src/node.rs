@@ -23,10 +23,11 @@ use bytes::Bytes;
 use des::SimRng;
 use storage::StableState;
 use wire::{
-    fold_commit_digest, fold_session_digest, Actions, ClientOp, ClientOutcome, ClientRequest,
+    fold_commit_digest, fold_session_digest, session_state_current, Actions, ClientOp,
+    ClientOutcome, ClientRequest,
     Configuration, Consistency, ConsensusProtocol, EntryId, EntryList, LogEntry, LogIndex,
     LogScope, NodeId, Observation, Payload, PersistCmd, ReadIndexQueue, SessionApply, SessionId,
-    SessionTable, Snapshot, SparseLog, Term, TimerKind,
+    SessionTable, Snapshot, SparseLog, Term, TimerKind, MAX_INSERT_WINDOW,
 };
 
 use crate::{RaftMessage, Timing};
@@ -787,6 +788,19 @@ impl RaftNode {
         }
     }
 
+    /// `true` when this node's applied session table provably covers every
+    /// write the cluster has ever committed: it is the leader and an entry
+    /// of its own term has committed (the shared
+    /// [`wire::session_state_current`] condition). Only then is a
+    /// door-level [`SessionTable::is_expired_retry`] verdict exact; on any
+    /// other node (or a fresh leader before its first own-term commit) the
+    /// table may simply lag and "expired" can be a false positive for a
+    /// perfectly live session.
+    fn applied_session_state_current(&self) -> bool {
+        self.role == Role::Leader
+            && session_state_current(&self.log, self.commit_index, self.current_term)
+    }
+
     fn on_propose(
         &mut self,
         from: NodeId,
@@ -824,17 +838,31 @@ impl RaftNode {
             );
             return;
         }
-        // Stale write from an expired (evicted) session: refuse before
-        // placement — the leader is the single placement point, so nothing
-        // lands anywhere and the client may safely open a fresh session.
-        // Terminal (`SessionExpired`, not `Retry`): re-sending the same seq
-        // would loop forever.
-        if self.timing.session_ttl > 0 && self.sessions.is_expired_retry(session, seq) {
-            self.respond_client(from, session, seq, ClientOutcome::SessionExpired, out);
-            return;
-        }
         if self.id_index.contains_key(&id) {
             // In-flight duplicate (gateway retried): already replicating.
+            return;
+        }
+        // Stale write from an expired (evicted) session. This must run
+        // *after* the in-flight dedup above, and the terminal refusal is
+        // only trustworthy once this leader's applied table provably
+        // covers every commit (`applied_session_state_current`): a fresh
+        // leader's table merely *lags* until an entry of its own term
+        // commits, so "expired" can be a false positive for a live
+        // session whose writes are committed but not yet applied here —
+        // terminally refusing then ("placed nowhere") while the placement
+        // survives and later applies would have the client reopen a
+        // session and resubmit, applying the op twice. Until current, the
+        // answer is a plain Retry; once current, refusal is exact and
+        // terminal (re-sending the same seq would loop forever), and any
+        // same-pair placement still in the log under a different proposal
+        // id is skipped by the authoritative apply-time check.
+        if self.timing.session_ttl > 0 && self.sessions.is_expired_retry(session, seq) {
+            let outcome = if self.applied_session_state_current() {
+                ClientOutcome::SessionExpired
+            } else {
+                ClientOutcome::Retry
+            };
+            self.respond_client(from, session, seq, outcome, out);
             return;
         }
         // In-flight duplicate under a *different* proposal id (the gateway
@@ -965,13 +993,14 @@ impl RaftNode {
             return;
         }
 
-        // Defensive ceiling mirroring consensus-core's MAX_INSERT_WINDOW:
-        // the dense log materializes the addressed span as slots, so an
-        // absurd index from a corrupt peer must be dropped, not allocated.
-        // Classic-Raft entries are contiguous from prev_index, so a jump
-        // past the window is malformed — stop processing the batch there.
+        // Defensive ceiling (shared with consensus-core via
+        // `wire::MAX_INSERT_WINDOW`): the dense log materializes the
+        // addressed span as slots, so an absurd index from a corrupt peer
+        // must be dropped, not allocated. Classic-Raft entries are
+        // contiguous from prev_index, so a jump past the window is
+        // malformed — stop processing the batch there.
         let insert_bound =
-            self.log.last_index().as_u64().max(self.commit_index.as_u64()) + (1 << 20);
+            self.log.last_index().as_u64().max(self.commit_index.as_u64()) + MAX_INSERT_WINDOW;
         let mut last_new = prev_index;
         for (idx, entry) in entries.iter() {
             if idx.as_u64() > insert_bound {
@@ -1438,9 +1467,21 @@ impl ConsensusProtocol for RaftNode {
                     );
                     return;
                 }
-                // Stale write from an expired session (see `on_propose`):
-                // terminal, nothing was placed.
-                if self.timing.session_ttl > 0 && self.sessions.is_expired_retry(session, seq)
+                if self.client_writes.contains_key(&(session, seq)) {
+                    // Already in flight: the retry timer keeps pushing it.
+                    out.set_timer(TimerKind::ProposalRetry, self.timing.proposal_timeout);
+                    return;
+                }
+                // Stale write from an expired session: the terminal refusal
+                // is only exact when this gateway happens to be the leader
+                // with a provably current applied table (see `on_propose`).
+                // Any other gateway's table may simply lag the commit
+                // sequence, so it must not refuse — the write is placed and
+                // routed to the leader, whose door (or the authoritative
+                // apply-time check) rules, relayed back via ClientReply.
+                if self.timing.session_ttl > 0
+                    && self.sessions.is_expired_retry(session, seq)
+                    && self.applied_session_state_current()
                 {
                     self.respond_client(
                         self.id,
@@ -1449,11 +1490,6 @@ impl ConsensusProtocol for RaftNode {
                         ClientOutcome::SessionExpired,
                         out,
                     );
-                    return;
-                }
-                if self.client_writes.contains_key(&(session, seq)) {
-                    // Already in flight: the retry timer keeps pushing it.
-                    out.set_timer(TimerKind::ProposalRetry, self.timing.proposal_timeout);
                     return;
                 }
                 let id = self.fresh_id();

@@ -86,6 +86,102 @@ fn idle_session_evicted_and_stale_retry_answers_retry() {
 }
 
 #[test]
+fn fresh_leader_lagging_table_never_terminally_refuses_live_session() {
+    // The false-positive race the currency gate closes: a fresh leader's
+    // applied table *lags* until an entry of its own term commits, so a
+    // live session whose writes are committed-but-not-applied-here reads
+    // as "expired" (`seq > 1`, session untracked). Terminally refusing
+    // then would tell the client "placed nowhere" while the placement
+    // survives in the log and later applies — the client would reopen a
+    // session, resubmit, and the op would apply twice. The door must
+    // answer the non-terminal Retry until the table is provably current.
+    let mut net = cluster(TTL);
+    let leader = elect(&mut net, NodeId(0));
+    let live = SessionId::client(1);
+    // (live, 1) commits and is acked at the old leader; the followers hold
+    // the entry but not the commit floor (floor propagation is one
+    // heartbeat behind), so their tables never see the session.
+    net.client_request(
+        leader,
+        ClientRequest::write(live, 1, bytes::Bytes::from_static(b"w1")),
+    );
+    net.deliver_all();
+    net.fire(leader, TimerKind::Heartbeat);
+    net.deliver_all();
+    assert!(net
+        .responses_for(leader, live, 1)
+        .iter()
+        .any(|o| matches!(o, ClientOutcome::Committed { .. })));
+    // The client's next op, (live, 2), reaches the old leader's log but is
+    // never dispatched (heartbeat-gated) — in flight, unacked.
+    net.client_request(
+        leader,
+        ClientRequest::write(live, 2, bytes::Bytes::from_static(b"w2")),
+    );
+    net.deliver_all();
+    assert!(
+        net.node(NodeId(1)).sessions().get(live).is_none(),
+        "precondition: the follower's table must lag the commit"
+    );
+    // Elect node 1 delivering only the vote traffic: stop as soon as it
+    // turns Leader, before its own-term no-op round catches its table up.
+    net.fire(NodeId(1), TimerKind::Election);
+    while net.node(NodeId(1)).role() != Role::Leader {
+        assert!(net.deliver_one(), "election wedged");
+    }
+    assert!(net.node(NodeId(1)).sessions().get(live).is_none());
+    // The client times out on (live, 2) and retries it at the new leader,
+    // whose lagging table reads the live session as "expired".
+    net.client_request(
+        NodeId(1),
+        ClientRequest::write(live, 2, bytes::Bytes::from_static(b"w2")),
+    );
+    let early = net.responses_for(NodeId(1), live, 2);
+    assert!(
+        !early
+            .iter()
+            .any(|o| matches!(o, ClientOutcome::SessionExpired)),
+        "lagging fresh leader terminally refused a live session: {early:?}"
+    );
+    assert!(
+        early.iter().any(|o| matches!(o, ClientOutcome::Retry)),
+        "expected the non-terminal Retry, got {early:?}"
+    );
+    // Let the new leader commit its no-op and catch up its applied state,
+    // then resubmit: the table now knows the session and the op commits.
+    net.deliver_all();
+    for _ in 0..2 {
+        net.fire(NodeId(1), TimerKind::Heartbeat);
+        net.deliver_all();
+    }
+    net.client_request(
+        NodeId(1),
+        ClientRequest::write(live, 2, bytes::Bytes::from_static(b"w2")),
+    );
+    net.deliver_all();
+    for _ in 0..2 {
+        net.fire(NodeId(1), TimerKind::Heartbeat);
+        net.deliver_all();
+    }
+    let outcomes = net.responses_for(NodeId(1), live, 2);
+    assert!(
+        !outcomes
+            .iter()
+            .any(|o| matches!(o, ClientOutcome::SessionExpired)),
+        "live session must never be told SessionExpired: {outcomes:?}"
+    );
+    assert!(
+        outcomes.iter().any(|o| matches!(
+            o,
+            ClientOutcome::Committed { .. } | ClientOutcome::Duplicate { .. }
+        )),
+        "caught-up leader must accept or dedup the retry, got {outcomes:?}"
+    );
+    net.assert_exactly_once();
+    net.assert_safety();
+}
+
+#[test]
 fn ttl_zero_retains_sessions_forever() {
     let mut net = cluster(0);
     let leader = elect(&mut net, NodeId(0));

@@ -36,7 +36,21 @@ use std::collections::BTreeMap;
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
-use crate::{LogIndex, LogScope, NodeId};
+use crate::{LogIndex, LogScope, NodeId, SparseLog, Term};
+
+/// The Raft §8 currency condition for door-level expiry verdicts: `true`
+/// when a node with this `log`, `commit_index`, and `current_term` has
+/// committed an entry of its own term. Application is synchronous with the
+/// commit scan in both protocols, so from that point on the node's
+/// [`SessionTable`] provably covers every write committed anywhere and a
+/// door-level [`SessionTable::is_expired_retry`] verdict is exact; before
+/// it, the table may merely *lag* the commit sequence and "expired" can be
+/// a false positive for a live session. One shared predicate so the
+/// condition cannot drift between the protocols' doors; callers add their
+/// own leadership check.
+pub fn session_state_current(log: &SparseLog, commit_index: LogIndex, current_term: Term) -> bool {
+    log.term_at(commit_index) == current_term
+}
 
 /// Identifier of a client session.
 #[derive(
@@ -416,14 +430,26 @@ impl SessionTable {
     ///   duplicate placement that outlives its session's eviction from
     ///   re-applying.
     /// - **At a propose door**: the local table may simply *lag* the
-    ///   commit sequence (fresh leader, follower gateway), so `true` can
-    ///   be a false positive. Doors may still refuse with `SessionExpired`
-    ///   — but only where refusal guarantees the op was placed **nowhere**
-    ///   (the gateway submission door, a single leader's acceptance door),
-    ///   so a client reopening a session and resubmitting cannot cause a
-    ///   double apply. The any-replica broadcast insert path must *not*
-    ///   consult this: one lagging replica would otherwise veto an op that
-    ///   the rest of the quorum is already placing.
+    ///   commit sequence (fresh leader before an entry of its own term
+    ///   commits, any follower gateway), so `true` can be a false
+    ///   positive — the session's writes are committed, just not applied
+    ///   *here* yet. A door may therefore answer the terminal
+    ///   `SessionExpired` only when **all** of the following hold, and
+    ///   must otherwise fall back to routing the op onward (or answering
+    ///   the non-terminal `Retry`):
+    ///   1. its in-flight dedup (pending-write map / id index) ran first
+    ///      and missed — a pair already replicating must never be told
+    ///      "placed nowhere" while its placement survives in the log;
+    ///   2. its applied state is **provably current** — it is the leader
+    ///      and an entry of its own term has committed (Raft §8), so the
+    ///      local table covers every write committed anywhere. Without
+    ///      this, a falsely refused client would reopen a session and
+    ///      resubmit while the original placement commits and applies —
+    ///      the op applies twice.
+    ///
+    ///   The any-replica broadcast insert path must not consult this
+    ///   check at all: one lagging replica would otherwise veto an op
+    ///   that the rest of the quorum is already placing.
     ///
     /// **Boundary:** an unknown session with `seq == 1` is indistinguishable
     /// from a new session opening, so it is *not* flagged — a client whose

@@ -646,6 +646,10 @@ impl Wire for SessionTable {
 
 impl Wire for Snapshot {
     fn encode(&self, e: &mut Encoder) {
+        // Snapshots persist across builds (storage writes them to stable
+        // state), so unlike every other message they carry an explicit
+        // format version — see `SNAPSHOT_FORMAT_VERSION` for the history.
+        e.put_u8(crate::SNAPSHOT_FORMAT_VERSION);
         self.scope.encode(e);
         self.last_index.encode(e);
         self.last_term.encode(e);
@@ -654,6 +658,15 @@ impl Wire for Snapshot {
         self.sessions.encode(e);
     }
     fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let version = d.u8()?;
+        if version != crate::SNAPSHOT_FORMAT_VERSION {
+            // Covers pre-versioning records too: those began with the
+            // `LogScope` tag (0/1), which can never equal a valid version.
+            return Err(DecodeError::InvalidTag {
+                ty: "SnapshotFormatVersion",
+                tag: version,
+            });
+        }
         Ok(Snapshot {
             scope: LogScope::decode(d)?,
             last_index: LogIndex::decode(d)?,
@@ -664,7 +677,8 @@ impl Wire for Snapshot {
         })
     }
     fn encoded_len(&self) -> usize {
-        1 + 8
+        1 + 1
+            + 8
             + 8
             + self.config.encoded_len()
             + self.state.encoded_len()
@@ -877,6 +891,36 @@ mod tests {
             state: Bytes::new(),
             sessions: SessionTable::new(),
         });
+    }
+
+    #[test]
+    fn snapshot_rejects_foreign_format_versions() {
+        // A record from an older (or newer) build must fail with a tagged
+        // error, never decode shifted fields. The unversioned pre-history
+        // format began with the LogScope tag (0/1), so those bytes land
+        // here too.
+        let snap = Snapshot {
+            scope: LogScope::Global,
+            last_index: LogIndex(3),
+            last_term: Term(2),
+            config: Configuration::new([NodeId(1)]),
+            state: Bytes::new(),
+            sessions: SessionTable::new(),
+        };
+        let mut bytes = snap.to_bytes().to_vec();
+        for foreign in [0u8, 1, crate::SNAPSHOT_FORMAT_VERSION + 1] {
+            bytes[0] = foreign;
+            assert!(
+                matches!(
+                    Snapshot::from_bytes(&bytes),
+                    Err(DecodeError::InvalidTag {
+                        ty: "SnapshotFormatVersion",
+                        tag,
+                    }) if tag == foreign
+                ),
+                "version byte {foreign} must be refused"
+            );
+        }
     }
 
     #[test]

@@ -47,17 +47,20 @@ pub use actions::{
     TimerKind,
 };
 pub use client::{
-    ClientOp, ClientOutcome, ClientRequest, Consistency, SessionApply, SessionId, SessionSlot,
-    SessionTable,
+    session_state_current, ClientOp, ClientOutcome, ClientRequest, Consistency, SessionApply,
+    SessionId, SessionSlot, SessionTable,
 };
 pub use codec::{DecodeError, Decoder, Encoder, Wire};
 pub use config::{AppendBudget, Configuration};
 pub use entry::{Approval, Batch, BatchItem, EntryList, GlobalState, LogEntry, Payload};
 pub use ids::{ClusterId, EntryId, LogIndex, NodeId, Term};
-pub use log::SparseLog;
+pub use log::{SparseLog, MAX_INSERT_WINDOW};
 pub use quorum::{
     classic_quorum, fast_quorum, is_classic_quorum, is_fast_quorum,
     min_chosen_votes_in_classic_quorum,
 };
 pub use read::{PendingRead, ReadIndexQueue};
-pub use snapshot::{fold_commit_digest, fold_session_digest, fold_session_evicted, Snapshot};
+pub use snapshot::{
+    fold_commit_digest, fold_session_digest, fold_session_evicted, Snapshot,
+    SNAPSHOT_FORMAT_VERSION,
+};

@@ -32,6 +32,17 @@ use std::collections::VecDeque;
 
 use crate::{Approval, AppendBudget, EntryList, LogEntry, LogIndex, Term, Wire};
 
+/// Defensive ceiling on how far above a node's own log end (or commit
+/// floor) a remote-addressed insert may reach. The dense layout
+/// materializes the addressed span as slots, so an absurd index from a
+/// corrupt or malicious peer must be *dropped*, not allocated: a message
+/// naming index 2^40 would otherwise commit the receiver to a terabyte of
+/// `None`s. Honest traffic never comes close — real holes live in the
+/// bounded in-flight window above the contiguous prefix (§IV). Shared by
+/// both protocols' receive paths (`consensus_core` inserts, `raft`
+/// AppendEntries) so the bound cannot drift between them.
+pub const MAX_INSERT_WINDOW: u64 = 1 << 20;
+
 /// A 1-indexed replicated log that may contain holes, with an optionally
 /// **compacted prefix**.
 ///

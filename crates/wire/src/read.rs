@@ -100,7 +100,11 @@ impl ReadIndexQueue {
     /// toward every pending round, returning the reads whose confirmation
     /// quorum is now complete; the caller answers them at their floor. The
     /// leader's own (implicit) vote is counted iff it is a voting member of
-    /// `config`; acks from non-members are ignored.
+    /// `config`; acks from non-members are ignored, and an ack `from` the
+    /// leader itself never lands in the explicit set (the implicit self
+    /// vote already covers it — counting both would let a self-addressed
+    /// heartbeat confirm a read without proving anything about the rest of
+    /// the quorum).
     pub fn note_ack(
         &mut self,
         from: NodeId,
@@ -115,7 +119,7 @@ impl ReadIndexQueue {
         let self_vote = usize::from(config.contains(leader));
         let mut confirmed = Vec::new();
         self.pending.retain_mut(|r| {
-            if probe >= r.probe {
+            if probe >= r.probe && from != leader {
                 r.acks.insert(from);
             }
             if r.acks.len() + self_vote >= quorum {
@@ -168,6 +172,20 @@ mod tests {
         assert!(q.note_ack(NodeId(1), p, &c, NodeId(0)).is_empty());
         assert!(q.note_ack(NodeId(1), p, &c, NodeId(0)).is_empty());
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn leader_self_ack_never_double_counts() {
+        let mut q = ReadIndexQueue::new();
+        let c = cfg(3); // quorum 2: implicit self vote + 1 follower ack
+        q.register(SessionId(1), 1, NodeId(0), LogIndex(3));
+        let p = q.probe();
+        // A self-addressed ack must not stack on the implicit self vote
+        // and confirm without any follower having echoed the probe.
+        assert!(q.note_ack(NodeId(0), p, &c, NodeId(0)).is_empty());
+        assert!(q.note_ack(NodeId(0), p, &c, NodeId(0)).is_empty());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.note_ack(NodeId(1), p, &c, NodeId(0)).len(), 1);
     }
 
     #[test]

@@ -14,6 +14,22 @@ use bytes::Bytes;
 
 use crate::{Configuration, EntryId, LogIndex, LogScope, SessionId, SessionTable, Term};
 
+/// Version byte leading every encoded [`Snapshot`].
+///
+/// Snapshots are the one wire value that outlives a process (persisted by
+/// `storage`, re-read on recovery), so their layout cannot change silently:
+/// a record written by an older build must fail decoding *cleanly* rather
+/// than have later fields read where earlier ones used to sit. Bump this
+/// whenever any field of the snapshot encoding (including the embedded
+/// [`SessionTable`]) changes shape.
+///
+/// History: the original, unversioned format (no `SessionSlot::last_active`
+/// in the session table) began directly with the `LogScope` tag byte
+/// (`0`/`1`), so starting the versioned format at `2` makes every
+/// pre-versioning record decode to a tagged error instead of shifted
+/// fields.
+pub const SNAPSHOT_FORMAT_VERSION: u8 = 2;
+
 /// Folds one committed `(index, id)` pair into a running commit digest —
 /// the simulation's stand-in for applying an entry to a state machine.
 /// Nodes that committed the same sequence hold the same digest, so a

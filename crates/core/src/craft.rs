@@ -130,6 +130,10 @@ pub struct CRaftNode {
     /// Persisted global-log snapshot inherited at recovery, handed to the
     /// global engine on (re)activation.
     global_snapshot: Option<wire::Snapshot>,
+    /// Persisted global proposal-sequence floor: the reconstruction resumes
+    /// the global engine's `EntryId` counter here so batches proposed after
+    /// a crash or reactivation never reuse a pre-crash id.
+    global_seq_floor: u64,
     /// Locally committed data entries awaiting batching (leader only).
     batch_buf: Vec<(LogIndex, BatchItem)>,
     batch_seq: u64,
@@ -185,6 +189,7 @@ impl CRaftNode {
             global_term: Term::ZERO,
             global_voted_for: None,
             global_snapshot: None,
+            global_seq_floor: 0,
             batch_buf: Vec::new(),
             batch_seq: 0,
             global_commit_seen: LogIndex::ZERO,
@@ -218,6 +223,7 @@ impl CRaftNode {
             TimerProfile::Base,
             cfg.local_timing,
             local_rng,
+            stable.local.proposal_seq_floor,
         );
         let global_snapshot = stable.global.snapshot.clone();
         let global_commit_seen = global_snapshot
@@ -232,6 +238,7 @@ impl CRaftNode {
             global_term: stable.global.current_term,
             global_voted_for: stable.global.voted_for,
             global_snapshot,
+            global_seq_floor: stable.global.proposal_seq_floor,
             batch_buf: Vec::new(),
             batch_seq: 0,
             global_commit_seen,
@@ -361,6 +368,7 @@ impl CRaftNode {
             TimerProfile::Global,
             self.cfg.effective_global_timing(),
             rng,
+            self.global_seq_floor,
         );
         engine.set_proposal_mode(self.cfg.global_proposal_mode);
         let mut ea: Actions<FastRaftMessage> = Actions::new();
@@ -444,6 +452,7 @@ impl CRaftNode {
         };
         self.global_term = side.engine.current_term();
         self.global_voted_for = None; // conservatively forget; persisted copy rules
+        self.global_seq_floor = self.global_seq_floor.max(side.engine.reserved_seqs());
         // Cache the engine's snapshot for the next activation: a later
         // reconstruction from the (possibly further-compacted) local log
         // needs the horizon and its boundary term.
@@ -600,7 +609,7 @@ impl CRaftNode {
         out: &mut Actions<CRaftMessage>,
     ) {
         match &entry.payload {
-            Payload::Data(_) | Payload::Write { .. }
+            Payload::Data(_) | Payload::Write { .. } | Payload::Register { .. }
                 if self.global.is_some() => {
                     if let Some(item) = batchable_item(entry) {
                         self.batch_buf.push((index, item));
@@ -765,6 +774,16 @@ impl wire::ConsensusProtocol for CRaftNode {
         self.id
     }
 
+    fn set_local_clock(&mut self, now: des::SimTime) {
+        // One physical site, one clock: both levels read the same instant.
+        // The global engine (when active) collects grants from the *other
+        // clusters' leaders* — the recursive lease of the hierarchy.
+        self.local.set_local_clock(now);
+        if let Some(side) = self.global.as_mut() {
+            side.engine.set_local_clock(now);
+        }
+    }
+
     fn on_message(&mut self, from: NodeId, msg: CRaftMessage, out: &mut Actions<CRaftMessage>) {
         match msg {
             CRaftMessage::Local(FastRaftMessage::ClientRead { session, seq })
@@ -826,8 +845,23 @@ impl wire::ConsensusProtocol for CRaftNode {
             ClientOp::Read(Consistency::Linearizable) if self.is_local_leader() => {
                 self.global_linearizable_read(req.session, req.seq, self.id, out);
             }
-            // Writes (acked at local commit, §V-A), stale-local reads, and
-            // read forwarding all ride the local engine.
+            // Stale-global reads answer immediately from this site's view
+            // of the global commit floor — the freshest floor it has
+            // learned from its own global engine or from committed
+            // global-state entries. No wide-area round; the floor is
+            // monotone per site but may trail the true global commit.
+            ClientOp::Read(Consistency::StaleGlobal) => {
+                out.observe(Observation::ClientResponse {
+                    session: req.session,
+                    seq: req.seq,
+                    outcome: ClientOutcome::ReadOk {
+                        scope: LogScope::Global,
+                        commit_floor: self.global_commit_seen(),
+                    },
+                });
+            }
+            // Writes (acked at local commit, §V-A), stale-local reads,
+            // registrations, and read forwarding all ride the local engine.
             _ => {
                 let mut ea: Actions<FastRaftMessage> = Actions::new();
                 self.local
@@ -866,6 +900,14 @@ fn batchable_item(entry: &LogEntry) -> Option<BatchItem> {
             id: entry.id,
             key: Some((*session, *seq)),
             data: data.clone(),
+        }),
+        // A registration opens the session globally too: the item carries
+        // the session's seq 1 with no value, so every cluster's dedup
+        // window starts at the registration, mirroring the local contract.
+        Payload::Register { session } => Some(BatchItem {
+            id: entry.id,
+            key: Some((*session, 1)),
+            data: bytes::Bytes::new(),
         }),
         _ => None,
     }

@@ -40,19 +40,24 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use bytes::Bytes;
-use des::SimRng;
+use des::{SimRng, SimTime};
 use raft::{Role, Timing};
 use wire::{
     fold_commit_digest, fold_session_digest, session_state_current, Actions, Approval, ClientOp,
-    ClientOutcome, ClientRequest, Configuration, Consistency, EntryId, EntryList, LogEntry,
-    LogIndex, LogScope,
+    ClientOutcome, ClientRequest, Configuration, Consistency, EntryId, EntryList, LeaseState,
+    LogEntry, LogIndex, LogScope,
     NodeId, Observation, Payload, PersistCmd, ReadIndexQueue, SessionApply, SessionId,
-    SessionTable, Snapshot, Term, TimerKind, MAX_INSERT_WINDOW,
+    SessionTable, Snapshot, Term, TimerKind, VoteHold, MAX_INSERT_WINDOW,
 };
 
 use crate::gate::{GatePurpose, GateToken, GateVerdict, InsertGate};
 use crate::message::FastRaftMessage;
 use crate::possible::PossibleEntries;
+
+/// Proposal-sequence numbers are reserved in stable storage in blocks of
+/// this size (one write-ahead command per block, not per proposal). A crash
+/// discards at most one partial block of unused ids.
+const SEQ_RESERVE_BLOCK: u64 = 64;
 
 /// Cached `ENGINE_TRACE` env check: protocol-step tracing to stderr for
 /// debugging runs (set the variable to any value to enable).
@@ -233,8 +238,28 @@ pub struct FastRaftEngine {
     // ---- leader read path (ReadIndex; shared machinery in wire::read) ----
     reads: ReadIndexQueue,
 
+    // ---- leader lease (quorum-free reads; shared machinery in wire::lease) ----
+    /// This engine's local clock, stamped by the embedding before each
+    /// event (see [`wire::ConsensusProtocol::set_local_clock`]). Stays
+    /// [`SimTime::ZERO`] (clockless) in purely event-driven embeddings,
+    /// which keeps every lease path inert. At the C-Raft global level the
+    /// same machinery yields the recursive lease: the "followers" granting
+    /// are the other clusters' leaders.
+    local_now: SimTime,
+    /// Leader-side grant collection (valid ⇒ linearizable reads served
+    /// locally with zero messages).
+    lease: LeaseState,
+    /// Follower-side half of the promise: refuse rival candidates while a
+    /// grant this engine emitted is still live on its own clock.
+    vote_hold: VoteHold,
+
     // ---- proposer ----
     next_seq: u64,
+    /// One past the highest sequence number covered by a persisted
+    /// [`PersistCmd::ReserveProposalSeqs`]; `next_seq` never reaches it
+    /// without first extending the reservation, so recovery can restart
+    /// the counter at the persisted floor and never re-mint an id.
+    reserved_seqs: u64,
     pending_proposals: BTreeMap<EntryId, PendingProposal>,
 
     // ---- joiner ----
@@ -349,7 +374,11 @@ impl FastRaftEngine {
             client_pending: BTreeMap::new(),
             client_writes: HashMap::new(),
             reads: ReadIndexQueue::new(),
+            local_now: SimTime::ZERO,
+            lease: LeaseState::new(),
+            vote_hold: VoteHold::new(),
             next_seq: 0,
+            reserved_seqs: 0,
             pending_proposals: BTreeMap::new(),
             join_contacts,
             silent_elections: 0,
@@ -381,10 +410,16 @@ impl FastRaftEngine {
         timers: TimerProfile,
         timing: Timing,
         rng: SimRng,
+        proposal_seq_floor: u64,
     ) -> Self {
         let mut e = Self::construct(id, bootstrap, None, scope, timers, timing, rng);
         e.current_term = term;
         e.voted_for = voted_for;
+        // Resume the proposal counter above every persisted reservation so
+        // no pre-crash `EntryId` is ever minted again (peers would dedup a
+        // reused id against the *old* entry and drop the new proposal).
+        e.next_seq = proposal_seq_floor;
+        e.reserved_seqs = proposal_seq_floor;
         if let Some(snap) = &snapshot {
             // Idempotent for a log already compacted to the snapshot; for a
             // log rebuilt some other way (C-Raft's global reconstruction) it
@@ -426,6 +461,13 @@ impl FastRaftEngine {
     /// This node's id.
     pub fn id(&self) -> NodeId {
         self.id
+    }
+
+    /// Stamps this engine's view of "now" (an input like any message; see
+    /// [`wire::ConsensusProtocol::set_local_clock`]). Never stamping it
+    /// leaves the engine clockless and every lease path inert.
+    pub fn set_local_clock(&mut self, now: SimTime) {
+        self.local_now = now;
     }
 
     /// Current role at this level.
@@ -618,8 +660,7 @@ impl FastRaftEngine {
         gate: &mut dyn InsertGate,
         out: &mut Actions<FastRaftMessage>,
     ) -> EntryId {
-        let id = EntryId::new(self.id, self.next_seq);
-        self.next_seq += 1;
+        let id = self.fresh_id(out);
         match self.proposal_mode {
             ProposalMode::Broadcast => {
                 let index = self.pick_proposal_index();
@@ -855,8 +896,61 @@ impl FastRaftEngine {
         let ClientRequest { session, seq, op } = req;
         match op {
             ClientOp::Write(data) => self.client_write(session, seq, data, gate, out),
+            ClientOp::Register => self.client_register(session, gate, out),
             ClientOp::Read(consistency) => self.client_read(session, seq, consistency, gate, out),
         }
+    }
+
+    /// Explicit session registration: a committed [`Payload::Register`]
+    /// consumes seq 1 of the session, so a later eviction can never leave a
+    /// re-appliable *data* write at the session's boundary (see
+    /// [`ClientOp::Register`]). Unlike classic Raft's leader-only door,
+    /// the registration entry travels the normal proposal path
+    /// ([`FastRaftMessage::ProposeAt`] forwards whole entries), so any
+    /// gateway can register.
+    fn client_register(
+        &mut self,
+        session: SessionId,
+        gate: &mut dyn InsertGate,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        // Server-assigned id on request: derived from this gateway's node
+        // id and proposal counter, so concurrent registrations at different
+        // gateways cannot collide. A *retry* of an unassigned registration
+        // may open a second (unused) session; the TTL reclaims it.
+        let session = if session.is_unassigned() {
+            SessionId::assigned(self.id, self.next_seq)
+        } else {
+            session
+        };
+        if let Some(first_index) = self.sessions.duplicate_of(session, 1) {
+            self.respond_client(
+                self.id,
+                session,
+                1,
+                ClientOutcome::Registered {
+                    session,
+                    index: first_index,
+                },
+                out,
+            );
+            return;
+        }
+        if let Some(id) = self.client_writes.get(&(session, 1)) {
+            if self.pending_proposals.contains_key(id) {
+                out.set_timer(
+                    self.timers.map(TimerKind::ProposalRetry),
+                    self.timing.proposal_timeout,
+                );
+                return;
+            }
+        }
+        // No expired-retry door: re-registering an evicted session is
+        // harmless by construction — the registration carries no value, so
+        // re-applying it merely re-opens an empty dedup window.
+        self.client_pending.insert((session, 1), ClientOp::Register);
+        let id = self.propose_payload(Payload::Register { session }, gate, out);
+        self.client_writes.insert((session, 1), id);
     }
 
     fn client_write(
@@ -919,7 +1013,12 @@ impl FastRaftEngine {
         out: &mut Actions<FastRaftMessage>,
     ) {
         match consistency {
-            Consistency::StaleLocal => {
+            // A single engine has one log: its local floor *is* the global
+            // floor at its scope, so both stale consistencies answer from
+            // `commit_index` immediately. (The C-Raft layer intercepts
+            // StaleGlobal above this point and answers from its
+            // global-commit floor instead.)
+            Consistency::StaleLocal | Consistency::StaleGlobal => {
                 // Served from this site's floor, no coordination.
                 out.observe(Observation::ClientResponse {
                     session,
@@ -1014,6 +1113,25 @@ impl FastRaftEngine {
                 return;
             }
         }
+        // The wire reply carries no op kind; the gateway knows it locally.
+        // A remote door answering a registration's (session, 1) with a
+        // commit/duplicate verdict is reporting the registration applied —
+        // surface it as `Registered`.
+        let outcome = match (&outcome, self.client_pending.get(&(session, seq))) {
+            (ClientOutcome::Committed { index }, Some(ClientOp::Register)) => {
+                ClientOutcome::Registered {
+                    session,
+                    index: *index,
+                }
+            }
+            (ClientOutcome::Duplicate { first_index }, Some(ClientOp::Register)) => {
+                ClientOutcome::Registered {
+                    session,
+                    index: *first_index,
+                }
+            }
+            _ => outcome,
+        };
         if self.client_pending.contains_key(&(session, seq)) {
             self.respond_client(self.id, session, seq, outcome, out);
         }
@@ -1054,7 +1172,7 @@ impl FastRaftEngine {
             // index layout.
             if self.commit_index >= self.last_leader_index && self.leader_log_settled() {
                 let k = self.last_leader_index.next();
-                let noop = LogEntry::noop(self.current_term, self.fresh_internal_id());
+                let noop = LogEntry::noop(self.current_term, self.fresh_id(out));
                 match gate.begin(k, &noop, GatePurpose::DecisionInsert) {
                     GateVerdict::Proceed => {
                         self.insert_leader_entry(k, noop, out);
@@ -1075,8 +1193,40 @@ impl FastRaftEngine {
             return;
         }
         let floor = self.commit_index;
+        // Lease fast path: a classic quorum of live grants proves no rival
+        // can have been elected, so the current commit floor is
+        // linearizable to serve locally — zero messages, zero round trips
+        // (see `docs/CONSISTENCY.md`). At the C-Raft global level this is
+        // the recursive lease: the granters are the other clusters'
+        // leaders.
+        if self
+            .lease
+            .valid_at(self.local_now, &self.config, self.id, self.timing.max_clock_skew)
+        {
+            out.observe(Observation::LeaseRead {
+                session,
+                seq,
+                floor,
+            });
+            self.respond_client(
+                reply_to,
+                session,
+                seq,
+                ClientOutcome::ReadOk {
+                    scope: self.scope,
+                    commit_floor: floor,
+                },
+                out,
+            );
+            return;
+        }
         if self.config.classic_quorum() <= 1 {
             // A single-voter configuration confirms itself.
+            out.observe(Observation::ReadIndexRead {
+                session,
+                seq,
+                floor,
+            });
             self.respond_client(
                 reply_to,
                 session,
@@ -1105,6 +1255,11 @@ impl FastRaftEngine {
     fn note_read_ack(&mut self, from: NodeId, probe: u64, out: &mut Actions<FastRaftMessage>) {
         let scope = self.scope;
         for r in self.reads.note_ack(from, probe, &self.config, self.id) {
+            out.observe(Observation::ReadIndexRead {
+                session: r.session,
+                seq: r.seq,
+                floor: r.floor,
+            });
             self.respond_client(
                 r.reply_to,
                 r.session,
@@ -1129,17 +1284,30 @@ impl FastRaftEngine {
     /// Answers any locally pending write the session table now covers (a
     /// snapshot install can jump the commit floor across its application).
     fn sweep_client_pending(&mut self, out: &mut Actions<FastRaftMessage>) {
-        let done: Vec<(SessionId, u64, LogIndex)> = self
+        let done: Vec<(SessionId, u64, LogIndex, bool)> = self
             .client_writes
             .keys()
-            .filter_map(|&(s, q)| self.sessions.duplicate_of(s, q).map(|idx| (s, q, idx)))
+            .filter_map(|&(s, q)| {
+                self.sessions.duplicate_of(s, q).map(|idx| {
+                    let reg = matches!(self.client_pending.get(&(s, q)), Some(ClientOp::Register));
+                    (s, q, idx, reg)
+                })
+            })
             .collect();
-        for (session, seq, first_index) in done {
+        for (session, seq, first_index, register) in done {
+            let outcome = if register {
+                ClientOutcome::Registered {
+                    session,
+                    index: first_index,
+                }
+            } else {
+                ClientOutcome::Duplicate { first_index }
+            };
             self.respond_client(
                 self.id,
                 session,
                 seq,
-                ClientOutcome::Duplicate { first_index },
+                outcome,
                 out,
             );
         }
@@ -1363,7 +1531,8 @@ impl FastRaftEngine {
                 success,
                 match_index,
                 probe,
-            } => self.on_append_reply(from, term, success, match_index, probe, out),
+                lease_until,
+            } => self.on_append_reply(from, term, success, match_index, probe, lease_until, out),
             FastRaftMessage::ClientRead { session, seq } => {
                 if self.role == Role::Leader {
                     self.register_read(session, seq, from, gate, out);
@@ -1739,7 +1908,7 @@ impl FastRaftEngine {
                 None => {
                     // Every vote was nulled: any entry may be inserted
                     // (§IV-B); use a no-op.
-                    LogEntry::noop(self.current_term, self.fresh_internal_id())
+                    LogEntry::noop(self.current_term, self.fresh_id(out))
                 }
             };
             if trace_enabled() {
@@ -1791,7 +1960,7 @@ impl FastRaftEngine {
         if trace_enabled() {
             eprintln!("TERMNOOP {} k={}", self.id, k.as_u64());
         }
-        let noop = LogEntry::noop(self.current_term, self.fresh_internal_id());
+        let noop = LogEntry::noop(self.current_term, self.fresh_id(out));
         match gate.begin(k, &noop, GatePurpose::DecisionInsert) {
             GateVerdict::Proceed => {
                 self.insert_leader_entry(k, noop, out);
@@ -1870,10 +2039,28 @@ impl FastRaftEngine {
         self.match_index.insert(self.id, self.last_leader_index);
     }
 
-    fn fresh_internal_id(&mut self) -> EntryId {
+    /// Mints a proposal id, extending the persisted sequence reservation
+    /// when the current block is exhausted. The reservation rides the same
+    /// write-ahead channel as log inserts — it is durable before any
+    /// message carrying the id leaves this site.
+    fn fresh_id(&mut self, out: &mut Actions<FastRaftMessage>) -> EntryId {
+        if self.next_seq >= self.reserved_seqs {
+            self.reserved_seqs = self.next_seq + SEQ_RESERVE_BLOCK;
+            out.persist(PersistCmd::ReserveProposalSeqs {
+                scope: self.scope,
+                through: self.reserved_seqs,
+            });
+        }
         let id = EntryId::new(self.id, self.next_seq);
         self.next_seq += 1;
         id
+    }
+
+    /// Highest proposal-sequence ceiling this engine has persisted; used by
+    /// embeddings that cache engine state across deactivation (C-Raft's
+    /// global side) to carry the floor forward.
+    pub fn reserved_seqs(&self) -> u64 {
+        self.reserved_seqs
     }
 
     fn update_fast_match(&mut self, k: LogIndex, chosen: EntryId) {
@@ -1959,7 +2146,7 @@ impl FastRaftEngine {
         out.observe(Observation::HoleRepairTriggered { index: k });
         let entry = LogEntry {
             term: self.current_term,
-            id: self.fresh_internal_id(),
+            id: self.fresh_id(out),
             payload: Payload::Noop,
             approval: Approval::SelfApproved,
         };
@@ -2085,6 +2272,7 @@ impl FastRaftEngine {
                     success: false,
                     match_index: LogIndex::ZERO,
                     probe: 0,
+                    lease_until: SimTime::ZERO,
                 },
             );
             return;
@@ -2290,8 +2478,25 @@ impl FastRaftEngine {
                 success: true,
                 match_index,
                 probe,
+                // Grant stamped at reply time, not receive time: a gated
+                // (deferred) ack that resolves later simply carries a
+                // fresher promise.
+                lease_until: self.emit_lease_grant(from),
             },
         );
+    }
+
+    /// Follower-side lease grant riding an append ack: a promise not to
+    /// vote for anyone but `leader` before `now + lease_duration` on this
+    /// engine's clock, enforced locally via [`VoteHold`]. Returns
+    /// [`SimTime::ZERO`] (no grant) when clockless or leases are disabled.
+    fn emit_lease_grant(&mut self, leader: NodeId) -> SimTime {
+        if self.local_now == SimTime::ZERO || self.timing.lease_duration.is_zero() {
+            return SimTime::ZERO;
+        }
+        let until = self.local_now + self.timing.lease_duration;
+        self.vote_hold.note_grant(leader, until);
+        until
     }
 
     fn finish_append_ack(&mut self, st: AckState, out: &mut Actions<FastRaftMessage>) {
@@ -2311,6 +2516,7 @@ impl FastRaftEngine {
     }
 
     /// Leader handling of AppendEntries acknowledgements.
+    #[allow(clippy::too_many_arguments)]
     fn on_append_reply(
         &mut self,
         from: NodeId,
@@ -2318,6 +2524,7 @@ impl FastRaftEngine {
         success: bool,
         match_index: LogIndex,
         probe: u64,
+        lease_until: SimTime,
         out: &mut Actions<FastRaftMessage>,
     ) {
         if term > self.current_term {
@@ -2326,6 +2533,21 @@ impl FastRaftEngine {
         }
         if self.role != Role::Leader || term < self.current_term {
             return;
+        }
+        // Collect the follower's lease grant. A rejected grant means the
+        // granter's clock runs ahead beyond the modeled bound: the lease
+        // quietly degrades to the ReadIndex fallback rather than counting
+        // an unsound promise.
+        if !self.lease.record_grant(
+            from,
+            lease_until,
+            self.local_now,
+            self.timing.lease_duration,
+            self.timing.max_clock_skew,
+        ) {
+            out.observe(Observation::MessageIgnored {
+                reason: "lease grant beyond clock-skew bound",
+            });
         }
         if success {
             // match_index is monotone (acked entries are persisted at the
@@ -2450,6 +2672,7 @@ impl FastRaftEngine {
         // global batches): the dedup table is part of applied state, so
         // every replica makes the same first-application decision — a
         // retried seq that commits at a second index is a no-op everywhere.
+        let is_register = matches!(entry.payload, Payload::Register { .. });
         let session_outcome = entry.payload.session_key().map(|(session, seq)| {
             // Apply-time expiry check — authoritative: the table covers
             // every commit below `k`, so an untracked session at seq > 1
@@ -2457,8 +2680,14 @@ impl FastRaftEngine {
             // same seq still sitting in the log when the eviction ran
             // would re-apply here (its dedup history is gone). Identical
             // on every replica (same table at the same `k`), no digest
-            // fold — replicas stay convergent.
-            if self.timing.session_ttl > 0 && self.sessions.is_expired_retry(session, seq) {
+            // fold — replicas stay convergent. A registration is exempt:
+            // it carries no value, so re-applying one past an eviction
+            // merely re-opens an empty session — exactly the property that
+            // lets registered sessions close the seq-1 boundary window.
+            if !is_register
+                && self.timing.session_ttl > 0
+                && self.sessions.is_expired_retry(session, seq)
+            {
                 return (session, seq, ClientOutcome::SessionExpired);
             }
             match self.sessions.apply(session, seq, k) {
@@ -2470,7 +2699,12 @@ impl FastRaftEngine {
                         seq,
                         index: k,
                     });
-                    (session, seq, ClientOutcome::Committed { index: k })
+                    let outcome = if is_register {
+                        ClientOutcome::Registered { session, index: k }
+                    } else {
+                        ClientOutcome::Committed { index: k }
+                    };
+                    (session, seq, outcome)
                 }
                 SessionApply::Duplicate { first_index } => {
                     out.observe(Observation::SessionDuplicate {
@@ -2479,7 +2713,15 @@ impl FastRaftEngine {
                         seq,
                         first_index,
                     });
-                    (session, seq, ClientOutcome::Duplicate { first_index })
+                    let outcome = if is_register {
+                        ClientOutcome::Registered {
+                            session,
+                            index: first_index,
+                        }
+                    } else {
+                        ClientOutcome::Duplicate { first_index }
+                    };
+                    (session, seq, outcome)
                 }
             }
         });
@@ -2509,7 +2751,7 @@ impl FastRaftEngine {
                     self.finish_joining(out);
                 }
             }
-            Payload::Write { .. } => {
+            Payload::Write { .. } | Payload::Register { .. } => {
                 let (session, seq, outcome) =
                     session_outcome.clone().expect("write has a session key");
                 if entry.id.proposer == self.id {
@@ -2862,8 +3104,11 @@ impl FastRaftEngine {
     ) {
         let was_leader = self.role == Role::Leader;
         // Leadership (or the term it was confirmed under) is gone: any read
-        // still awaiting its ReadIndex confirmation must not be answered.
+        // still awaiting its ReadIndex confirmation must not be answered,
+        // and collected lease grants are void (they backed *this*
+        // leadership).
         self.fail_pending_reads(out);
+        self.lease.clear();
         if term > self.current_term {
             self.current_term = term;
             self.voted_for = None;
@@ -2953,6 +3198,36 @@ impl FastRaftEngine {
         if !self.config.contains(candidate) {
             out.observe(Observation::MessageIgnored {
                 reason: "vote request from non-member",
+            });
+            return;
+        }
+        // Lease hold: the ack this engine last sent carried a promise not
+        // to elect anyone but its leader before `until` on this clock. The
+        // request is dropped *without* adopting the candidate's term — a
+        // partitioned candidate's term inflation must not depose a leader
+        // whose lease a quorum still backs. The hold provably expires
+        // before this node's own election timer can fire
+        // (`Timing::validate` pins lease + skew ≤ election_min).
+        if self.vote_hold.blocks(candidate, self.local_now) {
+            out.observe(Observation::MessageIgnored {
+                reason: "vote request during lease hold",
+            });
+            return;
+        }
+        // A leader whose own lease is live refuses too, again without
+        // adopting the term: a quorum is promising not to elect anyone
+        // else, so the candidate provably cannot win — stepping down would
+        // only forfeit the lease's availability for nothing.
+        if self.role == Role::Leader
+            && self.lease.valid_at(
+                self.local_now,
+                &self.config,
+                self.id,
+                self.timing.max_clock_skew,
+            )
+        {
+            out.observe(Observation::MessageIgnored {
+                reason: "vote request at leader with live lease",
             });
             return;
         }
@@ -3060,6 +3335,19 @@ impl FastRaftEngine {
         out.observe(Observation::BecameLeader {
             term: self.current_term,
         });
+        // Arm the lease behind the new-leader barrier: any lease the
+        // deposed leader could still be serving under expires within
+        // `lease_duration + max_clock_skew` of this instant, so waiting
+        // that window out before serving lease reads makes the handover
+        // safe even against grants this node never saw. Inert while
+        // clockless or disabled.
+        self.lease.clear();
+        if !self.timing.lease_duration.is_zero() {
+            self.lease.enable_after(
+                self.local_now,
+                self.timing.lease_duration + self.timing.max_clock_skew,
+            );
+        }
         // §IV-A: nextIndex initialized to last committed entry + 1.
         let start = self.commit_index.next();
         self.next_index.clear();
@@ -3243,7 +3531,7 @@ impl FastRaftEngine {
                 }
             };
             let k = self.last_leader_index.next();
-            let entry = LogEntry::config(self.current_term, self.fresh_internal_id(), new_config);
+            let entry = LogEntry::config(self.current_term, self.fresh_id(out), new_config);
             self.insert_leader_entry(k, entry, out);
             self.pending_config = Some(k);
             self.pending_join_notify = notify;

@@ -104,6 +104,7 @@ impl FastRaftNode {
                 TimerProfile::Base,
                 timing,
                 rng,
+                stable.global.proposal_seq_floor,
             ),
             gate: ProceedGate,
         }
@@ -181,6 +182,10 @@ impl ConsensusProtocol for FastRaftNode {
 
     fn id(&self) -> NodeId {
         self.engine.id()
+    }
+
+    fn set_local_clock(&mut self, now: des::SimTime) {
+        self.engine.set_local_clock(now);
     }
 
     fn on_message(&mut self, from: NodeId, msg: FastRaftMessage, out: &mut Actions<FastRaftMessage>) {

@@ -1,5 +1,6 @@
 //! Fast Raft and C-Raft message vocabulary (§IV, §V).
 
+use des::SimTime;
 use wire::{
     ClientOutcome, DecodeError, Decoder, Encoder, EntryId, EntryList, LogEntry, LogIndex, Message,
     NodeId, SessionId, Snapshot, Term, Wire,
@@ -71,6 +72,14 @@ pub enum FastRaftMessage {
         match_index: LogIndex,
         /// Echo of the request's ReadIndex probe.
         probe: u64,
+        /// Leader-lease grant accompanying a successful ack: the follower
+        /// promises not to vote for a different leader before this instant
+        /// **on its own clock** (`ack time + Timing::lease_duration`).
+        /// [`SimTime::ZERO`] when the follower is clockless or the ack
+        /// failed — no grant. At C-Raft's global level the "followers" are
+        /// the other cluster leaders, making this the recursive grant of
+        /// the hierarchy.
+        lease_until: SimTime,
     },
     /// Gateway → leader: run a linearizable ReadIndex round and answer with
     /// the confirmed commit floor (at C-Raft's global level this is how a
@@ -236,12 +245,14 @@ impl Wire for FastRaftMessage {
                 success,
                 match_index,
                 probe,
+                lease_until,
             } => {
                 e.put_u8(4);
                 term.encode(e);
                 success.encode(e);
                 match_index.encode(e);
                 e.put_u64(*probe);
+                e.put_u64(lease_until.as_micros());
             }
             FastRaftMessage::ClientRead { session, seq } => {
                 e.put_u8(12);
@@ -344,6 +355,7 @@ impl Wire for FastRaftMessage {
                 success: bool::decode(d)?,
                 match_index: LogIndex::decode(d)?,
                 probe: d.u64()?,
+                lease_until: SimTime::from_micros(d.u64()?),
             },
             12 => FastRaftMessage::ClientRead {
                 session: SessionId::decode(d)?,
@@ -403,7 +415,7 @@ impl Wire for FastRaftMessage {
             FastRaftMessage::AppendEntries { entries, .. } => {
                 8 + 8 + 8 + entries.encoded_len() + 8 + 8 + 8
             }
-            FastRaftMessage::AppendEntriesReply { .. } => 8 + 1 + 8 + 8,
+            FastRaftMessage::AppendEntriesReply { .. } => 8 + 1 + 8 + 8 + 8,
             FastRaftMessage::ClientRead { .. } => 8 + 8,
             FastRaftMessage::ClientReply { outcome, .. } => 8 + 8 + outcome.encoded_len(),
             FastRaftMessage::RequestVote { .. } => 8 + 8 + 8 + 8,
@@ -540,6 +552,7 @@ mod tests {
             success: true,
             match_index: LogIndex(4),
             probe: 9,
+            lease_until: SimTime::from_millis(7777),
         });
         roundtrip_fast(&FastRaftMessage::ClientRead {
             session: SessionId::client(3),

@@ -454,3 +454,50 @@ fn wire_messages_used_by_engine_roundtrip() {
     let m = FastRaftMessage::JoinRequest { node: NodeId(7) };
     assert_eq!(FastRaftMessage::from_bytes(&m.to_bytes()).unwrap(), m);
 }
+
+#[test]
+fn recovered_gateway_never_reuses_proposal_ids() {
+    let mut net = cluster(5);
+    let leader = elect(&mut net, NodeId(0));
+    // Several proposals from node 2 commit before the crash, consuming
+    // proposal-sequence numbers.
+    for _ in 0..3 {
+        net.propose(NodeId(2), b"pre-crash");
+        net.deliver_all();
+        tick(&mut net, leader);
+        beat(&mut net, leader);
+    }
+    net.crash(NodeId(2));
+    let stable = net.disk().read(NodeId(2)).expect("stable state").clone();
+    let cfg: Configuration = (0..5).map(NodeId).collect();
+    net.restart(FastRaftNode::recover(
+        NodeId(2),
+        &stable,
+        cfg,
+        Timing::lan(),
+        SimRng::seed_from_u64(501),
+    ));
+    beat(&mut net, leader);
+    // A fresh write from the recovered gateway. Without the persisted
+    // sequence reservation its proposal counter restarts at 0 and re-mints
+    // a pre-crash EntryId: every peer's id dedup then answers with the OLD
+    // entry's commit and the new write silently never enters the log.
+    let key = net.propose(NodeId(2), b"post-crash");
+    net.deliver_all();
+    for _ in 0..2 {
+        tick(&mut net, leader);
+        beat(&mut net, leader);
+    }
+    assert!(
+        committed_response(&net, NodeId(2), key),
+        "post-crash write never answered"
+    );
+    assert!(
+        net.commits(leader)
+            .iter()
+            .any(|c| c.entry.payload.session_key() == Some(key)),
+        "post-crash write was swallowed by proposal-id dedup"
+    );
+    net.assert_exactly_once();
+    net.assert_safety();
+}

@@ -39,6 +39,7 @@ fn recover_from(stable: &StableState, scope: LogScope) -> FastRaftEngine {
         TimerProfile::Base,
         Timing::lan(),
         SimRng::seed_from_u64(1),
+        s.proposal_seq_floor,
     )
 }
 

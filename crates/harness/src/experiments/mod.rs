@@ -9,6 +9,7 @@
 //! | [`ext`]  | Extensions: batch-size sweep, proposer contention, leader failover |
 //! | [`residency`] | Long-run log residency: snapshot compaction bounds per-site memory |
 //! | [`read_mix`] | Client-API probe: 50/50 linearizable-read/write sessions, dedup + lin-check |
+//! | [`lease_mix`] | Leader-lease probe: lease-on vs lease-off twins on a read-heavy lin workload |
 //!
 //! Each experiment returns a structured result with a `render()` method that
 //! prints the same rows/series the paper reports; the `bench` crate exposes
@@ -18,6 +19,7 @@ pub mod ext;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod lease_mix;
 pub mod read_mix;
 pub mod residency;
 pub mod rounds;

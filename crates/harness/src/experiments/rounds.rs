@@ -45,6 +45,10 @@ pub fn run(seed: u64, commits: u64) -> RoundsResult {
         max_bytes_per_append: 64 * 1024,
         snapshot_threshold: 1024,
         session_ttl: 0,
+        // Leases disabled: this experiment measures write commit hops and
+        // its figures predate (and are independent of) the read lease.
+        lease_duration: SimDuration::ZERO,
+        max_clock_skew: SimDuration::ZERO,
     };
     // Proposer chosen among followers (the figures draw P distinct from L).
     let mut rng = SimRng::seed_from_u64(seed ^ 0x0F16);

@@ -112,6 +112,11 @@ pub struct Metrics {
     /// Front-gapped global view detections at (re)activating C-Raft
     /// cluster leaders (ROADMAP snapshot item b probe).
     pub global_view_gaps: u64,
+    /// Linearizable reads served from a live leader lease (zero messages).
+    pub lease_reads: u64,
+    /// Linearizable reads that ran a ReadIndex quorum round (no lease, or
+    /// the lease had lapsed / was still behind the enable barrier).
+    pub readindex_reads: u64,
     /// Peak per-site log residency: the maximum, over sites and time, of
     /// retained stable-storage log entries (both scopes combined). With
     /// compaction enabled this stays bounded by the snapshot thresholds;

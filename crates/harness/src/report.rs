@@ -83,6 +83,10 @@ pub struct RunReport {
     pub client_retries: u64,
     /// Linearizable reads verified by the safety checker.
     pub lin_reads_checked: u64,
+    /// Linearizable reads served from a live leader lease (zero messages).
+    pub lease_reads: u64,
+    /// Linearizable reads that paid a ReadIndex quorum round.
+    pub readindex_reads: u64,
     /// Front-gapped global-view detections (C-Raft leader flap probe).
     pub global_view_gaps: u64,
     /// Peak per-site retained log entries (both scopes) over the whole run —
@@ -134,6 +138,8 @@ impl RunReport {
             duplicates_suppressed: metrics.duplicates_suppressed,
             client_retries: metrics.client_retries,
             lin_reads_checked: safety.reads_checked(),
+            lease_reads: metrics.lease_reads,
+            readindex_reads: metrics.readindex_reads,
             global_view_gaps: metrics.global_view_gaps,
             peak_log_residency: metrics.log_residency_peak,
             bytes_per_dispatch: metrics.bytes_per_dispatch(),

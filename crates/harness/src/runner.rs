@@ -122,6 +122,14 @@ pub struct RunnerConfig {
     pub ack_scope: LogScope,
     /// Samples completing before this instant are excluded from stats.
     pub measure_from: SimTime,
+    /// Maximum injected clock offset across sites. Every node's local clock
+    /// reads `sim_now + offset` with offsets spread evenly over
+    /// `[0, clock_skew]` by node rank — the adversarial extreme where one
+    /// clock runs at the bound ahead of another. Leases stay safe as long
+    /// as this does not exceed the `Timing::max_clock_skew` the protocol
+    /// was configured to tolerate; the skew-sweep tests push it past that
+    /// bound on purpose.
+    pub clock_skew: SimDuration,
 }
 
 struct Slot<P> {
@@ -149,6 +157,9 @@ pub struct Runner<P: ConsensusProtocol> {
     net: Network,
     disk: SimDisk,
     slots: BTreeMap<NodeId, Slot<P>>,
+    /// Per-node clock offset (see [`RunnerConfig::clock_skew`]); a node's
+    /// local clock is stamped `sim_now + offset` before every handler.
+    clock_offsets: BTreeMap<NodeId, SimDuration>,
     metrics: Metrics,
     safety: SafetyChecker,
     workload: Workload,
@@ -202,6 +213,7 @@ impl<P: ConsensusProtocol> Runner<P> {
                     )
                 })
                 .collect(),
+            clock_offsets: BTreeMap::new(),
             metrics: Metrics::new(cfg.measure_from),
             safety,
             workload,
@@ -217,6 +229,18 @@ impl<P: ConsensusProtocol> Runner<P> {
             completed: 0,
         };
         let ids: Vec<NodeId> = runner.slots.keys().copied().collect();
+        // Spread node clocks evenly over [0, clock_skew] by rank: the first
+        // node reads true simulation time, the last runs the full skew
+        // ahead, so the worst pairwise disagreement equals the configured
+        // bound exactly.
+        let skew_us = runner.cfg.clock_skew.as_micros();
+        if skew_us > 0 && ids.len() > 1 {
+            let span = (ids.len() - 1) as u64;
+            for (rank, id) in ids.iter().enumerate() {
+                let offset = SimDuration::from_micros(skew_us * rank as u64 / span);
+                runner.clock_offsets.insert(*id, offset);
+            }
+        }
         for id in ids {
             runner.with_node(id, |n, out| n.bootstrap(out));
         }
@@ -328,6 +352,15 @@ impl<P: ConsensusProtocol> Runner<P> {
         if !slot.up {
             return;
         }
+        // Stamp the node's local clock before the handler: simulation time
+        // plus this node's skew offset. Nodes never read a shared clock —
+        // this is the only place "now" enters the sans-IO stack.
+        let now = self.sim.now();
+        let local = self
+            .clock_offsets
+            .get(&id)
+            .map_or(now, |&o| now.saturating_add(o));
+        slot.node.set_local_clock(local);
         let mut out = Actions::new();
         f(&mut slot.node, &mut out);
         self.process_actions(id, out);
@@ -441,6 +474,8 @@ impl<P: ConsensusProtocol> Runner<P> {
                 Observation::LogCompacted { .. } => self.metrics.compactions += 1,
                 Observation::SnapshotInstalled { .. } => self.metrics.snapshot_installs += 1,
                 Observation::GlobalViewGap { .. } => self.metrics.global_view_gaps += 1,
+                Observation::LeaseRead { .. } => self.metrics.lease_reads += 1,
+                Observation::ReadIndexRead { .. } => self.metrics.readindex_reads += 1,
                 _ => {}
             }
         }
@@ -497,6 +532,12 @@ impl<P: ConsensusProtocol> Runner<P> {
                 let backoff = SimDuration::from_millis(50);
                 self.sim
                     .schedule_after(backoff, SimEvent::ClientRetry { node, seq });
+            }
+            ClientOutcome::Registered { .. } => {
+                // Explicit session registration applied (scenarios don't
+                // issue these today; unit tests drive them directly).
+                self.metrics.op_completed((session, seq), now, false);
+                self.finish_op(node, &op);
             }
             ClientOutcome::SessionExpired => {
                 // Terminal: the session idled past the TTL and its dedup

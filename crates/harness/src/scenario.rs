@@ -125,7 +125,12 @@ impl Scenario {
             // Race the first election: well under everyone's election_min,
             // but still >= 2 heartbeats (Timing::validate) and long enough
             // for vote round trips to finish before the timer re-fires.
-            let lo = (t.election_min / 5).max(t.heartbeat * 2);
+            // The window also stays >= lease + skew (Timing::validate):
+            // the lease itself must not shrink, because grant admission
+            // reconstructs a grant's stamp as `until - lease_duration` and
+            // therefore needs the duration uniform across the cluster.
+            let floor = t.lease_duration + t.max_clock_skew;
+            let lo = (t.election_min / 5).max(t.heartbeat * 2).max(floor);
             let hi = (t.election_min / 4).max(lo + t.heartbeat);
             t.election_min = lo;
             t.election_max = hi;
@@ -215,6 +220,9 @@ impl Scenario {
             seed: self.seed,
             ack_scope,
             measure_from: SimTime::ZERO + self.warmup,
+            // Scenarios run at the full skew the timing claims to tolerate:
+            // leases must stay linearizable under their own worst case.
+            clock_skew: self.timing.max_clock_skew,
         }
     }
 

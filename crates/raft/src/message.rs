@@ -2,6 +2,7 @@
 //! client-session surface (sessioned writes, linearizable reads).
 
 use bytes::Bytes;
+use des::SimTime;
 use wire::{
     ClientOutcome, DecodeError, Decoder, Encoder, EntryId, EntryList, LogIndex, Message, NodeId,
     SessionId, Snapshot, Term, Wire,
@@ -74,6 +75,12 @@ pub enum RaftMessage {
         match_index: LogIndex,
         /// Echo of the request's ReadIndex probe.
         probe: u64,
+        /// Leader-lease grant accompanying a successful ack: the follower
+        /// promises not to vote for a different leader before this instant
+        /// **on its own clock** (`ack time + Timing::lease_duration`).
+        /// [`SimTime::ZERO`] when the follower is clockless or the ack
+        /// failed — no grant.
+        lease_until: SimTime,
     },
     /// Candidate → all: request a vote (§III-A).
     RequestVote {
@@ -200,12 +207,14 @@ impl Wire for RaftMessage {
                 success,
                 match_index,
                 probe,
+                lease_until,
             } => {
                 e.put_u8(3);
                 term.encode(e);
                 success.encode(e);
                 match_index.encode(e);
                 e.put_u64(*probe);
+                e.put_u64(lease_until.as_micros());
             }
             RaftMessage::RequestVote {
                 term,
@@ -273,6 +282,7 @@ impl Wire for RaftMessage {
                 success: bool::decode(d)?,
                 match_index: LogIndex::decode(d)?,
                 probe: d.u64()?,
+                lease_until: SimTime::from_micros(d.u64()?),
             },
             4 => RaftMessage::RequestVote {
                 term: Term::decode(d)?,
@@ -312,7 +322,7 @@ impl Wire for RaftMessage {
             RaftMessage::AppendEntries { entries, .. } => {
                 8 + 8 + 8 + 8 + entries.encoded_len() + 8 + 8
             }
-            RaftMessage::AppendEntriesReply { .. } => 8 + 1 + 8 + 8,
+            RaftMessage::AppendEntriesReply { .. } => 8 + 1 + 8 + 8 + 8,
             RaftMessage::RequestVote { .. } => 8 + 8 + 8 + 8,
             RaftMessage::RequestVoteReply { .. } => 8 + 1,
             RaftMessage::InstallSnapshot { snapshot, .. } => 8 + 8 + snapshot.encoded_len(),
@@ -388,6 +398,7 @@ mod tests {
             success: false,
             match_index: LogIndex(4),
             probe: 4,
+            lease_until: SimTime::from_millis(1234),
         });
         roundtrip(&RaftMessage::RequestVote {
             term: Term(4),

@@ -20,17 +20,22 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use bytes::Bytes;
-use des::SimRng;
+use des::{SimRng, SimTime};
 use storage::StableState;
 use wire::{
     fold_commit_digest, fold_session_digest, session_state_current, Actions, ClientOp,
     ClientOutcome, ClientRequest,
-    Configuration, Consistency, ConsensusProtocol, EntryId, EntryList, LogEntry, LogIndex,
-    LogScope, NodeId, Observation, Payload, PersistCmd, ReadIndexQueue, SessionApply, SessionId,
-    SessionTable, Snapshot, SparseLog, Term, TimerKind, MAX_INSERT_WINDOW,
+    Configuration, Consistency, ConsensusProtocol, EntryId, EntryList, LeaseState, LogEntry,
+    LogIndex, LogScope, NodeId, Observation, Payload, PersistCmd, ReadIndexQueue, SessionApply,
+    SessionId, SessionTable, Snapshot, SparseLog, Term, TimerKind, VoteHold, MAX_INSERT_WINDOW,
 };
 
 use crate::{RaftMessage, Timing};
+
+/// Proposal-sequence numbers are reserved in stable storage in blocks of
+/// this size (one write-ahead command per block, not per proposal). A crash
+/// discards at most one partial block of unused ids.
+const SEQ_RESERVE_BLOCK: u64 = 64;
 
 /// The role a site currently plays (§III-A).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,6 +70,10 @@ struct PendingWrite {
     session: SessionId,
     seq: u64,
     data: Bytes,
+    /// `true` for an explicit session registration ([`ClientOp::Register`]):
+    /// leader-only (the `Propose` wire message carries no op kind), so a
+    /// non-leader routing answers with a redirect instead of forwarding.
+    register: bool,
 }
 
 /// A classic Raft site.
@@ -109,6 +118,11 @@ pub struct RaftNode {
 
     // ---- gateway (client-facing) state ----
     next_seq: u64,
+    /// One past the highest sequence number covered by a persisted
+    /// [`PersistCmd::ReserveProposalSeqs`]; `next_seq` never reaches it
+    /// without first extending the reservation, so recovery restarts the
+    /// counter above every id this site may ever have sent.
+    reserved_seqs: u64,
     /// In-flight session writes submitted at this node, by proposal id.
     pending: BTreeMap<EntryId, PendingWrite>,
     /// `(session, seq)` → proposal id for in-flight writes (client retry
@@ -119,6 +133,19 @@ pub struct RaftNode {
 
     // ---- leader read path (ReadIndex; shared machinery in wire::read) ----
     reads: ReadIndexQueue,
+
+    // ---- leader lease (quorum-free reads; shared machinery in wire::lease) ----
+    /// This node's local clock, stamped by the embedding before each event
+    /// via [`ConsensusProtocol::set_local_clock`]. Stays [`SimTime::ZERO`]
+    /// (clockless) in purely event-driven embeddings, which keeps every
+    /// lease path inert.
+    local_now: SimTime,
+    /// Leader-side grant collection (valid ⇒ linearizable reads served
+    /// locally with zero messages).
+    lease: LeaseState,
+    /// Follower-side half of the promise: refuse rival candidates while a
+    /// grant this node emitted is still live on its own clock.
+    vote_hold: VoteHold,
 
     // ---- leader bookkeeping ----
     /// Where each known proposal id sits in our log (dedup + notification).
@@ -160,10 +187,14 @@ impl RaftNode {
             learners: BTreeSet::new(),
             sessions: SessionTable::new(),
             next_seq: 0,
+            reserved_seqs: 0,
             pending: BTreeMap::new(),
             client_writes: HashMap::new(),
             client_reads: BTreeSet::new(),
             reads: ReadIndexQueue::new(),
+            local_now: SimTime::ZERO,
+            lease: LeaseState::new(),
+            vote_hold: VoteHold::new(),
             id_index: HashMap::new(),
         }
     }
@@ -202,6 +233,11 @@ impl RaftNode {
         for (idx, entry) in node.log.iter() {
             node.id_index.insert(entry.id, idx);
         }
+        // Resume the proposal counter above every persisted reservation:
+        // re-minting a pre-crash id would hit the peers' id-dedup and
+        // silently answer the *old* entry's commit for the new proposal.
+        node.next_seq = stable.global.proposal_seq_floor;
+        node.reserved_seqs = stable.global.proposal_seq_floor;
         node
     }
 
@@ -304,7 +340,7 @@ impl RaftNode {
             self.config.diff_is_single_change(&new_config),
             "configuration change must add or remove at most one site"
         );
-        let id = self.fresh_id();
+        let id = self.fresh_id(out);
         let entry = LogEntry::config(self.current_term, id, new_config);
         self.leader_append(entry, out);
         Ok(id)
@@ -314,7 +350,19 @@ impl RaftNode {
     // Internals
     // ------------------------------------------------------------------
 
-    fn fresh_id(&mut self) -> EntryId {
+    /// Mints a proposal id, extending the persisted sequence reservation
+    /// when the current block runs out. The reservation is write-ahead —
+    /// durable before any message carrying the id leaves this site — so a
+    /// recovered node (see [`RaftNode::recover`]) never re-mints an id a
+    /// peer might still hold in its dedup index.
+    fn fresh_id(&mut self, out: &mut Actions<RaftMessage>) -> EntryId {
+        if self.next_seq >= self.reserved_seqs {
+            self.reserved_seqs = self.next_seq + SEQ_RESERVE_BLOCK;
+            out.persist(PersistCmd::ReserveProposalSeqs {
+                scope: LogScope::Global,
+                through: self.reserved_seqs,
+            });
+        }
         let id = EntryId::new(self.id, self.next_seq);
         self.next_seq += 1;
         id
@@ -387,8 +435,11 @@ impl RaftNode {
     ) {
         let was_leader = self.role == Role::Leader;
         // Leadership (or the term it was confirmed under) is gone: any read
-        // still awaiting its ReadIndex confirmation must not be answered.
+        // still awaiting its ReadIndex confirmation must not be answered,
+        // and collected lease grants are void (they promised a quorum for
+        // *this* leadership).
         self.fail_pending_reads(out);
+        self.lease.clear();
         if term > self.current_term {
             self.current_term = term;
             self.voted_for = None;
@@ -465,6 +516,19 @@ impl RaftNode {
         out.observe(Observation::BecameLeader {
             term: self.current_term,
         });
+        // Arm the lease behind the new-leader barrier: a lease the deposed
+        // leader could still be serving under expires within
+        // `lease_duration + max_clock_skew` of this instant (its newest
+        // grant predates this election win), so waiting that window out
+        // before serving lease reads makes the handover safe even against
+        // grants this node never saw. Inert while clockless or disabled.
+        self.lease.clear();
+        if !self.timing.lease_duration.is_zero() {
+            self.lease.enable_after(
+                self.local_now,
+                self.timing.lease_duration + self.timing.max_clock_skew,
+            );
+        }
         let start = self.log.last_index().next();
         self.next_index.clear();
         self.match_index.clear();
@@ -474,7 +538,7 @@ impl RaftNode {
         }
         // Standard practice (Raft dissertation §6.4): commit a no-op of the
         // new term so earlier-term entries become committable.
-        let id = self.fresh_id();
+        let id = self.fresh_id(out);
         let noop = LogEntry::noop(self.current_term, id);
         self.leader_append(noop, out);
         out.cancel_timer(TimerKind::Election);
@@ -694,19 +758,26 @@ impl RaftNode {
         entry: &LogEntry,
         out: &mut Actions<RaftMessage>,
     ) {
-        let Payload::Write { session, seq, .. } = &entry.payload else {
-            if entry.id.proposer == self.id {
-                self.pending.remove(&entry.id);
+        let (session, seq, is_register) = match &entry.payload {
+            Payload::Write { session, seq, .. } => (*session, *seq, false),
+            Payload::Register { session } => (*session, 1, true),
+            _ => {
+                if entry.id.proposer == self.id {
+                    self.pending.remove(&entry.id);
+                }
+                return;
             }
-            return;
         };
-        let (session, seq) = (*session, *seq);
         // Apply-time expiry check — authoritative (the table covers every
         // commit below `index`): a committed duplicate placement that
         // outlived its session's eviction must not re-apply. Identical on
         // every replica, no digest fold; the proposer/gateway is still
-        // notified through the normal path below.
-        let outcome = if self.timing.session_ttl > 0
+        // notified through the normal path below. A registration is exempt:
+        // it carries no value, so re-applying one past an eviction merely
+        // re-opens an empty session — exactly the property that lets
+        // registered sessions close the seq-1 boundary window.
+        let outcome = if !is_register
+            && self.timing.session_ttl > 0
             && self.sessions.is_expired_retry(session, seq)
         {
             ClientOutcome::SessionExpired
@@ -723,7 +794,11 @@ impl RaftNode {
                         seq,
                         index,
                     });
-                    ClientOutcome::Committed { index }
+                    if is_register {
+                        ClientOutcome::Registered { session, index }
+                    } else {
+                        ClientOutcome::Committed { index }
+                    }
                 }
                 SessionApply::Duplicate { first_index } => {
                     out.observe(Observation::SessionDuplicate {
@@ -732,7 +807,14 @@ impl RaftNode {
                         seq,
                         first_index,
                     });
-                    ClientOutcome::Duplicate { first_index }
+                    if is_register {
+                        ClientOutcome::Registered {
+                            session,
+                            index: first_index,
+                        }
+                    } else {
+                        ClientOutcome::Duplicate { first_index }
+                    }
                 }
             }
         };
@@ -873,6 +955,37 @@ impl RaftNode {
         // Dispatch stays heartbeat-gated; the entry travels on the next tick.
     }
 
+    /// Leader door for an explicit session registration: the committed
+    /// [`Payload::Register`] consumes seq 1 of the session, so a later
+    /// eviction can never leave a re-appliable *data* write at the
+    /// session's boundary (see [`ClientOp::Register`]).
+    fn leader_register(&mut self, id: EntryId, session: SessionId, out: &mut Actions<RaftMessage>) {
+        debug_assert_eq!(self.role, Role::Leader);
+        // Idempotent re-register: seq 1 already applied for this session.
+        if let Some(first_index) = self.sessions.duplicate_of(session, 1) {
+            self.respond_client(
+                self.id,
+                session,
+                1,
+                ClientOutcome::Registered {
+                    session,
+                    index: first_index,
+                },
+                out,
+            );
+            return;
+        }
+        if self.id_index.contains_key(&id) {
+            // Already replicating (gateway retry).
+            return;
+        }
+        // No expired-retry door: re-registering an evicted session is
+        // harmless by construction — the registration carries no value, so
+        // re-applying it merely re-opens an empty dedup window.
+        let entry = LogEntry::register(self.current_term, id, session);
+        self.leader_append(entry, out);
+    }
+
     // ------------------------------------------------------------------
     // Linearizable reads (ReadIndex)
     // ------------------------------------------------------------------
@@ -895,8 +1008,38 @@ impl RaftNode {
             return;
         }
         let floor = self.commit_index;
+        // Lease fast path: a classic quorum of live grants proves no rival
+        // can have been elected, so the current commit floor is linearizable
+        // to serve locally — zero messages, zero round trips (see
+        // `docs/CONSISTENCY.md` for the safety argument).
+        if self
+            .lease
+            .valid_at(self.local_now, &self.config, self.id, self.timing.max_clock_skew)
+        {
+            out.observe(Observation::LeaseRead {
+                session,
+                seq,
+                floor,
+            });
+            self.respond_client(
+                reply_to,
+                session,
+                seq,
+                ClientOutcome::ReadOk {
+                    scope: LogScope::Global,
+                    commit_floor: floor,
+                },
+                out,
+            );
+            return;
+        }
         if self.config.classic_quorum() <= 1 {
             // A single-voter configuration confirms itself.
+            out.observe(Observation::ReadIndexRead {
+                session,
+                seq,
+                floor,
+            });
             self.respond_client(
                 reply_to,
                 session,
@@ -923,6 +1066,11 @@ impl RaftNode {
     /// Counts a follower's heartbeat ack toward pending ReadIndex rounds.
     fn note_read_ack(&mut self, from: NodeId, probe: u64, out: &mut Actions<RaftMessage>) {
         for r in self.reads.note_ack(from, probe, &self.config, self.id) {
+            out.observe(Observation::ReadIndexRead {
+                session: r.session,
+                seq: r.seq,
+                floor: r.floor,
+            });
             self.respond_client(
                 r.reply_to,
                 r.session,
@@ -942,6 +1090,20 @@ impl RaftNode {
         for r in self.reads.drain() {
             self.respond_client(r.reply_to, r.session, r.seq, ClientOutcome::Retry, out);
         }
+    }
+
+    /// Follower-side lease grant riding a successful append ack: a promise
+    /// not to vote for anyone but `leader` before `now + lease_duration` on
+    /// this node's clock, enforced locally via [`VoteHold`]. Returns
+    /// [`SimTime::ZERO`] (no grant) when this node is clockless or leases
+    /// are disabled.
+    fn emit_lease_grant(&mut self, leader: NodeId) -> SimTime {
+        if self.local_now == SimTime::ZERO || self.timing.lease_duration.is_zero() {
+            return SimTime::ZERO;
+        }
+        let until = self.local_now + self.timing.lease_duration;
+        self.vote_hold.note_grant(leader, until);
+        until
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -965,6 +1127,7 @@ impl RaftNode {
                     success: false,
                     match_index: LogIndex::ZERO,
                     probe: 0,
+                    lease_until: SimTime::ZERO,
                 },
             );
             return;
@@ -988,6 +1151,11 @@ impl RaftNode {
                     // leader (Invariant 1), so the leader can restart there.
                     match_index: self.commit_index,
                     probe,
+                    // Even a failed append came from the valid leader of this
+                    // term (checked above), so the vote-hold grant is sound —
+                    // it keeps a briefly log-diverged follower from voiding
+                    // its leader's lease mid-repair.
+                    lease_until: self.emit_lease_grant(leader),
                 },
             );
             return;
@@ -1030,10 +1198,12 @@ impl RaftNode {
                 success: true,
                 match_index: last_new,
                 probe,
+                lease_until: self.emit_lease_grant(leader),
             },
         );
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_append_reply(
         &mut self,
         from: NodeId,
@@ -1041,6 +1211,7 @@ impl RaftNode {
         success: bool,
         match_index: LogIndex,
         probe: u64,
+        lease_until: SimTime,
         out: &mut Actions<RaftMessage>,
     ) {
         if term > self.current_term {
@@ -1049,6 +1220,21 @@ impl RaftNode {
         }
         if self.role != Role::Leader || term < self.current_term {
             return;
+        }
+        // Collect the follower's lease grant (success or not — the promise
+        // is about voting, not log state). A rejected grant means the
+        // granter's clock runs ahead beyond the modeled bound: the lease
+        // quietly degrades to the ReadIndex fallback rather than counting it.
+        if !self.lease.record_grant(
+            from,
+            lease_until,
+            self.local_now,
+            self.timing.lease_duration,
+            self.timing.max_clock_skew,
+        ) {
+            out.observe(Observation::MessageIgnored {
+                reason: "lease grant beyond clock-skew bound",
+            });
         }
         if success {
             let m = self.match_index.entry(from).or_insert(LogIndex::ZERO);
@@ -1152,19 +1338,26 @@ impl RaftNode {
     /// Answers any locally pending write the session table now covers (a
     /// snapshot install can jump the commit floor across its application).
     fn sweep_client_pending(&mut self, out: &mut Actions<RaftMessage>) {
-        let done: Vec<(SessionId, u64, LogIndex)> = self
+        let done: Vec<(SessionId, u64, LogIndex, bool)> = self
             .client_writes
-            .keys()
-            .filter_map(|&(s, q)| self.sessions.duplicate_of(s, q).map(|idx| (s, q, idx)))
+            .iter()
+            .filter_map(|(&(s, q), id)| {
+                self.sessions.duplicate_of(s, q).map(|idx| {
+                    let reg = self.pending.get(id).is_some_and(|w| w.register);
+                    (s, q, idx, reg)
+                })
+            })
             .collect();
-        for (session, seq, first_index) in done {
-            self.respond_client(
-                self.id,
-                session,
-                seq,
-                ClientOutcome::Duplicate { first_index },
-                out,
-            );
+        for (session, seq, first_index, register) in done {
+            let outcome = if register {
+                ClientOutcome::Registered {
+                    session,
+                    index: first_index,
+                }
+            } else {
+                ClientOutcome::Duplicate { first_index }
+            };
+            self.respond_client(self.id, session, seq, outcome, out);
         }
     }
 
@@ -1202,6 +1395,34 @@ impl RaftNode {
         if !self.config.contains(candidate) {
             out.observe(Observation::MessageIgnored {
                 reason: "vote request from non-member",
+            });
+            return;
+        }
+        // Lease hold: the ack this node last sent carried a promise not to
+        // elect anyone but its leader before `until` on this clock. The
+        // request is dropped *without* adopting the candidate's term — a
+        // partitioned candidate's term inflation must not depose a leader
+        // whose lease a quorum still backs. The hold provably expires
+        // before this node's own election timer can fire
+        // (`Timing::validate` pins lease + skew ≤ election_min), so a dead
+        // leader still gets replaced.
+        if self.vote_hold.blocks(candidate, self.local_now) {
+            out.observe(Observation::MessageIgnored {
+                reason: "vote request during lease hold",
+            });
+            return;
+        }
+        // A leader whose own lease is live refuses too, again without
+        // adopting the term: a quorum is promising not to elect anyone
+        // else, so the candidate provably cannot win — stepping down would
+        // only forfeit the lease's availability for nothing.
+        if self.role == Role::Leader
+            && self
+                .lease
+                .valid_at(self.local_now, &self.config, self.id, self.timing.max_clock_skew)
+        {
+            out.observe(Observation::MessageIgnored {
+                reason: "vote request at leader with live lease",
             });
             return;
         }
@@ -1274,6 +1495,25 @@ impl RaftNode {
     /// leader, to the hinted leader otherwise, to every peer when no hint
     /// exists (non-leaders answer with a redirect).
     fn route_write(&mut self, id: EntryId, w: PendingWrite, out: &mut Actions<RaftMessage>) {
+        if w.register {
+            // Registration is leader-only: the Propose message carries no op
+            // kind, so a non-leader gateway surfaces a redirect and the
+            // client re-targets the hinted leader itself.
+            if self.role == Role::Leader {
+                self.leader_register(id, w.session, out);
+            } else {
+                self.respond_client(
+                    self.id,
+                    w.session,
+                    w.seq,
+                    ClientOutcome::Redirect {
+                        leader_hint: self.leader_hint,
+                    },
+                    out,
+                );
+            }
+            return;
+        }
         if self.role == Role::Leader {
             self.on_propose(self.id, id, w.session, w.seq, w.data, out);
         } else if let Some(leader) = self.leader_hint {
@@ -1346,6 +1586,10 @@ impl ConsensusProtocol for RaftNode {
         self.id
     }
 
+    fn set_local_clock(&mut self, now: SimTime) {
+        self.local_now = now;
+    }
+
     fn on_message(&mut self, from: NodeId, msg: RaftMessage, out: &mut Actions<RaftMessage>) {
         // Configuration filter: consensus messages from strangers are
         // ignored (§III-A). Client traffic is exempt: gateways need not be
@@ -1415,7 +1659,8 @@ impl ConsensusProtocol for RaftNode {
                 success,
                 match_index,
                 probe,
-            } => self.on_append_reply(from, term, success, match_index, probe, out),
+                lease_until,
+            } => self.on_append_reply(from, term, success, match_index, probe, lease_until, out),
             RaftMessage::RequestVote {
                 term,
                 candidate,
@@ -1492,14 +1737,63 @@ impl ConsensusProtocol for RaftNode {
                     );
                     return;
                 }
-                let id = self.fresh_id();
-                let w = PendingWrite { session, seq, data };
+                let id = self.fresh_id(out);
+                let w = PendingWrite {
+                    session,
+                    seq,
+                    data,
+                    register: false,
+                };
                 self.pending.insert(id, w.clone());
                 self.client_writes.insert((session, seq), id);
                 self.route_write(id, w, out);
                 out.set_timer(TimerKind::ProposalRetry, self.timing.proposal_timeout);
             }
-            ClientOp::Read(Consistency::StaleLocal) => {
+            ClientOp::Register => {
+                // Server-assigned id on request: derived from this gateway's
+                // node id and proposal counter, so concurrent registrations
+                // at different gateways cannot collide. A *retry* of an
+                // unassigned registration may open a second (unused)
+                // session; the TTL reclaims it.
+                let session = if session.is_unassigned() {
+                    SessionId::assigned(self.id, self.next_seq)
+                } else {
+                    session
+                };
+                if let Some(first_index) = self.sessions.duplicate_of(session, 1) {
+                    self.respond_client(
+                        self.id,
+                        session,
+                        1,
+                        ClientOutcome::Registered {
+                            session,
+                            index: first_index,
+                        },
+                        out,
+                    );
+                    return;
+                }
+                if self.client_writes.contains_key(&(session, 1)) {
+                    out.set_timer(TimerKind::ProposalRetry, self.timing.proposal_timeout);
+                    return;
+                }
+                let id = self.fresh_id(out);
+                let w = PendingWrite {
+                    session,
+                    seq: 1,
+                    data: Bytes::new(),
+                    register: true,
+                };
+                self.pending.insert(id, w.clone());
+                self.client_writes.insert((session, 1), id);
+                self.route_write(id, w, out);
+                out.set_timer(TimerKind::ProposalRetry, self.timing.proposal_timeout);
+            }
+            // A single-level deployment has one log: the local and global
+            // commit floors coincide, so both stale consistencies answer
+            // from `commit_index` immediately.
+            ClientOp::Read(Consistency::StaleLocal)
+            | ClientOp::Read(Consistency::StaleGlobal) => {
                 out.observe(Observation::ClientResponse {
                     session,
                     seq,

@@ -65,6 +65,28 @@ pub struct Timing {
     /// `wire::SessionTable::is_expired_retry` for the full statement of
     /// the trade).
     pub session_ttl: u64,
+    /// Leader-lease window: a follower that acks an AppendEntries at local
+    /// time `T` promises not to vote for a *different* leader before
+    /// `T + lease_duration` on its own clock. A leader holding such grants
+    /// from a quorum (measured with the [`Timing::max_clock_skew`] margin
+    /// subtracted) answers `Consistency::Linearizable` reads locally with
+    /// **zero messages**; outside the window, reads fall back to the
+    /// ReadIndex quorum round. `0` disables leases (every linearizable read
+    /// pays the ReadIndex round — the pre-lease behavior). Leases are also
+    /// inert on nodes whose embedding never stamps a local clock (see
+    /// `wire::ConsensusProtocol::set_local_clock`), so purely event-driven
+    /// tests are unaffected by the default. See `docs/CONSISTENCY.md`.
+    pub lease_duration: SimDuration,
+    /// Modeled worst-case clock skew between any two sites. The lease
+    /// validity check subtracts it from every grant (a granter's clock may
+    /// run up to this much behind the leader's), and a grant whose window
+    /// proves the follower's clock *ahead* by more than this bound is
+    /// rejected at receipt — beyond-bound skew degrades to the ReadIndex
+    /// fallback instead of an unsafe lease. A fresh leader also waits
+    /// `lease_duration + max_clock_skew` on its own clock before serving
+    /// lease reads, so a deposed predecessor's lease can never overlap its
+    /// writes.
+    pub max_clock_skew: SimDuration,
 }
 
 impl Timing {
@@ -83,6 +105,8 @@ impl Timing {
             max_bytes_per_append: 64 * 1024,
             snapshot_threshold: 1024,
             session_ttl: 0,
+            lease_duration: SimDuration::from_millis(300),
+            max_clock_skew: SimDuration::from_millis(50),
         }
     }
 
@@ -102,6 +126,8 @@ impl Timing {
             max_bytes_per_append: 64 * 1024,
             snapshot_threshold: 1024,
             session_ttl: 0,
+            lease_duration: SimDuration::from_millis(1500),
+            max_clock_skew: SimDuration::from_millis(250),
         }
     }
 
@@ -142,6 +168,22 @@ impl Timing {
             self.max_bytes_per_append > 0,
             "append byte budget must be positive"
         );
+        if !self.lease_duration.is_zero() {
+            // A follower's vote-hold must expire no later than its own
+            // election timer can fire after the *last* heartbeat it acked;
+            // otherwise the hold could outlive the follower's willingness to
+            // elect anyone, or — worse — a lease could be considered live
+            // past the point a granter legitimately votes. Keeping
+            // lease + skew inside the minimum election timeout preserves
+            // both liveness and the safety margin.
+            assert!(
+                self.lease_duration + self.max_clock_skew <= self.election_min,
+                "lease_duration {} + max_clock_skew {} must not exceed election_min {}",
+                self.lease_duration,
+                self.max_clock_skew,
+                self.election_min
+            );
+        }
     }
 
     /// The replication budget for one AppendEntries dispatch.
@@ -182,6 +224,24 @@ mod tests {
             let d = t.election_timeout(&mut rng);
             assert!(d >= t.election_min && d <= t.election_max);
         }
+    }
+
+    #[test]
+    fn lease_window_fits_inside_election_min() {
+        for t in [Timing::lan(), Timing::wan()] {
+            assert!(t.lease_duration + t.max_clock_skew <= t.election_min);
+            assert_eq!(t.lease_duration, t.heartbeat * 3);
+            assert_eq!(t.max_clock_skew, t.heartbeat / 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed election_min")]
+    fn validate_rejects_oversized_lease() {
+        let mut t = Timing::lan();
+        t.lease_duration = t.election_min;
+        t.max_clock_skew = SimDuration::from_millis(1);
+        t.validate();
     }
 
     #[test]

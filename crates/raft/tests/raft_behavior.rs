@@ -525,3 +525,54 @@ fn recovery_from_snapshot_plus_suffix_matches_full_log() {
     // crashed_follower test end-to-end).
     assert_eq!(recovered.commit_index(), live.log().compacted_through());
 }
+
+#[test]
+fn recovered_gateway_never_reuses_proposal_ids() {
+    let mut net = cluster(3);
+    let leader = elect_leader(&mut net);
+    // Several writes gatewayed at follower 2 commit before the crash,
+    // consuming proposal-sequence numbers at that gateway.
+    for _ in 0..3 {
+        net.propose(NodeId(2), b"pre-crash");
+        net.deliver_all();
+        net.fire(leader, TimerKind::Heartbeat);
+        net.deliver_all();
+        net.fire(leader, TimerKind::Heartbeat);
+        net.deliver_all();
+    }
+    net.crash(NodeId(2));
+    let stable = net.disk().read(NodeId(2)).expect("disk state").clone();
+    let cfg: Configuration = (0..3).map(NodeId).collect();
+    net.restart(RaftNode::recover(
+        NodeId(2),
+        &stable,
+        cfg,
+        Timing::lan(),
+        SimRng::seed_from_u64(78),
+    ));
+    net.fire(leader, TimerKind::Heartbeat);
+    net.deliver_all();
+    // A fresh write from the recovered gateway. Without the persisted
+    // sequence reservation its proposal counter restarts at 0 and re-mints
+    // a pre-crash EntryId: the leader's id dedup then answers with the OLD
+    // entry's commit and the new write silently never enters the log.
+    let key = net.propose(NodeId(2), b"post-crash");
+    net.deliver_all();
+    for _ in 0..2 {
+        net.fire(leader, TimerKind::Heartbeat);
+        net.deliver_all();
+    }
+    let committed = net
+        .responses_for(NodeId(2), key.0, key.1)
+        .iter()
+        .any(|o| matches!(o, wire::ClientOutcome::Committed { .. }));
+    assert!(committed, "post-crash write never answered");
+    assert!(
+        net.commits(leader)
+            .iter()
+            .any(|c| c.entry.payload.session_key() == Some(key)),
+        "post-crash write was swallowed by proposal-id dedup"
+    );
+    net.assert_exactly_once();
+    net.assert_safety();
+}

@@ -26,6 +26,11 @@ pub struct ScopeState {
     pub log: SparseLog,
     /// The latest snapshot covering the compacted prefix, if any.
     pub snapshot: Option<Snapshot>,
+    /// One past the highest [`wire::EntryId`] sequence number this site has
+    /// reserved at this level; recovery restarts the proposal counter here
+    /// so a rebuilt node never re-mints a pre-crash id (which peers would
+    /// dedup against the *old* entry, silently dropping the new proposal).
+    pub proposal_seq_floor: u64,
 }
 
 /// Everything a site keeps in stable storage.
@@ -97,6 +102,10 @@ impl StableState {
                 {
                     s.snapshot = Some(snapshot.clone());
                 }
+            }
+            PersistCmd::ReserveProposalSeqs { scope, through } => {
+                let s = self.scope_mut(*scope);
+                s.proposal_seq_floor = s.proposal_seq_floor.max(*through);
             }
         }
     }
@@ -228,6 +237,27 @@ mod tests {
         };
         s.apply(&PersistCmd::InstallSnapshot { snapshot: stale });
         assert_eq!(s.global.snapshot.as_ref(), Some(&snap));
+    }
+
+    #[test]
+    fn proposal_seq_reservation_is_scoped_and_monotonic() {
+        let mut s = StableState::new();
+        s.apply(&PersistCmd::ReserveProposalSeqs {
+            scope: LogScope::Global,
+            through: 64,
+        });
+        s.apply(&PersistCmd::ReserveProposalSeqs {
+            scope: LogScope::Local,
+            through: 128,
+        });
+        assert_eq!(s.global.proposal_seq_floor, 64);
+        assert_eq!(s.local.proposal_seq_floor, 128);
+        // A stale (lower) reservation never lowers the floor.
+        s.apply(&PersistCmd::ReserveProposalSeqs {
+            scope: LogScope::Global,
+            through: 32,
+        });
+        assert_eq!(s.global.proposal_seq_floor, 64);
     }
 
     #[test]

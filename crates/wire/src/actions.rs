@@ -11,7 +11,7 @@
 //! This split keeps every protocol step deterministic and unit-testable, and
 //! lets one harness drive all three protocols identically.
 
-use des::SimDuration;
+use des::{SimDuration, SimTime};
 
 use crate::{ClientOutcome, ClientRequest, EntryId, LogEntry, LogIndex, NodeId, SessionId, Term};
 
@@ -122,6 +122,20 @@ pub enum PersistCmd {
     InstallSnapshot {
         /// The snapshot; its `scope` names the log it compacts.
         snapshot: crate::Snapshot,
+    },
+    /// Reserve [`crate::EntryId`] sequence numbers below `through` for this
+    /// proposer: recovery restarts the proposal counter at the highest
+    /// reserved ceiling instead of 0. Without the reservation, a recovered
+    /// gateway re-mints ids it used before the crash, and every peer's
+    /// id-dedup answers "already committed" **for the old entry** — the new
+    /// proposal is silently dropped and its client retries forever.
+    /// Reserving in blocks keeps this to one stable write per block rather
+    /// than per proposal; the ids skipped by a crash are never observed.
+    ReserveProposalSeqs {
+        /// Which consensus level's proposal counter.
+        scope: LogScope,
+        /// One past the highest sequence number covered.
+        through: u64,
     },
 }
 
@@ -278,6 +292,27 @@ pub enum Observation {
         /// The first retained entry above the gap.
         first_retained: LogIndex,
     },
+    /// A linearizable read was answered locally from a live leader lease —
+    /// zero messages on the wire (see `wire::LeaseState` and
+    /// `docs/CONSISTENCY.md`).
+    LeaseRead {
+        /// The issuing session.
+        session: SessionId,
+        /// The request's sequence number.
+        seq: u64,
+        /// The commit floor the answer carried.
+        floor: LogIndex,
+    },
+    /// A linearizable read was confirmed through the ReadIndex quorum round
+    /// (the lease was lapsed, disabled, or not yet enabled).
+    ReadIndexRead {
+        /// The issuing session.
+        session: SessionId,
+        /// The request's sequence number.
+        seq: u64,
+        /// The commit floor the answer carried.
+        floor: LogIndex,
+    },
     /// An incoming message was ignored, with the reason (not-in-config,
     /// stale term, duplicate, ...). Useful in tests.
     MessageIgnored {
@@ -413,13 +448,25 @@ pub trait Message: Clone + core::fmt::Debug {
 /// The uniform driving interface implemented by every protocol node.
 ///
 /// The harness calls these handlers from the event loop; nodes must never
-/// block, sleep, or read clocks — time reaches them only through timers.
+/// block, sleep, or read clocks — time reaches them only through timers and
+/// the embedding-stamped local clock of
+/// [`ConsensusProtocol::set_local_clock`].
 pub trait ConsensusProtocol {
     /// The protocol's message type.
     type Message: Message;
 
     /// This node's id.
     fn id(&self) -> NodeId;
+
+    /// Informs the node of its **local** wall clock before a handler runs.
+    /// The value is an input like any message — different nodes' clocks may
+    /// disagree by up to the modeled skew bound, and nothing in a protocol
+    /// core may treat it as shared truth. Used only by the leader-lease
+    /// read path; the default no-op leaves a node *clockless*, in which
+    /// case all lease logic is inert and linearizable reads always take the
+    /// ReadIndex quorum round (exactly the pre-lease behavior — this is
+    /// what keeps purely event-driven tests deterministic).
+    fn set_local_clock(&mut self, _now: SimTime) {}
 
     /// Handles a message received from `from`.
     fn on_message(&mut self, from: NodeId, msg: Self::Message, out: &mut Actions<Self::Message>);

@@ -59,9 +59,26 @@ pub fn session_state_current(log: &SparseLog, commit_index: LogIndex, current_te
 pub struct SessionId(pub u64);
 
 impl SessionId {
+    /// The reserved "assign me one" id a [`ClientOp::Register`] carries when
+    /// the client wants the server to pick the session id.
+    pub const UNASSIGNED: SessionId = SessionId(0);
+
     /// A client session with the given raw id.
     pub const fn client(id: u64) -> Self {
         SessionId(id)
+    }
+
+    /// A server-assigned session id, derived at the registering gateway from
+    /// its node id and a local counter. The top bit partitions the space so
+    /// assigned ids can never collide with client-chosen ones (which would
+    /// silently merge two sessions' dedup windows).
+    pub const fn assigned(node: NodeId, counter: u64) -> Self {
+        SessionId((1 << 63) | (node.as_u64() << 32) | (counter & 0xffff_ffff))
+    }
+
+    /// `true` for the reserved server-assign sentinel.
+    pub const fn is_unassigned(self) -> bool {
+        self.0 == 0
     }
 
     /// The raw id.
@@ -93,6 +110,17 @@ pub enum Consistency {
     /// Possibly stale: served immediately from the receiving site's local
     /// commit floor, with no coordination.
     StaleLocal,
+    /// Possibly stale, **global scope**: served immediately from the
+    /// receiving site's view of the *global* commit floor, with no
+    /// coordination. In C-Raft this is the cluster's `global_commit_seen`
+    /// — every globally committed batch the cluster has observed — so the
+    /// answer reflects global state without paying the wide-area round a
+    /// [`Consistency::Linearizable`] read costs ("read your cluster's view
+    /// of the world"). The floor is monotone per site but may lag the true
+    /// global floor by replication delay. In the single-level protocols the
+    /// only log *is* the global log, so this is identical to
+    /// [`Consistency::StaleLocal`].
+    StaleGlobal,
 }
 
 /// What a client asks for.
@@ -102,6 +130,19 @@ pub enum ClientOp {
     Write(Bytes),
     /// Report the commit floor at the requested consistency level.
     Read(Consistency),
+    /// Explicitly open the session: a committed no-value op that consumes
+    /// `seq` **1**, separating "session exists" from "first write". A
+    /// registered session's first write is therefore seq 2, which closes
+    /// the expiry boundary documented on
+    /// [`SessionTable::is_expired_retry`]: every post-eviction retry of a
+    /// registered session has `seq > 1` and is detectably stale, so no
+    /// write is ever silently re-applied. Requesting it with session id
+    /// **0** asks the server to assign one (returned in
+    /// [`ClientOutcome::Registered`]); a *retry* of an id-0 registration
+    /// cannot be deduplicated (the client has no identity yet) and may
+    /// open a second, unused session — harmless, and bounded by the
+    /// session TTL.
+    Register,
 }
 
 impl ClientOp {
@@ -140,6 +181,17 @@ impl ClientRequest {
             op: ClientOp::Read(consistency),
         }
     }
+
+    /// A session-registration request (always seq 1 — registration *is*
+    /// the session's first operation; session 0 asks the server to assign
+    /// an id).
+    pub fn register(session: SessionId) -> Self {
+        ClientRequest {
+            session,
+            seq: 1,
+            op: ClientOp::Register,
+        }
+    }
 }
 
 /// The typed answer to a [`ClientRequest`].
@@ -165,6 +217,16 @@ pub enum ClientOutcome {
         scope: LogScope,
         /// The commit floor the answer reflects.
         commit_floor: LogIndex,
+    },
+    /// The session registration committed: the session named here (the
+    /// requested one, or the server-assigned id for requests with session
+    /// 0) is open with seq 1 consumed — its first write must use seq 2.
+    Registered {
+        /// The open session (authoritative: may differ from the request's
+        /// when the server assigned it).
+        session: SessionId,
+        /// Where the registration landed in the log.
+        index: LogIndex,
     },
     /// The receiving node cannot serve the request; retry against
     /// `leader_hint` (when `Some`) or any member (when `None`).
@@ -200,6 +262,7 @@ impl ClientOutcome {
             ClientOutcome::Committed { .. } => "committed",
             ClientOutcome::Duplicate { .. } => "duplicate",
             ClientOutcome::ReadOk { .. } => "read_ok",
+            ClientOutcome::Registered { .. } => "registered",
             ClientOutcome::Redirect { .. } => "redirect",
             ClientOutcome::Retry => "retry",
             ClientOutcome::SessionExpired => "session_expired",
@@ -453,12 +516,14 @@ impl SessionTable {
     ///
     /// **Boundary:** an unknown session with `seq == 1` is indistinguishable
     /// from a new session opening, so it is *not* flagged — a client whose
-    /// only-ever write (seq 1) applied, went unacked, and who then retries
-    /// after sitting idle past the TTL will have that write re-applied.
-    /// This is the classic expiry trade (Raft dissertation §6.3): closing
-    /// it needs an explicit session-registration op so "open" and "write"
-    /// are distinct commands; until then, exactly-once is guaranteed for
-    /// live sessions and for every detectable stale retry (`seq > 1`).
+    /// only-ever seq-1 op applied, went unacked, and who then retries after
+    /// sitting idle past the TTL will have that op re-applied. This is the
+    /// classic expiry trade (Raft dissertation §6.3). [`ClientOp::Register`]
+    /// closes it for clients that opt in: registration is an explicit
+    /// committed op that consumes seq 1, so a registered session's writes
+    /// all carry `seq > 1` and every post-eviction retry is detectable —
+    /// the only re-applyable seq-1 op is the registration itself, which is
+    /// value-free and harmlessly re-opens an empty session.
     pub fn is_expired_retry(&self, session: SessionId, seq: u64) -> bool {
         seq > 1 && !self.sessions.contains_key(&session)
     }

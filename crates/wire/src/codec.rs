@@ -511,12 +511,14 @@ impl Wire for Consistency {
         e.put_u8(match self {
             Consistency::Linearizable => 0,
             Consistency::StaleLocal => 1,
+            Consistency::StaleGlobal => 2,
         });
     }
     fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         match d.u8()? {
             0 => Ok(Consistency::Linearizable),
             1 => Ok(Consistency::StaleLocal),
+            2 => Ok(Consistency::StaleGlobal),
             tag => Err(DecodeError::InvalidTag {
                 ty: "Consistency",
                 tag,
@@ -553,6 +555,11 @@ impl Wire for ClientOutcome {
             }
             ClientOutcome::Retry => e.put_u8(4),
             ClientOutcome::SessionExpired => e.put_u8(5),
+            ClientOutcome::Registered { session, index } => {
+                e.put_u8(6);
+                session.encode(e);
+                index.encode(e);
+            }
         }
     }
     fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
@@ -572,6 +579,10 @@ impl Wire for ClientOutcome {
             },
             4 => ClientOutcome::Retry,
             5 => ClientOutcome::SessionExpired,
+            6 => ClientOutcome::Registered {
+                session: SessionId::decode(d)?,
+                index: LogIndex::decode(d)?,
+            },
             tag => {
                 return Err(DecodeError::InvalidTag {
                     ty: "ClientOutcome",
@@ -584,6 +595,7 @@ impl Wire for ClientOutcome {
         1 + match self {
             ClientOutcome::Committed { .. } | ClientOutcome::Duplicate { .. } => 8,
             ClientOutcome::ReadOk { .. } => 1 + 8,
+            ClientOutcome::Registered { .. } => 8 + 8,
             ClientOutcome::Redirect { leader_hint } => leader_hint.encoded_len(),
             ClientOutcome::Retry | ClientOutcome::SessionExpired => 0,
         }
@@ -712,6 +724,10 @@ impl Wire for Payload {
                 e.put_u64(*seq);
                 data.encode(e);
             }
+            Payload::Register { session } => {
+                e.put_u8(6);
+                session.encode(e);
+            }
         }
     }
     fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
@@ -726,6 +742,9 @@ impl Wire for Payload {
                 seq: d.u64()?,
                 data: Bytes::decode(d)?,
             }),
+            6 => Ok(Payload::Register {
+                session: SessionId::decode(d)?,
+            }),
             tag => Err(DecodeError::InvalidTag { ty: "Payload", tag }),
         }
     }
@@ -737,6 +756,7 @@ impl Wire for Payload {
             Payload::Batch(b) => b.encoded_len(),
             Payload::GlobalState(g) => g.encoded_len(),
             Payload::Write { data, .. } => 8 + 8 + data.encoded_len(),
+            Payload::Register { .. } => 8,
         }
     }
 }
@@ -929,6 +949,7 @@ mod tests {
         roundtrip(&SessionId::client(u64::MAX));
         roundtrip(&Consistency::Linearizable);
         roundtrip(&Consistency::StaleLocal);
+        roundtrip(&Consistency::StaleGlobal);
         roundtrip(&ClientOutcome::Committed {
             index: LogIndex(12),
         });
@@ -943,10 +964,17 @@ mod tests {
             leader_hint: Some(NodeId(2)),
         });
         roundtrip(&ClientOutcome::Retry);
+        roundtrip(&ClientOutcome::Registered {
+            session: SessionId::client(3),
+            index: LogIndex(21),
+        });
         roundtrip(&Payload::Write {
             session: SessionId::client(1),
             seq: 5,
             data: Bytes::from_static(b"value"),
+        });
+        roundtrip(&Payload::Register {
+            session: SessionId::client(44),
         });
     }
 

@@ -138,6 +138,15 @@ pub enum Payload {
     Batch(Batch),
     /// Replicated inter-cluster consensus state (C-Raft local log).
     GlobalState(GlobalState),
+    /// An explicit session registration (`ClientOp::Register`): a committed
+    /// no-value op that opens `session`, consuming seq **1** under
+    /// exactly-once semantics so the session's first real write carries
+    /// seq 2 (see `SessionTable::is_expired_retry` for why that closes the
+    /// expiry re-apply window).
+    Register {
+        /// The session being opened.
+        session: SessionId,
+    },
 }
 
 impl Payload {
@@ -150,6 +159,7 @@ impl Payload {
             Payload::Config(_) => "config",
             Payload::Batch(_) => "batch",
             Payload::GlobalState(_) => "gstate",
+            Payload::Register { .. } => "register",
         }
     }
 
@@ -159,6 +169,7 @@ impl Payload {
     pub fn session_key(&self) -> Option<(SessionId, u64)> {
         match self {
             Payload::Write { session, seq, .. } => Some((*session, *seq)),
+            Payload::Register { session } => Some((*session, 1)),
             _ => None,
         }
     }
@@ -204,6 +215,17 @@ impl LogEntry {
             term,
             id,
             payload: Payload::Write { session, seq, data },
+            approval: Approval::LeaderApproved,
+        }
+    }
+
+    /// Creates an explicit session-registration entry (consumes seq 1 of
+    /// the session — see [`crate::ClientOp::Register`]).
+    pub fn register(term: Term, id: EntryId, session: SessionId) -> Self {
+        LogEntry {
+            term,
+            id,
+            payload: Payload::Register { session },
             approval: Approval::LeaderApproved,
         }
     }

@@ -37,6 +37,7 @@ mod codec;
 mod config;
 mod entry;
 mod ids;
+mod lease;
 mod log;
 mod quorum;
 mod read;
@@ -54,6 +55,7 @@ pub use codec::{DecodeError, Decoder, Encoder, Wire};
 pub use config::{AppendBudget, Configuration};
 pub use entry::{Approval, Batch, BatchItem, EntryList, GlobalState, LogEntry, Payload};
 pub use ids::{ClusterId, EntryId, LogIndex, NodeId, Term};
+pub use lease::{LeaseState, VoteHold};
 pub use log::{SparseLog, MAX_INSERT_WINDOW};
 pub use quorum::{
     classic_quorum, fast_quorum, is_classic_quorum, is_fast_quorum,

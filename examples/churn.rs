@@ -57,6 +57,7 @@ fn main() {
             seed: 4242,
             ack_scope: LogScope::Global,
             measure_from: SimTime::from_secs(3),
+            clock_skew: Timing::lan().max_clock_skew,
         },
         SafetyChecker::new(),
     );

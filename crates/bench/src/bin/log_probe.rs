@@ -306,11 +306,13 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"log_probe\",\n  \"n\": {n},\n  \"cells\": {{\n{}  }},\n  \
          \"series\": {{\n    \"log/lookup_speedup\": {:.2},\n    \"log/scan_speedup\": {:.2},\n    \
-         \"log/append_speedup\": {:.2},\n    \"log/collect_alloc_ratio\": {:.2}\n  }}\n}}\n",
+         \"log/append_speedup\": {:.2},\n    \"log/collect_speedup\": {:.2},\n    \
+         \"log/collect_alloc_ratio\": {:.2}\n  }}\n}}\n",
         lines.trim_end_matches(",\n").to_string() + "\n",
         lookup.speedup(),
         scan.speedup(),
         append.speedup(),
+        collect.speedup(),
         alloc_ratio,
     );
     print!("{json}");
@@ -326,6 +328,12 @@ fn main() {
         scan.speedup() >= 2.0,
         "commit-scan speedup {:.2} below the 2x floor",
         scan.speedup()
+    );
+    assert!(
+        collect.speedup() >= 2.0,
+        "budgeted-collection speedup {:.2} below the 2x floor (segment \
+         windows should make assembly a refcount bump)",
+        collect.speedup()
     );
     assert!(
         collect.new_allocs <= collect.old_allocs,

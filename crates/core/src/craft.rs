@@ -885,6 +885,29 @@ impl wire::ConsensusProtocol for CRaftNode {
             );
         }
     }
+
+    fn pending_applies(&self) -> u64 {
+        self.local.pending_applies()
+            + self
+                .global
+                .as_ref()
+                .map_or(0, |side| side.engine.pending_applies())
+    }
+
+    fn drain_applies(&mut self, out: &mut Actions<CRaftMessage>) {
+        // Local first: a locally applied commit may feed the global batcher
+        // (forward_local_actions consumes the commit records), so draining
+        // local before global keeps the intra-step ordering of the inline
+        // path.
+        let mut ea: Actions<FastRaftMessage> = Actions::new();
+        self.local.drain_applies(&mut ea);
+        self.forward_local_actions(ea, out);
+        if let Some(side) = self.global.as_mut() {
+            let mut ea: Actions<FastRaftMessage> = Actions::new();
+            side.engine.drain_applies(&mut ea);
+            self.forward_global_actions(ea, out);
+        }
+    }
 }
 
 /// The global batch item for a locally committed client value, if the entry

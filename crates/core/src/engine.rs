@@ -162,6 +162,19 @@ enum GateCont {
     LeaderAppend { index: LogIndex, entry: LogEntry },
 }
 
+/// A linearizable read already admitted at a commit floor the state machine
+/// has not caught up to yet (pipelined apply only): the floor is safe — it
+/// was captured under lease or ReadIndex confirmation — but answering before
+/// the apply queue reaches it would let the client observe state older than
+/// its admission point.
+#[derive(Clone, Debug)]
+struct PendingReadAnswer {
+    reply_to: NodeId,
+    session: SessionId,
+    seq: u64,
+    floor: LogIndex,
+}
+
 /// Accumulated acknowledgement for one gated AppendEntries message.
 #[derive(Clone, Debug)]
 struct AckState {
@@ -194,6 +207,14 @@ pub struct FastRaftEngine {
 
     // ---- volatile ----
     commit_index: LogIndex,
+    /// Highest index applied to the state machine. Trails `commit_index`
+    /// only under [`Timing::pipelined_apply`], between a commit advancement
+    /// and the embedding's drain stage; equal to it at every step boundary
+    /// otherwise.
+    applied_index: LogIndex,
+    /// Linearizable reads admitted at a floor above `applied_index`,
+    /// answered when the apply queue catches up (pipelined apply only).
+    reads_awaiting_apply: Vec<PendingReadAnswer>,
     /// Running digest of the committed sequence (the simulated state
     /// machine); captured into snapshots as the state image.
     state_digest: u64,
@@ -350,6 +371,8 @@ impl FastRaftEngine {
             log: wire::SparseLog::new(),
             snapshot: None,
             commit_index: LogIndex::ZERO,
+            applied_index: LogIndex::ZERO,
+            reads_awaiting_apply: Vec::new(),
             state_digest: 0,
             role: Role::Follower,
             leader_hint: None,
@@ -435,6 +458,7 @@ impl FastRaftEngine {
         e.log = log;
         e.snapshot = snapshot;
         e.commit_index = e.log.compacted_through();
+        e.applied_index = e.commit_index;
         e.verified = e.commit_index;
         if let Some((idx, cfg)) = e.log.latest_config() {
             e.config = cfg.clone();
@@ -488,6 +512,13 @@ impl FastRaftEngine {
     /// Highest committed index.
     pub fn commit_index(&self) -> LogIndex {
         self.commit_index
+    }
+
+    /// The highest index applied to the state machine. Equal to
+    /// [`FastRaftEngine::commit_index`] except transiently under
+    /// [`Timing::pipelined_apply`], between commit and the drain stage.
+    pub fn applied_index(&self) -> LogIndex {
+        self.applied_index
     }
 
     /// The log at this level.
@@ -1059,6 +1090,10 @@ impl FastRaftEngine {
     /// positive for a perfectly live session.
     fn applied_session_state_current(&self) -> bool {
         self.role == Role::Leader
+            // Pipelined apply: the table only covers the *applied* prefix;
+            // while the queue is non-empty the door verdict stays inexact
+            // (answers degrade to Retry, never a wrong terminal refusal).
+            && self.applied_index == self.commit_index
             && session_state_current(&self.log, self.commit_index, self.current_term)
     }
 
@@ -1208,16 +1243,7 @@ impl FastRaftEngine {
                 seq,
                 floor,
             });
-            self.respond_client(
-                reply_to,
-                session,
-                seq,
-                ClientOutcome::ReadOk {
-                    scope: self.scope,
-                    commit_floor: floor,
-                },
-                out,
-            );
+            self.answer_read(reply_to, session, seq, floor, out);
             return;
         }
         if self.config.classic_quorum() <= 1 {
@@ -1227,16 +1253,7 @@ impl FastRaftEngine {
                 seq,
                 floor,
             });
-            self.respond_client(
-                reply_to,
-                session,
-                seq,
-                ClientOutcome::ReadOk {
-                    scope: self.scope,
-                    commit_floor: floor,
-                },
-                out,
-            );
+            self.answer_read(reply_to, session, seq, floor, out);
             return;
         }
         // Retry idempotence (see `wire::ReadIndexQueue::is_pending`): the
@@ -1253,23 +1270,13 @@ impl FastRaftEngine {
 
     /// Counts a follower's heartbeat ack toward pending ReadIndex rounds.
     fn note_read_ack(&mut self, from: NodeId, probe: u64, out: &mut Actions<FastRaftMessage>) {
-        let scope = self.scope;
         for r in self.reads.note_ack(from, probe, &self.config, self.id) {
             out.observe(Observation::ReadIndexRead {
                 session: r.session,
                 seq: r.seq,
                 floor: r.floor,
             });
-            self.respond_client(
-                r.reply_to,
-                r.session,
-                r.seq,
-                ClientOutcome::ReadOk {
-                    scope,
-                    commit_floor: r.floor,
-                },
-                out,
-            );
+            self.answer_read(r.reply_to, r.session, r.seq, r.floor, out);
         }
     }
 
@@ -2615,6 +2622,13 @@ impl FastRaftEngine {
     // ------------------------------------------------------------------
 
     /// Leader-side commit: advance through `new_commit`, emitting effects.
+    ///
+    /// Inline (the default) this applies each index on the spot, exactly as
+    /// before; under [`Timing::pipelined_apply`] only the track observations
+    /// and the commit-side protocol bookkeeping happen here — apply effects
+    /// wait for the embedding's drain stage
+    /// ([`FastRaftEngine::drain_applies`]), so the leader keeps assembling
+    /// the next AppendEntries while the committed range applies.
     fn commit_through(
         &mut self,
         new_commit: LogIndex,
@@ -2626,6 +2640,7 @@ impl FastRaftEngine {
             return;
         }
         self.commit_index = new_commit;
+        let inline = !self.timing.pipelined_apply;
         let mut k = old.next();
         while k <= new_commit {
             if fast {
@@ -2633,12 +2648,17 @@ impl FastRaftEngine {
             } else {
                 out.observe(Observation::ClassicTrackCommit { index: k });
             }
-            self.emit_commit_effects(k, out);
+            if inline {
+                self.emit_commit_effects(k, out);
+                self.applied_index = k;
+            }
             k = k.next();
         }
         self.possible.release_through(new_commit);
         self.retarget_lost_proposals(out);
-        self.maybe_compact(out);
+        if inline {
+            self.maybe_compact(out);
+        }
     }
 
     /// Follower-side commit: no track observation (the leader decided).
@@ -2652,14 +2672,103 @@ impl FastRaftEngine {
             return;
         }
         self.commit_index = new_commit;
-        let mut k = old.next();
-        while k <= new_commit {
-            self.emit_commit_effects(k, out);
-            k = k.next();
+        let inline = !self.timing.pipelined_apply;
+        if inline {
+            let mut k = old.next();
+            while k <= new_commit {
+                self.emit_commit_effects(k, out);
+                self.applied_index = k;
+                k = k.next();
+            }
         }
         self.possible.release_through(new_commit);
         self.retarget_lost_proposals(out);
+        if inline {
+            self.maybe_compact(out);
+        }
+    }
+
+    /// Drains the pipelined-apply queue: applies every committed-but-
+    /// unapplied index in commit order, with effects identical to the
+    /// inline path — digest folds, session-table transitions, proposer and
+    /// gateway notifications, commit records, compaction, and the release
+    /// of reads whose floor the state machine just reached.
+    pub fn drain_applies(&mut self, out: &mut Actions<FastRaftMessage>) {
+        while self.applied_index < self.commit_index {
+            let k = self.applied_index.next();
+            self.emit_commit_effects(k, out);
+            self.applied_index = k;
+        }
         self.maybe_compact(out);
+        self.release_applied_reads(out);
+    }
+
+    /// Number of committed-but-unapplied indices queued for pipelined
+    /// apply; always zero at step boundaries in inline mode.
+    pub fn pending_applies(&self) -> u64 {
+        self.commit_index.as_u64() - self.applied_index.as_u64()
+    }
+
+    /// Answers queued linearizable reads whose admission floor the applied
+    /// state now covers (pipelined apply only; a no-op inline, where reads
+    /// are never queued).
+    fn release_applied_reads(&mut self, out: &mut Actions<FastRaftMessage>) {
+        if self.reads_awaiting_apply.is_empty() {
+            return;
+        }
+        let applied = self.applied_index;
+        let ready: Vec<PendingReadAnswer> = {
+            let (ready, waiting) = std::mem::take(&mut self.reads_awaiting_apply)
+                .into_iter()
+                .partition(|r| r.floor <= applied);
+            self.reads_awaiting_apply = waiting;
+            ready
+        };
+        for r in ready {
+            self.respond_client(
+                r.reply_to,
+                r.session,
+                r.seq,
+                ClientOutcome::ReadOk {
+                    scope: self.scope,
+                    commit_floor: r.floor,
+                },
+                out,
+            );
+        }
+    }
+
+    /// Emits a linearizable read's answer — immediately when the applied
+    /// state already covers the admission floor (always true inline),
+    /// queued behind the apply pipeline otherwise, so the client can never
+    /// observe state older than the floor its read was admitted at.
+    fn answer_read(
+        &mut self,
+        reply_to: NodeId,
+        session: SessionId,
+        seq: u64,
+        floor: LogIndex,
+        out: &mut Actions<FastRaftMessage>,
+    ) {
+        if floor <= self.applied_index {
+            self.respond_client(
+                reply_to,
+                session,
+                seq,
+                ClientOutcome::ReadOk {
+                    scope: self.scope,
+                    commit_floor: floor,
+                },
+                out,
+            );
+        } else {
+            self.reads_awaiting_apply.push(PendingReadAnswer {
+                reply_to,
+                session,
+                seq,
+                floor,
+            });
+        }
     }
 
     fn emit_commit_effects(&mut self, k: LogIndex, out: &mut Actions<FastRaftMessage>) {
@@ -2897,11 +3006,15 @@ impl FastRaftEngine {
             return;
         }
         let horizon = self.log.compacted_through();
-        let retained_decided = self.commit_index.as_u64().saturating_sub(horizon.as_u64());
+        // Compaction is bounded by the *applied* prefix, not the committed
+        // one: the snapshot captures digest + session table, which are
+        // apply-time state. Inline, applied == committed here; pipelined,
+        // compaction simply runs at the drain stage.
+        let retained_decided = self.applied_index.as_u64().saturating_sub(horizon.as_u64());
         if retained_decided <= threshold {
             return;
         }
-        let through = self.commit_index;
+        let through = self.applied_index;
         let snapshot = Snapshot {
             scope: self.scope,
             last_index: through,
@@ -3043,9 +3156,13 @@ impl FastRaftEngine {
             self.state_digest = digest;
         }
         // Adopt the applied session state: the snapshot's table covers
-        // strictly more commits than ours (last_index > old commit).
+        // strictly more commits than ours (last_index > old commit). The
+        // apply pipeline fast-forwards with it — the snapshot state already
+        // subsumes any queued-but-undrained range, whose entries the
+        // install just discarded.
         self.sessions = snapshot.sessions.clone();
         self.commit_index = last_index;
+        self.applied_index = last_index;
         self.verified = self.verified.max(last_index);
         if last_index > self.last_leader_index {
             self.last_leader_index = last_index;
@@ -3059,6 +3176,7 @@ impl FastRaftEngine {
         // Gateway sweep: writes submitted here whose application the
         // install fast-forwarded past must still be answered.
         self.sweep_client_pending(out);
+        self.release_applied_reads(out);
         self.retarget_lost_proposals(out);
         out.send(
             from,

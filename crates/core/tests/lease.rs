@@ -11,12 +11,16 @@ use wire::{
 };
 
 fn cluster(n: u64) -> Lockstep<FastRaftNode> {
+    cluster_with(n, Timing::lan()) // lease 300 ms, skew bound 50 ms, barrier 350 ms
+}
+
+fn cluster_with(n: u64, timing: Timing) -> Lockstep<FastRaftNode> {
     let cfg: Configuration = (0..n).map(NodeId).collect();
     Lockstep::new((0..n).map(|i| {
         FastRaftNode::new(
             NodeId(i),
             cfg.clone(),
-            Timing::lan(), // lease 300 ms, skew bound 50 ms, barrier 350 ms
+            timing,
             SimRng::seed_from_u64(9300 + i),
         )
     }))
@@ -173,4 +177,124 @@ fn stale_global_read_on_single_level_equals_stale_local() {
         !net.deliver_one(),
         "StaleGlobal is a zero-message read at any site"
     );
+}
+
+// ---------------------------------------------------------------------
+// Pipelined apply through the shared engine: the same floor/queue contract
+// the classic-Raft suite pins (`crates/raft/tests/lease.rs`), exercised on
+// `FastRaftNode` so the engine's commit/apply split is covered directly.
+
+#[test]
+fn engine_pipelined_apply_holds_lease_read_until_floor_applied() {
+    let mut timing = Timing::lan();
+    timing.pipelined_apply = true;
+    let mut net = cluster_with(3, timing);
+    let leader = elect_with_lease(&mut net);
+    // Clear the election-era apply backlog so the test isolates one write.
+    net.with_node(leader, |n, out| n.drain_applies(out));
+    stamp_all(&mut net, 1500);
+
+    // Commit a write. In Fast Raft the proposal fast-broadcasts to every
+    // site first; the leader orders (and, with the fast acks in, commits)
+    // it on its next LeaderTick. The commit index advances, the apply
+    // stays queued.
+    let wkey = net.propose(leader, b"pipelined");
+    net.deliver_all();
+    net.fire(leader, TimerKind::LeaderTick);
+    net.deliver_all();
+    let k = net.node(leader).commit_index();
+    assert!(
+        net.node(leader).pending_applies() > 0,
+        "commit should leave the apply queue non-empty under pipelining"
+    );
+    assert!(net.node(leader).applied_index() < k);
+    assert!(
+        net.responses_for(leader, wkey.0, wkey.1).is_empty(),
+        "write acked before its entry was applied"
+    );
+
+    // A lease read is admitted immediately (floor = k) but not answered
+    // while the applied index trails the floor: answering now would let
+    // the read observe state older than its floor.
+    let before = lease_reads(&net);
+    let rkey = net.read(leader, Consistency::Linearizable);
+    assert_eq!(lease_reads(&net), before + 1, "admission is not delayed");
+    assert!(
+        net.responses_for(leader, rkey.0, rkey.1).is_empty(),
+        "read answered while applied index trailed its floor"
+    );
+
+    // The drain stage applies through k and releases both answers.
+    net.with_node(leader, |n, out| n.drain_applies(out));
+    assert_eq!(net.node(leader).applied_index(), k);
+    assert!(net
+        .responses_for(leader, wkey.0, wkey.1)
+        .iter()
+        .any(|o| matches!(o, ClientOutcome::Committed { .. })));
+    let outcomes = net.responses_for(leader, rkey.0, rkey.1);
+    assert!(
+        outcomes
+            .iter()
+            .any(|o| matches!(o, ClientOutcome::ReadOk { commit_floor, .. } if *commit_floor >= k)),
+        "read not released at a floor covering the write: {outcomes:?}"
+    );
+    net.assert_safety();
+}
+
+/// Pipelined apply is a scheduling change only in the engine too: across
+/// random write schedules and random drain points, every node's
+/// committed-sequence digest (and commit horizon) matches the inline twin.
+#[test]
+fn engine_pipelined_and_inline_apply_agree_on_digests() {
+    let run = |seed: u64, writes: u64, drain_mask: u64, pipelined: bool| -> Vec<(u64, u64)> {
+        let mut timing = Timing::lan();
+        timing.pipelined_apply = pipelined;
+        let cfg: Configuration = (0..3).map(NodeId).collect();
+        let mut net = Lockstep::new((0..3).map(|i| {
+            FastRaftNode::new(
+                NodeId(i),
+                cfg.clone(),
+                timing,
+                SimRng::seed_from_u64(seed * 100 + i),
+            )
+        }));
+        stamp_all(&mut net, 1000);
+        net.fire(NodeId(0), TimerKind::Election);
+        net.deliver_all();
+        assert_eq!(net.node(NodeId(0)).role(), Role::Leader);
+        for w in 0..writes {
+            net.propose(NodeId(0), &[seed as u8, w as u8]);
+            net.deliver_all();
+            net.fire(NodeId(0), TimerKind::LeaderTick);
+            net.deliver_all();
+            if (drain_mask >> w) & 1 == 1 {
+                for id in net.ids() {
+                    net.with_node(id, |n, out| n.drain_applies(out));
+                }
+            }
+        }
+        // Spread the final commit horizon, then drain everything.
+        net.fire(NodeId(0), TimerKind::Heartbeat);
+        net.deliver_all();
+        for id in net.ids() {
+            net.with_node(id, |n, out| n.drain_applies(out));
+        }
+        net.ids()
+            .iter()
+            .map(|&id| {
+                let n = net.node(id);
+                assert_eq!(n.applied_index(), n.commit_index(), "undrained applies");
+                (n.state_digest(), n.commit_index().as_u64())
+            })
+            .collect()
+    };
+    let mut rng = SimRng::seed_from_u64(0xD1936);
+    for case in 0..12u64 {
+        let seed = 1 + rng.gen_range(0..10_000u64);
+        let writes = 1 + rng.gen_range(0..10u64);
+        let drain_mask = rng.gen_range(0..u64::MAX);
+        let inline = run(seed, writes, drain_mask, false);
+        let piped = run(seed, writes, drain_mask, true);
+        assert_eq!(inline, piped, "case {case}: digests diverged");
+    }
 }

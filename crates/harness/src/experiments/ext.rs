@@ -58,6 +58,7 @@ pub fn batch_sweep(seed: u64, batch_sizes: &[usize], secs: u64) -> BatchSweepRes
             faults: Vec::new(),
             leader_bias: None,
             reads: None,
+            unbatched_persists: false,
         };
         let craft = CRaftScenario {
             clusters,
@@ -155,6 +156,7 @@ pub fn contention(seed: u64, max_proposers: usize, secs: u64) -> ContentionResul
             faults: Vec::new(),
             leader_bias: None,
             reads: None,
+            unbatched_persists: false,
         };
         let (report, metrics) = run_fast_raft(&s);
         assert!(report.safety_ok);
@@ -232,6 +234,7 @@ pub fn failover(seed: u64, crash_at_s: u64, total_s: u64) -> FailoverResult {
         faults: vec![(crash_at, FaultAction::Crash(NodeId(0)))],
         leader_bias: Some(NodeId(0)),
         reads: None,
+        unbatched_persists: false,
     };
     let (report, metrics) = run_fast_raft(&s);
     let crash_s = crash_at.as_secs_f64();
@@ -333,6 +336,7 @@ pub fn mode_ablation(seed: u64, cluster_counts: &[u64], secs: u64) -> ModeAblati
             faults: Vec::new(),
             leader_bias: None,
             reads: None,
+            unbatched_persists: false,
         };
         let mut broadcast = CRaftScenario::paper(clusters);
         broadcast.global_proposal_mode = consensus_core::ProposalMode::Broadcast;

@@ -57,6 +57,7 @@ pub fn run(seed: u64, leave_at_s: u64, total_s: u64) -> Fig4Result {
         ],
         leader_bias: Some(NodeId(0)),
         reads: None,
+        unbatched_persists: false,
     };
     let (report, metrics) = run_fast_raft(&scenario);
     let points: Vec<Fig4Point> = metrics

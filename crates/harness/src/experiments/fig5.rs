@@ -53,6 +53,7 @@ fn scenario(sites: u64, clusters: u64, seed: u64, secs: u64) -> Scenario {
         faults: Vec::new(),
         leader_bias: None,
         reads: None,
+        unbatched_persists: false,
     }
 }
 

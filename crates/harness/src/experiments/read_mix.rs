@@ -93,6 +93,7 @@ fn craft_scenario(seed: u64, ops: u64) -> (Scenario, CRaftScenario) {
         faults: Vec::new(),
         leader_bias: None,
         reads: Some(ReadMix::half_linearizable()),
+        unbatched_persists: false,
     };
     (s, CRaftScenario::paper(2))
 }

@@ -79,6 +79,7 @@ fn fast_scenario(seed: u64, secs: u64, threshold: u64) -> Scenario {
         ],
         leader_bias: Some(NodeId(0)),
         reads: None,
+        unbatched_persists: false,
     }
 }
 
@@ -104,6 +105,7 @@ fn craft_scenario(seed: u64, secs: u64, threshold: u64) -> (Scenario, CRaftScena
         faults: vec![(SimTime::from_secs(secs / 3), FaultAction::Crash(NodeId(0)))],
         leader_bias: None,
         reads: None,
+        unbatched_persists: false,
     };
     let mut c = CRaftScenario::paper(clusters);
     c.batch_size = 1;

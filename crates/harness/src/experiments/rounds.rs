@@ -49,6 +49,8 @@ pub fn run(seed: u64, commits: u64) -> RoundsResult {
         // its figures predate (and are independent of) the read lease.
         lease_duration: SimDuration::ZERO,
         max_clock_skew: SimDuration::ZERO,
+        disk_fsync_latency: SimDuration::ZERO,
+        pipelined_apply: false,
     };
     // Proposer chosen among followers (the figures draw P distinct from L).
     let mut rng = SimRng::seed_from_u64(seed ^ 0x0F16);
@@ -69,6 +71,7 @@ pub fn run(seed: u64, commits: u64) -> RoundsResult {
         faults: Vec::new(),
         leader_bias: Some(NodeId(0)),
         reads: None,
+        unbatched_persists: false,
     };
     let (raft_report, _) = run_classic_raft(&scenario);
     let (fast_report, _) = run_fast_raft(&scenario);

@@ -122,6 +122,14 @@ pub struct Metrics {
     /// compaction enabled this stays bounded by the snapshot thresholds;
     /// without it, it grows linearly with run length.
     pub log_residency_peak: u64,
+    /// Fsync boundaries charged across all sites: one per persisting
+    /// protocol step under group commit, one per command in the unbatched
+    /// twin. The honest write-path cost — `persist_cmds / persist_batches`
+    /// is the coalescing factor group commit buys.
+    pub persist_batches: u64,
+    /// Persist commands written across all sites (identical between the
+    /// batched and unbatched twins; only the boundary count differs).
+    pub persist_cmds: u64,
     /// Protocol steps that released at least one message.
     pub dispatches: u64,
     /// Messages offered to the network across all dispatches.
@@ -215,6 +223,23 @@ impl Metrics {
         self.dispatches += 1;
         self.messages_sent += messages;
         self.bytes_sent += bytes;
+    }
+
+    /// Records one persisting protocol step: `boundaries` fsync boundaries
+    /// covering `cmds` persist commands.
+    pub fn note_persists(&mut self, boundaries: u64, cmds: u64) {
+        self.persist_batches += boundaries;
+        self.persist_cmds += cmds;
+    }
+
+    /// Mean persist commands coalesced per fsync boundary (1.0 in the
+    /// unbatched twin by construction; higher is cheaper).
+    pub fn cmds_per_batch(&self) -> f64 {
+        if self.persist_batches == 0 {
+            0.0
+        } else {
+            self.persist_cmds as f64 / self.persist_batches as f64
+        }
     }
 
     /// Records one site's current stable-log residency (retained entries

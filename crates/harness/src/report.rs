@@ -95,6 +95,13 @@ pub struct RunReport {
     /// Mean encoded bytes offered to the network per message-producing
     /// protocol step.
     pub bytes_per_dispatch: f64,
+    /// Fsync boundaries charged across all sites (group commit: one per
+    /// persisting step; unbatched twin: one per command).
+    pub persist_batches: u64,
+    /// Persist commands written across all sites.
+    pub persist_cmds: u64,
+    /// Mean persist commands coalesced per fsync boundary.
+    pub cmds_per_batch: f64,
     /// Network summary.
     pub net: NetSummary,
     /// Whether the safety property held.
@@ -143,6 +150,9 @@ impl RunReport {
             global_view_gaps: metrics.global_view_gaps,
             peak_log_residency: metrics.log_residency_peak,
             bytes_per_dispatch: metrics.bytes_per_dispatch(),
+            persist_batches: metrics.persist_batches,
+            persist_cmds: metrics.persist_cmds,
+            cmds_per_batch: metrics.cmds_per_batch(),
             net: NetSummary::from(net),
             safety_ok: safety.is_ok(),
             commits_checked: safety.commits_seen(),

@@ -23,7 +23,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use bytes::Bytes;
 use des::{EventId, SimDuration, SimRng, SimTime, Simulation};
 use simnet::{Network, Verdict};
-use storage::{SimDisk, StableState};
+use storage::{PersistBatch, SimDisk, StableState};
 use wire::{
     Actions, ClientOp, ClientOutcome, ClientRequest, Consistency, ConsensusProtocol, LogScope,
     Message, NodeId, Observation, Payload, SessionId, TimerKind,
@@ -60,6 +60,9 @@ enum SimEvent<M> {
     /// Client-level retry: resubmit the outstanding `(session, seq)` at
     /// `node` if `seq` is still the one in flight.
     ClientRetry { node: NodeId, seq: u64 },
+    /// Pipelined apply: drain `node`'s apply queue as its own stage, after
+    /// the step that advanced the commit index has released its effects.
+    ApplyDrain { node: NodeId },
     Fault(FaultAction),
 }
 
@@ -130,6 +133,17 @@ pub struct RunnerConfig {
     /// was configured to tolerate; the skew-sweep tests push it past that
     /// bound on purpose.
     pub clock_skew: SimDuration,
+    /// Simulated cost of one fsync boundary. A protocol step that persisted
+    /// anything holds its outgoing messages back by this much (write-ahead:
+    /// sends release only once the persist is durable) — once per step under
+    /// group commit, once per command in the unbatched twin. `ZERO` keeps
+    /// every trace byte-identical to the latency-free model.
+    pub disk_fsync_latency: SimDuration,
+    /// Apply each persist command as its own fsync boundary instead of
+    /// group-committing a step's commands into one batch. The honest twin
+    /// for write-path measurements: same durable contents, N boundaries
+    /// (and N × `disk_fsync_latency`) where group commit pays one.
+    pub unbatched_persists: bool,
 }
 
 struct Slot<P> {
@@ -177,6 +191,9 @@ pub struct Runner<P: ConsensusProtocol> {
     next_seq: BTreeMap<NodeId, u64>,
     /// Clients that already issued their final linearizable read.
     final_issued: HashSet<NodeId>,
+    /// Nodes with an [`SimEvent::ApplyDrain`] already in flight (pipelined
+    /// apply schedules at most one drain per node at a time).
+    drains_scheduled: HashSet<NodeId>,
     final_done: u64,
     completed: u64,
 }
@@ -225,6 +242,7 @@ impl<P: ConsensusProtocol> Runner<P> {
             outstanding: HashMap::new(),
             next_seq: BTreeMap::new(),
             final_issued: HashSet::new(),
+            drains_scheduled: HashSet::new(),
             final_done: 0,
             completed: 0,
         };
@@ -341,6 +359,10 @@ impl<P: ConsensusProtocol> Runner<P> {
             }
             SimEvent::Propose { node } => self.issue_op(node),
             SimEvent::ClientRetry { node, seq } => self.client_retry(node, seq),
+            SimEvent::ApplyDrain { node } => {
+                self.drains_scheduled.remove(&node);
+                self.with_node(node, |n, out| n.drain_applies(out));
+            }
             SimEvent::Fault(fault) => self.apply_fault(fault),
         }
     }
@@ -363,14 +385,36 @@ impl<P: ConsensusProtocol> Runner<P> {
         slot.node.set_local_clock(local);
         let mut out = Actions::new();
         f(&mut slot.node, &mut out);
+        // Pipelined apply: the handler may have advanced the commit index
+        // past the applied index. Drain as a separate zero-delay stage (one
+        // in-flight event per node) so the apply lands after this step's
+        // effects are released. Inline mode never leaves a queue behind, so
+        // no event is ever scheduled and traces stay byte-identical.
+        let wants_drain = slot.node.pending_applies() > 0;
         self.process_actions(id, out);
+        if wants_drain && self.drains_scheduled.insert(id) {
+            self.sim
+                .schedule_after(SimDuration::ZERO, SimEvent::ApplyDrain { node: id });
+        }
     }
 
-    fn process_actions(&mut self, from: NodeId, out: Actions<P::Message>) {
+    fn process_actions(&mut self, from: NodeId, mut out: Actions<P::Message>) {
         // Write-ahead: persistence lands before any message is released.
-        let wrote = !out.persists.is_empty();
-        self.disk.apply(from, out.persists.iter());
-        if wrote {
+        // Group commit: every command a step emitted shares one fsync
+        // boundary; the unbatched twin pays one boundary per command.
+        let persist_cmds = out.persists.len() as u64;
+        let fsync_boundaries = if persist_cmds == 0 {
+            0
+        } else if self.cfg.unbatched_persists {
+            self.disk.apply(from, out.persists.iter());
+            persist_cmds
+        } else {
+            let batch = PersistBatch::from_cmds(std::mem::take(&mut out.persists));
+            self.disk.apply_batch(from, &batch);
+            1
+        };
+        if fsync_boundaries > 0 {
+            self.metrics.note_persists(fsync_boundaries, persist_cmds);
             // Track peak per-site log residency at every write boundary so
             // compaction wins (and their absence) are visible in reports.
             if let Some(stable) = self.disk.read(from) {
@@ -378,6 +422,10 @@ impl<P: ConsensusProtocol> Runner<P> {
                 self.metrics.note_residency(retained as u64);
             }
         }
+        // A step that persisted holds its outgoing messages until the fsync
+        // completes. Timers are local bookkeeping and commit/observation
+        // effects are applied state — neither waits on the disk.
+        let persist_delay = self.cfg.disk_fsync_latency * fsync_boundaries;
 
         for cmd in out.timers {
             match cmd {
@@ -412,7 +460,7 @@ impl<P: ConsensusProtocol> Runner<P> {
             match self.net.judge(from, to, size, &mut self.net_rng) {
                 Verdict::Deliver { after } => {
                     self.sim
-                        .schedule_after(after, SimEvent::Deliver { from, to, msg });
+                        .schedule_after(after + persist_delay, SimEvent::Deliver { from, to, msg });
                 }
                 Verdict::Drop { .. } => {}
             }

@@ -93,6 +93,11 @@ pub struct Scenario {
     /// Client read mix (None = the all-write workload every experiment
     /// used before the session API).
     pub reads: Option<ReadMix>,
+    /// Apply each persist command as its own fsync boundary instead of
+    /// group-committing a step's commands into one batch — the honest twin
+    /// for write-path measurements (same durable contents, N fsyncs where
+    /// group commit pays one). Scenarios leave this off.
+    pub unbatched_persists: bool,
 }
 
 impl Scenario {
@@ -115,6 +120,7 @@ impl Scenario {
             faults: Vec::new(),
             leader_bias: None,
             reads: None,
+            unbatched_persists: false,
         }
     }
 
@@ -223,6 +229,8 @@ impl Scenario {
             // Scenarios run at the full skew the timing claims to tolerate:
             // leases must stay linearizable under their own worst case.
             clock_skew: self.timing.max_clock_skew,
+            disk_fsync_latency: self.timing.disk_fsync_latency,
+            unbatched_persists: self.unbatched_persists,
         }
     }
 

@@ -33,6 +33,7 @@ fn fast_raft_rejoin_after_compaction_installs_snapshot() {
         ],
         leader_bias: Some(NodeId(0)),
         reads: None,
+        unbatched_persists: false,
     };
     let (report, _) = run_fast_raft(&s);
     assert!(report.safety_ok);
@@ -88,6 +89,7 @@ fn craft_successor_leader_installs_global_snapshot() {
         faults: vec![(SimTime::from_secs(20), FaultAction::Crash(NodeId(0)))],
         leader_bias: None,
         reads: None,
+        unbatched_persists: false,
     };
     let craft = CRaftScenario {
         clusters,

@@ -57,6 +57,8 @@ fn fast_runner(skew: SimDuration, seed: u64) -> Runner<FastRaftNode> {
             ack_scope: LogScope::Global,
             measure_from: SimTime::from_secs(3),
             clock_skew: skew,
+            disk_fsync_latency: SimDuration::ZERO,
+            unbatched_persists: false,
         },
         SafetyChecker::new(),
     )
@@ -147,6 +149,8 @@ fn classic_raft_sweep_stays_green() {
                 ack_scope: LogScope::Global,
                 measure_from: SimTime::from_secs(3),
                 clock_skew: SimDuration::from_millis(skew_ms),
+                disk_fsync_latency: SimDuration::ZERO,
+                unbatched_persists: false,
             },
             SafetyChecker::new(),
         );
@@ -185,6 +189,7 @@ fn craft_sweep_stays_green() {
             faults: Vec::new(),
             leader_bias: None,
             reads: Some(ReadMix::half_linearizable()),
+            unbatched_persists: false,
         };
         let (report, _) = run_craft(&s, &CRaftScenario::paper(2));
         assert!(report.safety_ok, "c-raft checker violated at {skew_ms}ms");

@@ -79,6 +79,7 @@ fn craft_mixed_workload_serves_global_reads() {
         faults: Vec::new(),
         leader_bias: None,
         reads: Some(ReadMix::half_linearizable()),
+        unbatched_persists: false,
     };
     let (report, _) = run_craft(&s, &CRaftScenario::paper(2));
     assert!(report.safety_ok);

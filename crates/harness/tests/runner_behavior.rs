@@ -23,6 +23,7 @@ fn base(seed: u64) -> Scenario {
         faults: Vec::new(),
         leader_bias: None,
         reads: None,
+        unbatched_persists: false,
     }
 }
 

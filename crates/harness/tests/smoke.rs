@@ -58,6 +58,7 @@ fn craft_commits_globally() {
         faults: Vec::new(),
         leader_bias: None,
         reads: None,
+        unbatched_persists: false,
     };
     let (report, _) = run_craft(
         &s,

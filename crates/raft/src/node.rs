@@ -63,6 +63,19 @@ impl std::fmt::Display for NotLeader {
 
 impl std::error::Error for NotLeader {}
 
+/// A linearizable read already admitted at a commit floor the state machine
+/// has not caught up to yet (pipelined apply only): the floor is safe — it
+/// was captured under lease or ReadIndex confirmation — but answering before
+/// the apply queue reaches it would let the client observe state older than
+/// its admission point.
+#[derive(Clone, Debug)]
+struct PendingReadAnswer {
+    reply_to: NodeId,
+    session: SessionId,
+    seq: u64,
+    floor: LogIndex,
+}
+
 /// A session-tagged client write traveling through the gateway's retry
 /// machinery until its commit is observed.
 #[derive(Clone, Debug)]
@@ -93,6 +106,14 @@ pub struct RaftNode {
 
     // ---- volatile state ----
     commit_index: LogIndex,
+    /// Highest index applied to the state machine. Trails `commit_index`
+    /// only under [`Timing::pipelined_apply`], between a commit advancement
+    /// and the embedding's drain stage; equal to it at every step boundary
+    /// otherwise.
+    applied_index: LogIndex,
+    /// Linearizable reads admitted at a floor above `applied_index`,
+    /// answered when the apply queue catches up (pipelined apply only).
+    reads_awaiting_apply: Vec<PendingReadAnswer>,
     /// Running digest of the committed sequence (the simulated state
     /// machine); captured into snapshots as the state image.
     state_digest: u64,
@@ -176,6 +197,8 @@ impl RaftNode {
             log: SparseLog::new(),
             snapshot: None,
             commit_index: LogIndex::ZERO,
+            applied_index: LogIndex::ZERO,
+            reads_awaiting_apply: Vec::new(),
             state_digest: 0,
             role: Role::Follower,
             leader_hint: None,
@@ -218,6 +241,7 @@ impl RaftNode {
         // horizon instead of replaying (now unavailable) history.
         node.snapshot = stable.global.snapshot.clone();
         node.commit_index = node.log.compacted_through();
+        node.applied_index = node.commit_index;
         if let Some(snap) = &node.snapshot {
             node.config = snap.config.clone();
             node.config_index = snap.last_index;
@@ -254,6 +278,13 @@ impl RaftNode {
     /// The highest committed index.
     pub fn commit_index(&self) -> LogIndex {
         self.commit_index
+    }
+
+    /// The highest index applied to the state machine. Equal to
+    /// [`RaftNode::commit_index`] except transiently under
+    /// [`Timing::pipelined_apply`], between commit and the drain stage.
+    pub fn applied_index(&self) -> LogIndex {
+        self.applied_index
     }
 
     /// The replicated log (read-only).
@@ -657,15 +688,28 @@ impl RaftNode {
         }
     }
 
-    /// Advances the commit index and emits per-entry commit effects.
+    /// Advances the commit index. Inline mode (the default) applies the
+    /// newly committed range on the spot; under [`Timing::pipelined_apply`]
+    /// the range is merely queued — `(applied_index, commit_index]` — and
+    /// the embedding drains it as a separate stage, so the leader can
+    /// assemble the next AppendEntries while this range applies.
     fn set_commit_index(&mut self, new_commit: LogIndex, out: &mut Actions<RaftMessage>) {
-        let old = self.commit_index;
-        if new_commit <= old {
+        if new_commit <= self.commit_index {
             return;
         }
         self.commit_index = new_commit;
-        let mut k = old.next();
-        while k <= new_commit {
+        if !self.timing.pipelined_apply {
+            self.apply_to_commit(out);
+        }
+    }
+
+    /// Applies every committed-but-unapplied entry, in commit order, with
+    /// effects identical to the inline path: digest fold, session-table
+    /// apply, proposer/gateway notifications, commit records, compaction,
+    /// and the release of reads whose floor the state machine just reached.
+    fn apply_to_commit(&mut self, out: &mut Actions<RaftMessage>) {
+        while self.applied_index < self.commit_index {
+            let k = self.applied_index.next();
             if let Some(entry) = self.log.get(k).cloned() {
                 self.state_digest = fold_commit_digest(self.state_digest, k, entry.id);
                 if entry.payload.is_config() {
@@ -677,9 +721,72 @@ impl RaftNode {
                 self.evict_idle_sessions(k, out);
                 out.commit(LogScope::Global, k, entry);
             }
-            k = k.next();
+            self.applied_index = k;
         }
         self.maybe_compact(out);
+        self.release_applied_reads(out);
+    }
+
+    /// Answers queued linearizable reads whose admission floor the applied
+    /// state now covers (pipelined apply only; a no-op inline, where reads
+    /// are never queued).
+    fn release_applied_reads(&mut self, out: &mut Actions<RaftMessage>) {
+        if self.reads_awaiting_apply.is_empty() {
+            return;
+        }
+        let applied = self.applied_index;
+        let ready: Vec<PendingReadAnswer> = {
+            let (ready, waiting) = std::mem::take(&mut self.reads_awaiting_apply)
+                .into_iter()
+                .partition(|r| r.floor <= applied);
+            self.reads_awaiting_apply = waiting;
+            ready
+        };
+        for r in ready {
+            self.respond_client(
+                r.reply_to,
+                r.session,
+                r.seq,
+                ClientOutcome::ReadOk {
+                    scope: LogScope::Global,
+                    commit_floor: r.floor,
+                },
+                out,
+            );
+        }
+    }
+
+    /// Emits a linearizable read's answer — immediately when the applied
+    /// state already covers the admission floor (always true inline), queued
+    /// behind the apply pipeline otherwise, so the client can never observe
+    /// state older than the floor its read was admitted at.
+    fn answer_read(
+        &mut self,
+        reply_to: NodeId,
+        session: SessionId,
+        seq: u64,
+        floor: LogIndex,
+        out: &mut Actions<RaftMessage>,
+    ) {
+        if floor <= self.applied_index {
+            self.respond_client(
+                reply_to,
+                session,
+                seq,
+                ClientOutcome::ReadOk {
+                    scope: LogScope::Global,
+                    commit_floor: floor,
+                },
+                out,
+            );
+        } else {
+            self.reads_awaiting_apply.push(PendingReadAnswer {
+                reply_to,
+                session,
+                seq,
+                floor,
+            });
+        }
     }
 
     /// Deterministic session expiry (per committed index, in committed log
@@ -706,13 +813,17 @@ impl RaftNode {
             return;
         }
         let horizon = self.log.compacted_through();
-        let retained_decided = self.commit_index.as_u64().saturating_sub(horizon.as_u64());
+        // Compaction is bounded by the *applied* prefix, not the committed
+        // one: the snapshot captures digest + session table, which are
+        // apply-time state. Inline, applied == committed here; pipelined,
+        // compaction simply runs at the drain stage.
+        let retained_decided = self.applied_index.as_u64().saturating_sub(horizon.as_u64());
         if retained_decided <= threshold {
             return;
         }
         // Classic Raft logs are dense, so the whole decided prefix is
         // contiguous; compact_to would clamp at a hole regardless.
-        let through = self.commit_index;
+        let through = self.applied_index;
         let snapshot = Snapshot {
             scope: LogScope::Global,
             last_index: through,
@@ -880,6 +991,10 @@ impl RaftNode {
     /// perfectly live session.
     fn applied_session_state_current(&self) -> bool {
         self.role == Role::Leader
+            // Pipelined apply: the table only covers the *applied* prefix;
+            // while the queue is non-empty the door verdict stays inexact
+            // (answers degrade to Retry, never a wrong terminal refusal).
+            && self.applied_index == self.commit_index
             && session_state_current(&self.log, self.commit_index, self.current_term)
     }
 
@@ -1021,16 +1136,7 @@ impl RaftNode {
                 seq,
                 floor,
             });
-            self.respond_client(
-                reply_to,
-                session,
-                seq,
-                ClientOutcome::ReadOk {
-                    scope: LogScope::Global,
-                    commit_floor: floor,
-                },
-                out,
-            );
+            self.answer_read(reply_to, session, seq, floor, out);
             return;
         }
         if self.config.classic_quorum() <= 1 {
@@ -1040,16 +1146,7 @@ impl RaftNode {
                 seq,
                 floor,
             });
-            self.respond_client(
-                reply_to,
-                session,
-                seq,
-                ClientOutcome::ReadOk {
-                    scope: LogScope::Global,
-                    commit_floor: floor,
-                },
-                out,
-            );
+            self.answer_read(reply_to, session, seq, floor, out);
             return;
         }
         // Retry idempotence (see `wire::ReadIndexQueue::is_pending`): the
@@ -1071,16 +1168,7 @@ impl RaftNode {
                 seq: r.seq,
                 floor: r.floor,
             });
-            self.respond_client(
-                r.reply_to,
-                r.session,
-                r.seq,
-                ClientOutcome::ReadOk {
-                    scope: LogScope::Global,
-                    commit_floor: r.floor,
-                },
-                out,
-            );
+            self.answer_read(r.reply_to, r.session, r.seq, r.floor, out);
         }
     }
 
@@ -1315,9 +1403,13 @@ impl RaftNode {
             self.state_digest = digest;
         }
         // Adopt the applied session state: the snapshot's table covers
-        // strictly more commits than ours (last_index > old commit).
+        // strictly more commits than ours (last_index > old commit). The
+        // apply pipeline fast-forwards with it — the snapshot state already
+        // subsumes any queued-but-undrained range, whose entries the
+        // install just discarded.
         self.sessions = snapshot.sessions.clone();
         self.commit_index = last_index;
+        self.applied_index = last_index;
         self.snapshot = Some(snapshot);
         out.observe(Observation::SnapshotInstalled {
             scope: LogScope::Global,
@@ -1326,6 +1418,7 @@ impl RaftNode {
         // Gateway sweep: writes submitted here whose application the
         // install fast-forwarded past must still be answered.
         self.sweep_client_pending(out);
+        self.release_applied_reads(out);
         out.send(
             from,
             RaftMessage::InstallSnapshotReply {
@@ -1825,5 +1918,13 @@ impl ConsensusProtocol for RaftNode {
 
     fn bootstrap(&mut self, out: &mut Actions<RaftMessage>) {
         self.reset_election_timer(out);
+    }
+
+    fn pending_applies(&self) -> u64 {
+        self.commit_index.as_u64() - self.applied_index.as_u64()
+    }
+
+    fn drain_applies(&mut self, out: &mut Actions<RaftMessage>) {
+        self.apply_to_commit(out);
     }
 }

@@ -87,6 +87,34 @@ pub struct Timing {
     /// lease reads, so a deposed predecessor's lease can never overlap its
     /// writes.
     pub max_clock_skew: SimDuration,
+    /// Modeled latency of one fsync boundary (one storage-level persist
+    /// batch). With group commit, every protocol step that persisted
+    /// anything delays its *outgoing messages* by this much — one boundary
+    /// per step, however many commands the step emitted; the unbatched twin
+    /// pays it once per command. `ZERO` (the default) keeps every existing
+    /// trace byte-identical, so only latency-on runs observe the batching
+    /// win. Must stay well below `election_min` ([`Timing::validate`]
+    /// rejects `disk_fsync_latency >= election_min`): a stalled persist
+    /// delays heartbeats, and a persist as slow as the election floor would
+    /// make a healthy-but-syncing leader indistinguishable from a dead one.
+    /// The lease window from PR 7 is *unaffected* by fsync latency — grants
+    /// are stamped off acked heartbeats, which are themselves delayed, so
+    /// the lease hold a follower promises still covers the leader's (later)
+    /// read; the `lease_duration + max_clock_skew <= election_min` bound
+    /// already absorbs the shift. But a latency near the lease window would
+    /// starve lease renewal for the same reason it starves heartbeats —
+    /// keep it an order of magnitude below both.
+    pub disk_fsync_latency: SimDuration,
+    /// When `true`, state-machine apply is decoupled from the protocol step:
+    /// commit advancement only *queues* the newly committed range, and the
+    /// embedding drains the queue as a separate stage (after the step's
+    /// messages are released), so a leader can assemble the next
+    /// AppendEntries while the previous commit range applies. Apply *order*
+    /// is unchanged — same entries, same digests, same session-table
+    /// transitions — only its scheduling moves. `false` (the default)
+    /// applies inline at the commit point, byte-identical to the
+    /// pre-pipelining traces.
+    pub pipelined_apply: bool,
 }
 
 impl Timing {
@@ -107,6 +135,8 @@ impl Timing {
             session_ttl: 0,
             lease_duration: SimDuration::from_millis(300),
             max_clock_skew: SimDuration::from_millis(50),
+            disk_fsync_latency: SimDuration::ZERO,
+            pipelined_apply: false,
         }
     }
 
@@ -128,6 +158,8 @@ impl Timing {
             session_ttl: 0,
             lease_duration: SimDuration::from_millis(1500),
             max_clock_skew: SimDuration::from_millis(250),
+            disk_fsync_latency: SimDuration::ZERO,
+            pipelined_apply: false,
         }
     }
 
@@ -184,6 +216,13 @@ impl Timing {
                 self.election_min
             );
         }
+        assert!(
+            self.disk_fsync_latency < self.election_min,
+            "disk_fsync_latency {} must stay below election_min {}: a stalled \
+             persist delays heartbeats and must not look like a dead peer",
+            self.disk_fsync_latency,
+            self.election_min
+        );
     }
 
     /// The replication budget for one AppendEntries dispatch.
@@ -249,6 +288,29 @@ mod tests {
     fn validate_rejects_tight_election_window() {
         let mut t = Timing::lan();
         t.election_min = t.heartbeat;
+        t.validate();
+    }
+
+    #[test]
+    fn presets_model_no_fsync_latency_and_inline_apply() {
+        for t in [Timing::lan(), Timing::wan()] {
+            assert!(t.disk_fsync_latency.is_zero());
+            assert!(!t.pipelined_apply);
+        }
+    }
+
+    #[test]
+    fn validate_accepts_modest_fsync_latency() {
+        let mut t = Timing::lan();
+        t.disk_fsync_latency = SimDuration::from_millis(5);
+        t.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must stay below election_min")]
+    fn validate_rejects_fsync_latency_at_election_floor() {
+        let mut t = Timing::lan();
+        t.disk_fsync_latency = t.election_min;
         t.validate();
     }
 }

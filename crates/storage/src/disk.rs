@@ -10,7 +10,7 @@ use std::collections::HashMap;
 
 use wire::{NodeId, PersistCmd};
 
-use crate::StableState;
+use crate::{PersistBatch, StableState};
 
 /// Stable storage for a whole simulated deployment.
 ///
@@ -46,8 +46,17 @@ impl SimDisk {
     }
 
     /// Applies write-ahead commands for `node`, provisioning on first write.
+    ///
+    /// Each command is its own fsync boundary — the unbatched write path.
+    /// Group commit goes through [`SimDisk::apply_batch`].
     pub fn apply<'a>(&mut self, node: NodeId, cmds: impl IntoIterator<Item = &'a PersistCmd>) {
         self.provision(node).apply_all(cmds);
+    }
+
+    /// Applies one atomic [`PersistBatch`] for `node` — a single fsync
+    /// boundary covering every command — provisioning on first write.
+    pub fn apply_batch(&mut self, node: NodeId, batch: &PersistBatch) {
+        self.provision(node).apply_batch(batch);
     }
 
     /// Destroys a site's storage (permanent departure).
@@ -67,9 +76,14 @@ impl SimDisk {
         self.states.is_empty()
     }
 
-    /// Total write operations across all sites.
-    pub fn total_write_ops(&self) -> u64 {
-        self.states.values().map(StableState::write_ops).sum()
+    /// Total fsync boundaries across all sites.
+    pub fn total_persist_batches(&self) -> u64 {
+        self.states.values().map(StableState::persist_batches).sum()
+    }
+
+    /// Total write-ahead commands applied across all sites.
+    pub fn total_cmds_applied(&self) -> u64 {
+        self.states.values().map(StableState::cmds_applied).sum()
     }
 
     /// Iterates `(node, state)` pairs in unspecified order.
@@ -155,8 +169,9 @@ mod tests {
     }
 
     #[test]
-    fn write_ops_aggregate() {
+    fn fsync_accounting_aggregates() {
         let mut d = SimDisk::new();
+        // Unbatched: one fsync per command.
         d.apply(
             NodeId(1),
             &[PersistCmd::SetTermVote {
@@ -165,9 +180,8 @@ mod tests {
                 voted_for: None,
             }],
         );
-        d.apply(
-            NodeId(2),
-            &[
+        // Batched: two commands, one fsync boundary.
+        let batch: PersistBatch = [
                 PersistCmd::SetTermVote {
                     scope: LogScope::Global,
                     term: Term(1),
@@ -178,9 +192,13 @@ mod tests {
                     term: Term(2),
                     voted_for: None,
                 },
-            ],
-        );
-        assert_eq!(d.total_write_ops(), 3);
+        ]
+        .into_iter()
+        .collect();
+        d.apply_batch(NodeId(2), &batch);
+        assert_eq!(d.total_cmds_applied(), 3);
+        assert_eq!(d.total_persist_batches(), 2);
         assert_eq!(d.iter().count(), 2);
+        assert_eq!(d.read(NodeId(2)).unwrap().global.current_term, Term(2));
     }
 }

@@ -22,8 +22,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod disk;
 mod stable;
 
+pub use batch::PersistBatch;
 pub use disk::SimDisk;
 pub use stable::{ScopeState, StableState};

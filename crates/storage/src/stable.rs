@@ -13,6 +13,8 @@
 
 use wire::{LogScope, NodeId, PersistCmd, Snapshot, SparseLog, Term};
 
+use crate::PersistBatch;
+
 /// Persistent state for one consensus level.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ScopeState {
@@ -34,15 +36,29 @@ pub struct ScopeState {
 }
 
 /// Everything a site keeps in stable storage.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Equality compares the *durable contents* (both scopes) and ignores the
+/// fsync accounting: a batched and an unbatched execution of the same
+/// command stream produce equal `StableState`s even though their
+/// `persist_batches` counts differ. The recovery tests lean on this.
+#[derive(Clone, Debug, Default)]
 pub struct StableState {
     /// Global (system-wide) consensus state.
     pub global: ScopeState,
     /// Cluster-local consensus state (C-Raft only; empty otherwise).
     pub local: ScopeState,
-    write_ops: u64,
+    persist_batches: u64,
+    cmds_applied: u64,
     entries_written: u64,
 }
+
+impl PartialEq for StableState {
+    fn eq(&self, other: &Self) -> bool {
+        self.global == other.global && self.local == other.local
+    }
+}
+
+impl Eq for StableState {}
 
 impl StableState {
     /// Fresh, empty storage for a new site.
@@ -71,9 +87,33 @@ impl StableState {
         &self.scope(scope).log
     }
 
-    /// Applies one write-ahead command.
+    /// Applies one write-ahead command as its own fsync boundary.
+    ///
+    /// Equivalent to applying a singleton [`PersistBatch`]: charges one
+    /// `persist_batches` and one `cmds_applied`. The batched write path goes
+    /// through [`StableState::apply_batch`] instead.
     pub fn apply(&mut self, cmd: &PersistCmd) {
-        self.write_ops += 1;
+        self.persist_batches += 1;
+        self.cmds_applied += 1;
+        self.apply_cmd(cmd);
+    }
+
+    /// Applies one atomic batch: all commands in order, **one** fsync charge.
+    ///
+    /// An empty batch is a no-op (no fsync happens for a tick that persisted
+    /// nothing, so none is counted).
+    pub fn apply_batch(&mut self, batch: &PersistBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        self.persist_batches += 1;
+        self.cmds_applied += batch.len() as u64;
+        for cmd in batch {
+            self.apply_cmd(cmd);
+        }
+    }
+
+    fn apply_cmd(&mut self, cmd: &PersistCmd) {
         match cmd {
             PersistCmd::SetTermVote {
                 scope,
@@ -110,16 +150,27 @@ impl StableState {
         }
     }
 
-    /// Applies a batch of commands in order.
+    /// Applies commands in order, each as its own fsync boundary.
+    ///
+    /// This is the *unbatched* write path (one fsync per command) the group
+    /// commit in [`StableState::apply_batch`] is measured against. The final
+    /// storage contents are identical either way — only the accounting
+    /// differs.
     pub fn apply_all<'a>(&mut self, cmds: impl IntoIterator<Item = &'a PersistCmd>) {
         for cmd in cmds {
             self.apply(cmd);
         }
     }
 
-    /// Number of write operations applied (a stand-in for fsync count).
-    pub fn write_ops(&self) -> u64 {
-        self.write_ops
+    /// Number of fsync boundaries: batches applied via
+    /// [`StableState::apply_batch`] count once regardless of size.
+    pub fn persist_batches(&self) -> u64 {
+        self.persist_batches
+    }
+
+    /// Total write-ahead commands applied, across all batches.
+    pub fn cmds_applied(&self) -> u64 {
+        self.cmds_applied
     }
 
     /// Number of log entries written (insertions, counting overwrites).
@@ -159,7 +210,8 @@ mod tests {
         assert_eq!(s.global.voted_for, Some(NodeId(2)));
         assert_eq!(s.local.current_term, Term(7));
         assert_eq!(s.local.voted_for, None);
-        assert_eq!(s.write_ops(), 2);
+        assert_eq!(s.persist_batches(), 2);
+        assert_eq!(s.cmds_applied(), 2);
     }
 
     #[test]
@@ -289,5 +341,43 @@ mod tests {
             },
         ]);
         assert_eq!(s2.global.log.len(), 1);
+    }
+
+    #[test]
+    fn batched_apply_matches_unbatched_contents_but_not_fsyncs() {
+        let cmds: Vec<PersistCmd> = (1..=5u64)
+            .map(|i| PersistCmd::Insert {
+                scope: LogScope::Global,
+                index: LogIndex(i),
+                entry: entry(1, i),
+            })
+            .chain([PersistCmd::SetTermVote {
+                scope: LogScope::Global,
+                term: Term(1),
+                voted_for: Some(NodeId(1)),
+            }])
+            .collect();
+
+        let mut unbatched = StableState::new();
+        unbatched.apply_all(&cmds);
+        let mut batched = StableState::new();
+        batched.apply_batch(&cmds.iter().cloned().collect::<PersistBatch>());
+
+        // Identical durable contents (equality ignores fsync accounting)...
+        assert_eq!(batched, unbatched);
+        assert_eq!(batched.entries_written(), unbatched.entries_written());
+        assert_eq!(batched.cmds_applied(), unbatched.cmds_applied());
+        // ...but one fsync boundary instead of six.
+        assert_eq!(unbatched.persist_batches(), 6);
+        assert_eq!(batched.persist_batches(), 1);
+    }
+
+    #[test]
+    fn empty_batch_charges_no_fsync() {
+        let mut s = StableState::new();
+        s.apply_batch(&PersistBatch::new());
+        assert_eq!(s.persist_batches(), 0);
+        assert_eq!(s.cmds_applied(), 0);
+        assert_eq!(s, StableState::new());
     }
 }

@@ -485,6 +485,24 @@ pub trait ConsensusProtocol {
     /// Called once when the node starts (or restarts after a crash) to arm
     /// initial timers.
     fn bootstrap(&mut self, out: &mut Actions<Self::Message>);
+
+    /// Number of committed-but-unapplied entries queued for pipelined apply.
+    ///
+    /// Zero for protocols (or configurations) that apply inline at the
+    /// commit point — the default. When non-zero, the embedding must call
+    /// [`ConsensusProtocol::drain_applies`] as a separate stage before
+    /// handing the node its next event, so apply work overlaps message
+    /// I/O instead of extending the protocol step.
+    fn pending_applies(&self) -> u64 {
+        0
+    }
+
+    /// Drains the pipelined-apply queue: applies every queued committed
+    /// entry (in commit order) to the state machine, emitting the same
+    /// [`Actions`] the inline path would have produced at the commit point
+    /// (commit notifications, client responses, snapshot persists). A
+    /// no-op when the queue is empty or the protocol applies inline.
+    fn drain_applies(&mut self, _out: &mut Actions<Self::Message>) {}
 }
 
 #[cfg(test)]

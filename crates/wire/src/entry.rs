@@ -304,6 +304,13 @@ impl fmt::Display for LogEntry {
 /// entries are frozen: consumers clone individual [`LogEntry`] values out of
 /// the list before mutating site-local fields such as `approval`.
 ///
+/// The list is a **window** `[start, start + len)` over its backing
+/// allocation. [`EntryList::from_vec`] covers the whole vector (the common
+/// construction), while `SparseLog::collect_range_budgeted` can hand out a
+/// sub-slice of one of its sealed segments directly — an AppendEntries
+/// payload assembled without copying a single entry. Equality, hashing, and
+/// iteration all see only the window, never the backing storage.
+///
 /// # Examples
 ///
 /// ```
@@ -316,39 +323,78 @@ impl fmt::Display for LogEntry {
 /// assert_eq!(shared.len(), 1);
 /// assert_eq!(shared[0].0, LogIndex(3));
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
-pub struct EntryList(Arc<Vec<(LogIndex, LogEntry)>>);
+#[derive(Clone)]
+pub struct EntryList {
+    seg: Arc<Vec<(LogIndex, LogEntry)>>,
+    start: usize,
+    len: usize,
+}
 
 impl EntryList {
     /// Freezes a vector of indexed entries into a shareable list. O(1): the
     /// vector is moved behind the refcount, not copied element-wise.
     pub fn from_vec(entries: Vec<(LogIndex, LogEntry)>) -> Self {
-        EntryList(Arc::new(entries))
+        let len = entries.len();
+        EntryList {
+            seg: Arc::new(entries),
+            start: 0,
+            len,
+        }
+    }
+
+    /// A window onto an existing shared allocation: `len` pairs starting at
+    /// `start`. O(1) and allocation-free — the log's segment-sliced
+    /// collection path. Crate-internal so every public list is known valid.
+    pub(crate) fn view(seg: Arc<Vec<(LogIndex, LogEntry)>>, start: usize, len: usize) -> Self {
+        debug_assert!(start.checked_add(len).is_some_and(|end| end <= seg.len()));
+        EntryList { seg, start, len }
     }
 
     /// The empty list (pure heartbeat).
     pub fn empty() -> Self {
-        EntryList(Arc::new(Vec::new()))
+        EntryList::from_vec(Vec::new())
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.len
     }
 
     /// `true` when the list carries no entries.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len == 0
     }
 
     /// Iterates the `(index, entry)` pairs in order.
     pub fn iter(&self) -> core::slice::Iter<'_, (LogIndex, LogEntry)> {
-        self.0.iter()
+        self.as_slice().iter()
     }
 
     /// The entries as a slice.
     pub fn as_slice(&self) -> &[(LogIndex, LogEntry)] {
-        self.0.as_slice()
+        &self.seg[self.start..self.start + self.len]
+    }
+}
+
+impl fmt::Debug for EntryList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl PartialEq for EntryList {
+    /// Window contents, not backing identity: a full-vector list and a
+    /// segment view holding the same pairs compare equal.
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for EntryList {}
+
+impl core::hash::Hash for EntryList {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
     }
 }
 
@@ -361,7 +407,7 @@ impl Default for EntryList {
 impl core::ops::Deref for EntryList {
     type Target = [(LogIndex, LogEntry)];
     fn deref(&self) -> &Self::Target {
-        self.0.as_slice()
+        self.as_slice()
     }
 }
 
@@ -373,7 +419,7 @@ impl From<Vec<(LogIndex, LogEntry)>> for EntryList {
 
 impl FromIterator<(LogIndex, LogEntry)> for EntryList {
     fn from_iter<I: IntoIterator<Item = (LogIndex, LogEntry)>>(iter: I) -> Self {
-        EntryList(Arc::new(iter.into_iter().collect()))
+        EntryList::from_vec(iter.into_iter().collect())
     }
 }
 
@@ -381,7 +427,7 @@ impl<'a> IntoIterator for &'a EntryList {
     type Item = &'a (LogIndex, LogEntry);
     type IntoIter = core::slice::Iter<'a, (LogIndex, LogEntry)>;
     fn into_iter(self) -> Self::IntoIter {
-        self.0.iter()
+        self.iter()
     }
 }
 
@@ -466,6 +512,36 @@ mod tests {
         assert_eq!(EntryList::default(), EntryList::empty());
         let collected: EntryList = list.iter().cloned().collect();
         assert_eq!(collected, list);
+    }
+
+    #[test]
+    fn entry_list_view_is_window_equal_to_copy() {
+        let pairs: Vec<(LogIndex, LogEntry)> = (0..5)
+            .map(|i| {
+                (
+                    LogIndex(i + 1),
+                    LogEntry::data(Term(1), id(1, i), Bytes::from_static(b"v")),
+                )
+            })
+            .collect();
+        let backing = Arc::new(pairs.clone());
+        let view = EntryList::view(Arc::clone(&backing), 1, 3);
+        assert_eq!(view.len(), 3);
+        assert_eq!(view.as_slice()[0].0, LogIndex(2));
+        // Content equality against an owned copy of the same window.
+        let copy = EntryList::from_vec(pairs[1..4].to_vec());
+        assert_eq!(view, copy);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |l: &EntryList| {
+            let mut s = DefaultHasher::new();
+            l.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&view), h(&copy));
+        // The view shares the backing allocation, never copies it.
+        assert!(std::ptr::eq(view.as_slice(), &backing[1..4]));
+        assert_eq!(format!("{view:?}"), format!("{copy:?}"));
     }
 
     #[test]

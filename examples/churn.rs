@@ -58,6 +58,8 @@ fn main() {
             ack_scope: LogScope::Global,
             measure_from: SimTime::from_secs(3),
             clock_skew: Timing::lan().max_clock_skew,
+            disk_fsync_latency: des::SimDuration::ZERO,
+            unbatched_persists: false,
         },
         SafetyChecker::new(),
     );

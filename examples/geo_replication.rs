@@ -43,6 +43,7 @@ fn main() {
             consistency: Consistency::Linearizable,
             final_read: true,
         }),
+        unbatched_persists: false,
     };
     let craft = CRaftScenario {
         clusters: 3,

@@ -116,6 +116,7 @@ fn craft_safety_with_cluster_leader_crash() {
         faults: vec![(SimTime::from_secs(25), FaultAction::Crash(NodeId(3)))],
         leader_bias: None,
         reads: None,
+        unbatched_persists: false,
     };
     let craft = CRaftScenario {
         clusters: 3,

@@ -316,6 +316,21 @@ impl CRaftNode {
         self.batch_buf.len()
     }
 
+    /// Gate debt of the active global side, as `(pending, reservations)`:
+    /// inserts parked behind the intra-cluster gate and decision-insert
+    /// reservations blocking the global engine's settled check. `(0, 0)`
+    /// when this site is not a cluster leader. Liveness oracles assert the
+    /// debt drains to `(0, 0)` at quiescence — a reservation outliving
+    /// every pending gate wedges the global level permanently.
+    pub fn global_gate_debt(&self) -> (usize, usize) {
+        // `pending_gate_count` is token-accurate: every deferred insert
+        // parks its continuation at `begin` time, before the recorder drains
+        // or the waiting map fills, and both refer to the same tokens.
+        self.global.as_ref().map_or((0, 0), |g| {
+            (g.engine.pending_gate_count(), g.engine.gated_decision_count())
+        })
+    }
+
     // ------------------------------------------------------------------
     // Global-side lifecycle
     // ------------------------------------------------------------------

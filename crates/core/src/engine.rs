@@ -557,6 +557,23 @@ impl FastRaftEngine {
         self.pending_proposals.len()
     }
 
+    /// Inserts currently parked behind the [`InsertGate`]: continuations
+    /// awaiting a `gate_ready` call. Zero for ungated (plain Fast Raft)
+    /// engines. Liveness oracles assert this drains to zero at quiescence.
+    pub fn pending_gate_count(&self) -> usize {
+        self.pending_gates.len()
+    }
+
+    /// Indices holding an outstanding decision-insert reservation. Each
+    /// reservation blocks `leader_log_settled()` (and with it reconfig,
+    /// term no-ops, read nudges, and forwarded-proposal acceptance) until
+    /// its gate resolves — so a reservation that outlives every pending
+    /// gate is a permanent liveness wedge, and oracles assert
+    /// `gated_decision_count() == 0` whenever `pending_gate_count() == 0`.
+    pub fn gated_decision_count(&self) -> usize {
+        self.gated_decisions.len()
+    }
+
     /// The per-session exactly-once dedup table (applied state).
     pub fn sessions(&self) -> &SessionTable {
         &self.sessions
@@ -839,8 +856,16 @@ impl FastRaftEngine {
             }
             GateVerdict::Defer(token) => {
                 // Mark the id as assigned so duplicate retries don't claim
-                // another slot while the gate replicates.
+                // another slot while the gate replicates, and reserve the
+                // slot: without the reservation `leader_log_settled()`
+                // stays true while this insert is pending, letting the
+                // read nudge or a reconfig claim the same `k` — two
+                // same-term entries racing for one index, and whichever
+                // releases second silently overwrites the (possibly
+                // already replicated) first. The reservation drains in
+                // `gate_ready`'s LeaderAppend arm.
                 self.id_index.insert(chosen.id, k);
+                self.gated_decisions.insert(k);
                 self.pending_gates
                     .insert(token, GateCont::LeaderAppend { index: k, entry: chosen });
             }
@@ -1622,7 +1647,14 @@ impl FastRaftEngine {
                 }
             }
             GateCont::LeaderAppend { index, entry } => {
-                if self.role == Role::Leader {
+                // The reservation drains whether or not the insert applies:
+                // leaving it would hold `leader_log_settled()` false forever,
+                // wedging reconfig, term no-ops, read nudges and (under
+                // LeaderForward) every forwarded proposal. A continuation
+                // from a superseded term must not insert — the slot may
+                // since hold (even have committed) a newer leader's entry.
+                self.gated_decisions.remove(&index);
+                if self.role == Role::Leader && entry.term == self.current_term {
                     self.insert_leader_entry(index, entry, out);
                     self.advance_commit_classic(out);
                 }
@@ -1866,6 +1898,34 @@ impl FastRaftEngine {
                 break;
             }
             k = i.next();
+        }
+        k
+    }
+
+    /// The top of the *dense* leader-approved prefix: the highest index K
+    /// with every slot in `(commitIndex, K]` holding a leader-approved
+    /// entry (the committed prefix counts regardless of local approval
+    /// stamps — fast-track copies below the commit point may still carry
+    /// their self-approved stamp).
+    ///
+    /// Election up-to-dateness (§IV-C) compares THIS, not
+    /// `lastLeaderIndex`. The two differ when leader-approved inserts
+    /// complete out of order — under C-Raft, a global append whose
+    /// intra-cluster replication finishes after a later slot's (global
+    /// traffic reorders, local leadership churns) leaves a hole *below*
+    /// `lastLeaderIndex`. Classic-track commits only ever count acks for a
+    /// follower's contiguously-verified prefix, so a committed entry can
+    /// sit exactly in such a hole; a vote granted on the inflated
+    /// `lastLeaderIndex` would let a candidate missing that entry win and
+    /// have its decision loop re-fill the slot — two different entries
+    /// committed at one index.
+    fn leader_coverage(&self) -> LogIndex {
+        let mut k = self.commit_index;
+        for (i, e) in self.log.contiguous_from(k.next()) {
+            if e.approval != Approval::LeaderApproved {
+                break;
+            }
+            k = i;
         }
         k
     }
@@ -3291,11 +3351,15 @@ impl FastRaftEngine {
         out.observe(Observation::ElectionStarted {
             term: self.current_term,
         });
+        // Advertise the dense leader-approved prefix, not `lastLeaderIndex`:
+        // coverage is what acked matchIndexes certified, so it is what the
+        // up-to-dateness comparison must protect (see `leader_coverage`).
+        let coverage = self.leader_coverage();
         let msg = FastRaftMessage::RequestVote {
             term: self.current_term,
             candidate: self.id,
-            last_leader_index: self.last_leader_index,
-            last_leader_term: self.log.term_at(self.last_leader_index),
+            last_leader_index: coverage,
+            last_leader_term: self.log.term_at(coverage),
         };
         let peers: Vec<NodeId> = self.config.peers(self.id).collect();
         out.send_many(peers, msg);
@@ -3363,10 +3427,15 @@ impl FastRaftEngine {
         if term > self.current_term {
             self.become_follower(term, None, out);
         }
-        // Up-to-dateness over leader-approved entries only (§IV-C).
-        let my_term = self.log.term_at(self.last_leader_index);
-        let up_to_date = (cand_last_leader_term, cand_last_leader_index)
-            >= (my_term, self.last_leader_index);
+        // Up-to-dateness over leader-approved entries only (§IV-C), compared
+        // on the dense prefix both sides actually hold: `lastLeaderIndex`
+        // can sit beyond a still-unfilled hole when inserts complete out of
+        // order, and granting on that inflated index would hand leadership
+        // to a candidate missing a committed entry (see `leader_coverage`).
+        let my_coverage = self.leader_coverage();
+        let my_term = self.log.term_at(my_coverage);
+        let up_to_date =
+            (cand_last_leader_term, cand_last_leader_index) >= (my_term, my_coverage);
         let can_vote = self.voted_for.is_none() || self.voted_for == Some(candidate);
         let granted = up_to_date && can_vote;
         let self_approved = if granted {

@@ -1,0 +1,50 @@
+//! What the explorer checks: the violation taxonomy.
+//!
+//! Three oracles watch every schedule:
+//!
+//! - **Safety** — cross-site commit-digest equality at shared indices
+//!   (Definition 2.1), via [`harness::SafetyChecker`], checked after every
+//!   step.
+//! - **Lin** — client-level linearizability of `Linearizable` reads, via
+//!   the same checker's real-time bound tracking.
+//! - **Liveness** — once the schedule goes quiescent (all faults healed,
+//!   messages drained, timers fired to a horizon, clients retried), every
+//!   placed client operation must have resolved and every armed gate
+//!   continuation and decision reservation must have drained to zero.
+
+/// A property the schedule violated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Two sites committed different entries at the same index.
+    Safety(String),
+    /// A linearizable read answered from before its real-time bound.
+    Lin(String),
+    /// The system wedged: an operation or gate continuation never resolved
+    /// although the schedule went quiescent.
+    Liveness(String),
+}
+
+impl Violation {
+    /// Stable short tag — shrinking preserves this discriminant, so a
+    /// minimized schedule reproduces the *same kind* of failure.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::Safety(_) => "safety",
+            Violation::Lin(_) => "lin",
+            Violation::Liveness(_) => "liveness",
+        }
+    }
+
+    /// The human-readable detail.
+    pub fn message(&self) -> &str {
+        match self {
+            Violation::Safety(m) | Violation::Lin(m) | Violation::Liveness(m) => m,
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.message())
+    }
+}

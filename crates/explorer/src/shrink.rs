@@ -1,0 +1,132 @@
+//! Greedy schedule minimization (ddmin-lite).
+//!
+//! A failing exploration typically ends with thousands of decisions, most
+//! of them irrelevant. The shrinker repeatedly deletes chunks of the
+//! decision list — halving the chunk size from `len/2` down to single
+//! choices — keeping a deletion whenever the replay still produces a
+//! violation of the **same kind** (safety / lin / liveness). Choices whose
+//! removal disables later choices are harmless: the world skips a choice
+//! that names nothing currently enabled, so every candidate list is a valid
+//! schedule.
+
+use crate::oracle::Violation;
+use crate::schedule::Choice;
+
+/// Outcome of a shrink run.
+#[derive(Clone, Debug)]
+pub struct Shrunk {
+    /// The minimized schedule.
+    pub choices: Vec<Choice>,
+    /// The violation the minimized schedule still produces.
+    pub violation: Violation,
+    /// Replays spent shrinking.
+    pub replays: u32,
+}
+
+/// Minimizes `choices` under `replay`, which runs a candidate schedule
+/// against a fresh world and returns its violation (if any). The initial
+/// schedule must fail; its violation kind is the one preserved. At most
+/// `max_replays` candidate replays are spent.
+///
+/// # Panics
+///
+/// Panics if the initial schedule does not produce a violation.
+pub fn shrink(
+    mut replay: impl FnMut(&[Choice]) -> Option<Violation>,
+    choices: &[Choice],
+    max_replays: u32,
+) -> Shrunk {
+    let mut spent = 0u32;
+    let mut run = |candidate: &[Choice], spent: &mut u32| -> Option<Violation> {
+        *spent += 1;
+        replay(candidate)
+    };
+    let baseline = run(choices, &mut spent).expect("shrink needs a failing schedule");
+    let kind = baseline.kind();
+    let mut current: Vec<Choice> = choices.to_vec();
+    let mut violation = baseline;
+
+    let mut chunk = (current.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < current.len() && spent < max_replays {
+            let end = (i + chunk).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end - i));
+            candidate.extend_from_slice(&current[..i]);
+            candidate.extend_from_slice(&current[end..]);
+            match run(&candidate, &mut spent) {
+                Some(v) if v.kind() == kind => {
+                    current = candidate;
+                    violation = v;
+                    // Do not advance: the next chunk slid into place.
+                }
+                _ => i = end,
+            }
+        }
+        if chunk == 1 || spent >= max_replays {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+
+    Shrunk {
+        choices: current,
+        violation,
+        replays: spent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire::NodeId;
+
+    /// A toy objective: the schedule "fails" iff it still contains both
+    /// `Crash 1` and `Crash 2`, everything else is noise.
+    fn toy_replay(candidate: &[Choice]) -> Option<Violation> {
+        let has = |n: u64| {
+            candidate
+                .iter()
+                .any(|c| matches!(c, Choice::Crash { node } if node.as_u64() == n))
+        };
+        (has(1) && has(2)).then(|| Violation::Liveness("crashed pair".into()))
+    }
+
+    #[test]
+    fn shrinks_to_the_failing_core() {
+        let mut noisy = Vec::new();
+        for i in 0..40 {
+            noisy.push(Choice::Deliver { slot: i });
+            if i == 13 {
+                noisy.push(Choice::Crash { node: NodeId(1) });
+            }
+            if i == 29 {
+                noisy.push(Choice::Crash { node: NodeId(2) });
+            }
+        }
+        let out = shrink(toy_replay, &noisy, 10_000);
+        assert_eq!(
+            out.choices,
+            vec![
+                Choice::Crash { node: NodeId(1) },
+                Choice::Crash { node: NodeId(2) },
+            ]
+        );
+        assert_eq!(out.violation.kind(), "liveness");
+    }
+
+    #[test]
+    fn respects_the_replay_budget() {
+        let noisy: Vec<Choice> = (0..64)
+            .map(|i| Choice::Deliver { slot: i })
+            .chain([
+                Choice::Crash { node: NodeId(1) },
+                Choice::Crash { node: NodeId(2) },
+            ])
+            .collect();
+        let out = shrink(toy_replay, &noisy, 3);
+        assert!(out.replays <= 3);
+        // Whatever it managed, the result still fails.
+        assert!(toy_replay(&out.choices).is_some());
+    }
+}

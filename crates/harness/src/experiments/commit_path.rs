@@ -105,6 +105,7 @@ fn runner(seed: u64, ops: u64, unbatched: bool, pipelined: bool) -> Runner<RaftN
             clock_skew: SimDuration::ZERO,
             disk_fsync_latency: SimDuration::from_millis(FSYNC_MS),
             unbatched_persists: unbatched,
+            persist_stalls: None,
         },
         SafetyChecker::new(),
     )

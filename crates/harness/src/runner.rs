@@ -91,6 +91,13 @@ pub struct Workload {
     /// Client-side retry timeout: an unanswered `(session, seq)` is
     /// resubmitted after this long (safe for writes by session dedup).
     pub client_timeout: SimDuration,
+    /// Each client's first operation is an explicit [`ClientOp::Register`]
+    /// (consuming seq 1) before any write or read. Combined with a
+    /// partition fault covering the workload start, this produces the
+    /// thundering-herd reconnect shape: every client's registration and
+    /// first op retry together the moment the partition heals. `false`
+    /// keeps the pre-session workloads byte-identical.
+    pub register_sessions: bool,
 }
 
 impl Workload {
@@ -110,6 +117,7 @@ impl Workload {
             read_consistency: Consistency::Linearizable,
             final_read: false,
             client_timeout: SimDuration::from_secs(2),
+            register_sessions: false,
         }
     }
 }
@@ -144,6 +152,11 @@ pub struct RunnerConfig {
     /// for write-path measurements: same durable contents, N boundaries
     /// (and N × `disk_fsync_latency`) where group commit pays one.
     pub unbatched_persists: bool,
+    /// Seed-driven slow-disk spikes layered on top of `disk_fsync_latency`:
+    /// each fsync boundary may stall for an extra sampled duration, holding
+    /// that step's outgoing messages back accordingly (write-ahead). `None`
+    /// — the default — draws no randomness and keeps traces byte-identical.
+    pub persist_stalls: Option<simnet::PersistStalls>,
 }
 
 struct Slot<P> {
@@ -194,6 +207,12 @@ pub struct Runner<P: ConsensusProtocol> {
     /// Nodes with an [`SimEvent::ApplyDrain`] already in flight (pipelined
     /// apply schedules at most one drain per node at a time).
     drains_scheduled: HashSet<NodeId>,
+    /// Dedicated stream for [`RunnerConfig::persist_stalls`] (drawn from
+    /// only when stalls are configured, so stall-free runs are unchanged).
+    stall_rng: SimRng,
+    /// Scratch buffer for duplicate-copy delays from
+    /// [`Network::judge_chaos`]; reused across sends.
+    chaos_extras: Vec<SimDuration>,
     final_done: u64,
     completed: u64,
 }
@@ -213,6 +232,7 @@ impl<P: ConsensusProtocol> Runner<P> {
         let net_rng = sim.rng().split("net");
         let payload_rng = sim.rng().split("payload");
         let op_rng = sim.rng().split("ops");
+        let stall_rng = sim.rng().split("stalls");
         let mut runner = Runner {
             sim,
             net,
@@ -243,6 +263,8 @@ impl<P: ConsensusProtocol> Runner<P> {
             next_seq: BTreeMap::new(),
             final_issued: HashSet::new(),
             drains_scheduled: HashSet::new(),
+            stall_rng,
+            chaos_extras: Vec::new(),
             final_done: 0,
             completed: 0,
         };
@@ -336,6 +358,12 @@ impl<P: ConsensusProtocol> Runner<P> {
         &self.disk
     }
 
+    /// Client operations currently in flight (no typed outcome yet).
+    /// Liveness checks assert this reaches zero once the run quiesces.
+    pub fn outstanding_ops(&self) -> usize {
+        self.outstanding.len()
+    }
+
     // ------------------------------------------------------------------
 
     fn dispatch(&mut self, firing_id: EventId, event: SimEvent<P::Message>) {
@@ -425,7 +453,12 @@ impl<P: ConsensusProtocol> Runner<P> {
         // A step that persisted holds its outgoing messages until the fsync
         // completes. Timers are local bookkeeping and commit/observation
         // effects are applied state — neither waits on the disk.
-        let persist_delay = self.cfg.disk_fsync_latency * fsync_boundaries;
+        let mut persist_delay = self.cfg.disk_fsync_latency * fsync_boundaries;
+        if let Some(stalls) = &self.cfg.persist_stalls {
+            for _ in 0..fsync_boundaries {
+                persist_delay += stalls.sample(&mut self.stall_rng);
+            }
+        }
 
         for cmd in out.timers {
             match cmd {
@@ -457,8 +490,26 @@ impl<P: ConsensusProtocol> Runner<P> {
             let size = msg.wire_size();
             sent_msgs += 1;
             sent_bytes += size as u64;
-            match self.net.judge(from, to, size, &mut self.net_rng) {
+            self.chaos_extras.clear();
+            match self
+                .net
+                .judge_chaos(from, to, size, &mut self.net_rng, &mut self.chaos_extras)
+            {
                 Verdict::Deliver { after } => {
+                    // Duplicate copies (chaos only) ship first so the
+                    // original's `msg` moves without a clone on the
+                    // chaos-free path.
+                    for i in 0..self.chaos_extras.len() {
+                        let extra = self.chaos_extras[i];
+                        self.sim.schedule_after(
+                            extra + persist_delay,
+                            SimEvent::Deliver {
+                                from,
+                                to,
+                                msg: msg.clone(),
+                            },
+                        );
+                    }
                     self.sim
                         .schedule_after(after + persist_delay, SimEvent::Deliver { from, to, msg });
                 }
@@ -582,8 +633,8 @@ impl<P: ConsensusProtocol> Runner<P> {
                     .schedule_after(backoff, SimEvent::ClientRetry { node, seq });
             }
             ClientOutcome::Registered { .. } => {
-                // Explicit session registration applied (scenarios don't
-                // issue these today; unit tests drive them directly).
+                // Explicit session registration applied (issued as each
+                // client's first op under `Workload::register_sessions`).
                 self.metrics.op_completed((session, seq), now, false);
                 self.finish_op(node, &op);
             }
@@ -650,6 +701,16 @@ impl<P: ConsensusProtocol> Runner<P> {
                 seq: self.bump_seq(node),
                 op: ClientOp::Read(Consistency::Linearizable),
                 is_final: true,
+            }
+        } else if self.workload.register_sessions && !self.next_seq.contains_key(&node) {
+            // Session-first contract: the client opens its session before
+            // any data op. Under a partition this registration is what
+            // retries en masse at heal time (thundering herd).
+            OutstandingOp {
+                session: SessionId::client(node.as_u64()),
+                seq: self.bump_seq(node),
+                op: ClientOp::Register,
+                is_final: false,
             }
         } else {
             let is_read = self.workload.read_ratio > 0.0

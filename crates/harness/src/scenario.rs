@@ -231,6 +231,7 @@ impl Scenario {
             clock_skew: self.timing.max_clock_skew,
             disk_fsync_latency: self.timing.disk_fsync_latency,
             unbatched_persists: self.unbatched_persists,
+            persist_stalls: None,
         }
     }
 

@@ -46,6 +46,7 @@ fn fast_runner(skew: SimDuration, seed: u64) -> Runner<FastRaftNode> {
         read_consistency: Consistency::Linearizable,
         final_read: true,
         client_timeout: SimDuration::from_secs(2),
+        register_sessions: false,
     };
     Runner::new(
         nodes,
@@ -59,6 +60,7 @@ fn fast_runner(skew: SimDuration, seed: u64) -> Runner<FastRaftNode> {
             clock_skew: skew,
             disk_fsync_latency: SimDuration::ZERO,
             unbatched_persists: false,
+            persist_stalls: None,
         },
         SafetyChecker::new(),
     )
@@ -138,6 +140,7 @@ fn classic_raft_sweep_stays_green() {
             read_consistency: Consistency::Linearizable,
             final_read: true,
             client_timeout: SimDuration::from_secs(2),
+            register_sessions: false,
         };
         let mut runner = Runner::new(
             nodes,
@@ -151,6 +154,7 @@ fn classic_raft_sweep_stays_green() {
                 clock_skew: SimDuration::from_millis(skew_ms),
                 disk_fsync_latency: SimDuration::ZERO,
                 unbatched_persists: false,
+                persist_stalls: None,
             },
             SafetyChecker::new(),
         );

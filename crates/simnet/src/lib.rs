@@ -9,7 +9,10 @@
 //!   preset matching the paper's 10–300 ms inter-region RTT envelope;
 //! - [`LossModel`]s: [`NoLoss`], [`BernoulliLoss`] (`tc`-style i.i.d.),
 //!   [`PerLinkLoss`], and bursty [`GilbertElliott`];
-//! - [`PartitionSet`]: administratively blocked links;
+//! - [`PartitionSet`]: administratively blocked links, symmetric or
+//!   asymmetric (one-way cuts);
+//! - [`ChaosModel`]: bounded message duplication and reordering jitter, and
+//!   [`PersistStalls`]: seed-driven slow-disk persistence stalls;
 //! - [`Network`]: the façade that judges each send, producing a
 //!   [`Verdict`] the harness turns into a delivery event, with full
 //!   message/byte accounting in [`NetStats`].
@@ -32,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod latency;
 mod loss;
 mod net;
@@ -39,6 +43,7 @@ mod partition;
 mod stats;
 mod topology;
 
+pub use chaos::{ChaosModel, PersistStalls};
 pub use latency::{ConstantLatency, LatencyModel, RegionLatency, UniformLatency};
 pub use loss::{BernoulliLoss, GilbertElliott, LossModel, NoLoss, PerLinkLoss};
 pub use net::{Network, Verdict};

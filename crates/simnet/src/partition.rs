@@ -29,6 +29,8 @@ use wire::NodeId;
 #[derive(Clone, Debug, Default)]
 pub struct PartitionSet {
     blocked_pairs: HashSet<(NodeId, NodeId)>,
+    /// Directed cuts: `(from, to)` blocks only `from → to`.
+    blocked_one_way: HashSet<(NodeId, NodeId)>,
     isolated: HashSet<NodeId>,
 }
 
@@ -66,6 +68,20 @@ impl PartitionSet {
         self.isolated.remove(&node);
     }
 
+    /// Blocks only the `from → to` direction (an asymmetric cut: `to` can
+    /// still reach `from`). One-way cuts model routing asymmetries and
+    /// half-open links — the failure shape where a node hears heartbeats it
+    /// cannot answer, which symmetric partitions can never produce.
+    pub fn block_one_way(&mut self, from: NodeId, to: NodeId) {
+        self.blocked_one_way.insert((from, to));
+    }
+
+    /// Removes a directed cut (no-op if absent; does not affect symmetric
+    /// blocks covering the same pair).
+    pub fn heal_one_way(&mut self, from: NodeId, to: NodeId) {
+        self.blocked_one_way.remove(&(from, to));
+    }
+
     /// Splits the network into two sides, blocking every cross-side link.
     pub fn split(&mut self, side_a: &[NodeId], side_b: &[NodeId]) {
         for &a in side_a {
@@ -75,22 +91,35 @@ impl PartitionSet {
         }
     }
 
+    /// Cuts only the `side_a → side_b` direction of every cross-side link.
+    pub fn split_one_way(&mut self, side_a: &[NodeId], side_b: &[NodeId]) {
+        for &a in side_a {
+            for &b in side_b {
+                self.block_one_way(a, b);
+            }
+        }
+    }
+
     /// Removes all blocks and isolations.
     pub fn heal_all(&mut self) {
         self.blocked_pairs.clear();
+        self.blocked_one_way.clear();
         self.isolated.clear();
     }
 
-    /// `true` if traffic between `from` and `to` is currently blocked.
+    /// `true` if traffic from `from` to `to` is currently blocked.
     pub fn is_blocked(&self, from: NodeId, to: NodeId) -> bool {
         self.isolated.contains(&from)
             || self.isolated.contains(&to)
             || self.blocked_pairs.contains(&Self::key(from, to))
+            || self.blocked_one_way.contains(&(from, to))
     }
 
     /// `true` if no blocks are active.
     pub fn is_clear(&self) -> bool {
-        self.blocked_pairs.is_empty() && self.isolated.is_empty()
+        self.blocked_pairs.is_empty()
+            && self.blocked_one_way.is_empty()
+            && self.isolated.is_empty()
     }
 }
 
@@ -136,8 +165,40 @@ mod tests {
         let mut p = PartitionSet::new();
         p.block_pair(NodeId(1), NodeId(2));
         p.isolate(NodeId(5));
+        p.block_one_way(NodeId(1), NodeId(4));
         p.heal_all();
         assert!(p.is_clear());
         assert!(!p.is_blocked(NodeId(5), NodeId(1)));
+    }
+
+    #[test]
+    fn one_way_cut_is_directional() {
+        let mut p = PartitionSet::new();
+        p.block_one_way(NodeId(1), NodeId(2));
+        assert!(p.is_blocked(NodeId(1), NodeId(2)));
+        assert!(!p.is_blocked(NodeId(2), NodeId(1)));
+        assert!(!p.is_clear());
+        p.heal_one_way(NodeId(1), NodeId(2));
+        assert!(p.is_clear());
+    }
+
+    #[test]
+    fn one_way_heal_preserves_symmetric_block() {
+        let mut p = PartitionSet::new();
+        p.block_pair(NodeId(1), NodeId(2));
+        p.block_one_way(NodeId(1), NodeId(2));
+        p.heal_one_way(NodeId(1), NodeId(2));
+        assert!(p.is_blocked(NodeId(1), NodeId(2)));
+        assert!(p.is_blocked(NodeId(2), NodeId(1)));
+    }
+
+    #[test]
+    fn split_one_way_cuts_single_direction() {
+        let mut p = PartitionSet::new();
+        p.split_one_way(&[NodeId(1), NodeId(2)], &[NodeId(3)]);
+        assert!(p.is_blocked(NodeId(1), NodeId(3)));
+        assert!(p.is_blocked(NodeId(2), NodeId(3)));
+        assert!(!p.is_blocked(NodeId(3), NodeId(1)));
+        assert!(!p.is_blocked(NodeId(3), NodeId(2)));
     }
 }

@@ -60,6 +60,7 @@ fn main() {
             clock_skew: Timing::lan().max_clock_skew,
             disk_fsync_latency: des::SimDuration::ZERO,
             unbatched_persists: false,
+            persist_stalls: None,
         },
         SafetyChecker::new(),
     );

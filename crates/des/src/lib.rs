@@ -43,9 +43,11 @@ mod rng;
 mod sim;
 mod time;
 mod trace;
+mod wheel;
 
 pub use event::{EventId, EventQueue, Firing};
 pub use rng::SimRng;
 pub use sim::Simulation;
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceBuffer, TraceRecord};
+pub use wheel::TimerWheel;

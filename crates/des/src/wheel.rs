@@ -1,0 +1,628 @@
+//! A hierarchical timer wheel.
+//!
+//! The simulation heap ([`crate::EventQueue`]) charges O(log n) per
+//! schedule/cancel and keeps one heap entry alive per armed timer. That is
+//! fine for a handful of nodes, but a sharded process multiplexing
+//! thousands of consensus groups arms (and mostly cancels) timers at a rate
+//! proportional to *traffic*, and holds armed-but-never-firing election
+//! timers proportional to *groups*. The wheel gives:
+//!
+//! - O(1) `schedule` / `cancel` / `deadline_of` keyed by an opaque timer
+//!   key (re-scheduling a key replaces its previous deadline, matching the
+//!   [`crate::TimerKind`]-replacement contract of the sans-IO stack);
+//! - slot occupancy bitmaps (one `u64` per level), so advancing virtual
+//!   time across an idle stretch skips empty regions in O(levels) instead
+//!   of visiting every tick — an idle group whose timers were removed
+//!   contributes *zero* work to every future advance;
+//! - deterministic expiry order: timers fire sorted by `(deadline,
+//!   schedule sequence)`, independent of wheel internals, so two runs with
+//!   the same inputs produce identical schedules.
+//!
+//! The embedding arms **one** simulator event at [`TimerWheel::next_deadline`]
+//! and calls [`TimerWheel::advance`] when it fires — the wheel replaces
+//! per-timer heap events entirely.
+//!
+//! Internally: `LEVELS` wheels of 64 slots each, level `l` slots spanning
+//! `64^l` ticks (1 tick = 1 µs), entries placed by distance from the
+//! current tick and cascaded down as time approaches. Deadlines beyond the
+//! top level's span are clamped and re-cascaded when reached, so arbitrary
+//! far-future deadlines are legal.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::SimTime;
+
+const SLOT_BITS: u32 = 6;
+const SLOTS: usize = 1 << SLOT_BITS; // 64
+/// Number of levels. Level `LEVELS-1` slots span `64^(LEVELS-1)` µs;
+/// with 7 levels the wheel addresses ~50 days before clamping.
+const LEVELS: usize = 7;
+
+#[derive(Clone, Debug)]
+struct WheelEntry<K> {
+    key: K,
+    /// Exact expiry instant (never rounded; slots only bound it).
+    deadline: SimTime,
+    /// Monotone schedule sequence — the deterministic tiebreak.
+    seq: u64,
+    /// Generation at scheduling time; a reschedule/cancel bumps the live
+    /// generation, turning older copies into tombstones skipped on drain.
+    gen: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Level<K> {
+    slots: Vec<Vec<WheelEntry<K>>>,
+    /// Bit `s` set ⇔ `slots[s]` is non-empty (possibly only tombstones;
+    /// drain reconciles).
+    occupied: u64,
+}
+
+impl<K> Level<K> {
+    fn new() -> Self {
+        Level {
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            occupied: 0,
+        }
+    }
+}
+
+/// A hierarchical timer wheel keyed by `K`.
+///
+/// Scheduling the same key again *replaces* the earlier deadline;
+/// [`TimerWheel::cancel`] disarms a key. Both are O(1). See the module
+/// docs for the full contract.
+///
+/// # Examples
+///
+/// ```
+/// use des::{SimTime, TimerWheel};
+///
+/// let mut wheel: TimerWheel<&'static str> = TimerWheel::new();
+/// wheel.schedule("election", SimTime::from_millis(150));
+/// wheel.schedule("heartbeat", SimTime::from_millis(100));
+/// wheel.cancel(&"election");
+/// assert_eq!(wheel.next_deadline(), Some(SimTime::from_millis(100)));
+///
+/// let mut fired = Vec::new();
+/// wheel.advance(SimTime::from_millis(200), &mut fired);
+/// assert_eq!(fired, vec![(SimTime::from_millis(100), "heartbeat")]);
+/// assert!(wheel.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct TimerWheel<K> {
+    levels: Vec<Level<K>>,
+    /// Tick (µs) the wheel has been advanced through.
+    current: u64,
+    /// Live keys: generation + exact deadline.
+    keys: HashMap<K, (u64, SimTime)>,
+    next_seq: u64,
+    next_gen: u64,
+    /// Memoized [`TimerWheel::next_deadline`]: `Some(answer)` when valid,
+    /// `None` after a mutation that may have raised the minimum. Embeddings
+    /// re-arm their one simulator event after *every* step, so the common
+    /// case must not re-scan slots (a slot can hold thousands of co-due
+    /// entries plus tombstones).
+    next_cache: Option<Option<SimTime>>,
+}
+
+impl<K: Eq + Hash + Copy> Default for TimerWheel<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Copy> TimerWheel<K> {
+    /// Creates an empty wheel at time zero.
+    pub fn new() -> Self {
+        TimerWheel {
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            current: 0,
+            keys: HashMap::new(),
+            next_seq: 0,
+            next_gen: 0,
+            next_cache: Some(None),
+        }
+    }
+
+    /// Number of armed (live) timers.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` when no timer is armed.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The instant the wheel has been advanced through.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(self.current)
+    }
+
+    /// Arms (or re-arms) `key` to expire at `deadline`. A deadline at or
+    /// before the wheel's current time expires on the next [`advance`]
+    /// call (clamped to fire immediately, never dropped).
+    ///
+    /// [`advance`]: TimerWheel::advance
+    pub fn schedule(&mut self, key: K, deadline: SimTime) {
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let prev = self.keys.insert(key, (gen, deadline));
+        match self.next_cache {
+            // Replacing the entry that *was* the minimum may raise it.
+            Some(Some(n)) if prev.is_some_and(|(_, d)| d == n) => {
+                self.next_cache = None;
+            }
+            Some(known) if known.is_none_or(|n| deadline < n) => {
+                self.next_cache = Some(Some(deadline));
+            }
+            _ => {}
+        }
+        let entry = WheelEntry {
+            key,
+            deadline,
+            seq,
+            gen,
+        };
+        self.place(entry);
+    }
+
+    /// Disarms `key`. Returns `true` if it was armed.
+    ///
+    /// O(1): the slot copy becomes a tombstone reconciled on drain.
+    pub fn cancel(&mut self, key: &K) -> bool {
+        match self.keys.remove(key) {
+            Some((_, d)) => {
+                // Removing the cached minimum invalidates it (another entry
+                // may share the deadline, but proving that needs a scan).
+                if self.next_cache == Some(Some(d)) {
+                    self.next_cache = None;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The deadline `key` is armed for, if any.
+    pub fn deadline_of(&self, key: &K) -> Option<SimTime> {
+        self.keys.get(key).map(|&(_, d)| d)
+    }
+
+    /// The earliest armed deadline, exact. Memoized: O(1) until a
+    /// mutation may have raised the minimum, then one recomputation that
+    /// also sweeps the tombstones it scans (so each cancelled/rescheduled
+    /// copy is visited at most once across all recomputations).
+    pub fn next_deadline(&mut self) -> Option<SimTime> {
+        if let Some(known) = self.next_cache {
+            return known;
+        }
+        let computed = self.compute_next_deadline();
+        self.next_cache = Some(computed);
+        computed
+    }
+
+    /// Minimum live deadline of level `l` slot `s`, pruning the slot's
+    /// tombstones in place (a slot left empty clears its occupancy bit).
+    fn slot_live_min(&mut self, l: usize, s: usize) -> Option<SimTime> {
+        let keys = &self.keys;
+        let slot = &mut self.levels[l].slots[s];
+        slot.retain(|e| keys.get(&e.key).is_some_and(|&(gen, _)| gen == e.gen));
+        if slot.is_empty() {
+            self.levels[l].occupied &= !(1 << s);
+        }
+        self.levels[l].slots[s].iter().map(|e| e.deadline).min()
+    }
+
+    fn compute_next_deadline(&mut self) -> Option<SimTime> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        let mut best: Option<SimTime> = None;
+        let consider = |best: &mut Option<SimTime>, d: SimTime| {
+            *best = Some(match *best {
+                Some(b) if b <= d => b,
+                _ => d,
+            });
+        };
+        for l in 0..LEVELS {
+            if l == LEVELS - 1 {
+                // Top-level slots can hold entries from *later* windows
+                // than their slot position suggests (one-behind parking,
+                // beyond-span clamps), so no per-slot time order exists —
+                // scan every live entry.
+                let mut bits = self.levels[l].occupied;
+                while bits != 0 {
+                    let s = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    if let Some(d) = self.slot_live_min(l, s) {
+                        consider(&mut best, d);
+                    }
+                }
+                continue;
+            }
+            // Below the top level every live entry's deadline lies inside
+            // its slot's window, so the earliest occupied slot (by
+            // `slot_time`) bounds the level minimum — but it may hold only
+            // tombstones, so re-pick until one holds a live entry.
+            loop {
+                let mut bits = self.levels[l].occupied;
+                let mut pick: Option<(u64, usize)> = None;
+                while bits != 0 {
+                    let s = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let st = self.slot_time(l, s);
+                    if pick.is_none_or(|(t, _)| st < t) {
+                        pick = Some((st, s));
+                    }
+                }
+                let Some((_, s)) = pick else {
+                    break;
+                };
+                if let Some(d) = self.slot_live_min(l, s) {
+                    consider(&mut best, d);
+                    break; // later slots of this level are strictly later
+                }
+                // Slot was all tombstones: its bit is now clear; re-pick.
+            }
+        }
+        best
+    }
+
+    /// Advances the wheel to `to`, appending every expired timer to `out`
+    /// as `(deadline, key)` in deterministic `(deadline, schedule-seq)`
+    /// order. Empty stretches are skipped via the occupancy bitmaps.
+    pub fn advance(&mut self, to: SimTime, out: &mut Vec<(SimTime, K)>) {
+        let target = to.as_micros();
+        // Drain into a scratch carrying seq: equal-deadline entries can sit
+        // at different levels (scheduled at different distances), so drain
+        // order alone is level order, not schedule order.
+        let mut fired: Vec<(SimTime, u64, K)> = Vec::new();
+        let mut stuck = 0u32;
+        while self.current < target || self.due_at_current() {
+            let Some(next) = self.next_occupied_tick() else {
+                break;
+            };
+            if next > target {
+                break;
+            }
+            let before = (self.current, fired.len());
+            self.current = self.current.max(next);
+            self.drain_tick(&mut fired);
+            if (self.current, fired.len()) == before {
+                stuck += 1;
+                if stuck > 10_000 {
+                    panic!(
+                        "wheel stuck: current={} target={} next={} occupied={:?}",
+                        self.current,
+                        target,
+                        next,
+                        self.levels.iter().map(|l| l.occupied).collect::<Vec<_>>()
+                    );
+                }
+            } else {
+                stuck = 0;
+            }
+        }
+        self.current = self.current.max(target);
+        if !fired.is_empty() {
+            // Firing removes live entries; the minimum moves. (A pure time
+            // advance leaves the live set — and thus the cache — intact.)
+            self.next_cache = None;
+        }
+        fired.sort_unstable_by_key(|&(d, s, _)| (d, s));
+        out.extend(fired.into_iter().map(|(d, _, k)| (d, k)));
+    }
+
+    // ------------------------------------------------------------------
+
+    fn is_live(&self, e: &WheelEntry<K>) -> bool {
+        self.keys.get(&e.key).is_some_and(|&(gen, _)| gen == e.gen)
+    }
+
+    /// Places an entry at the highest level whose digit of the deadline
+    /// differs from `current`'s digit (Varghese–Lauck placement).
+    ///
+    /// That slot is strictly *ahead* of `current`'s position within its
+    /// window (all higher digits agree), so it is addressed before the
+    /// ring wraps and the entry cascades down with less than one slot-unit
+    /// remaining. Picking the level by delta *magnitude* instead is subtly
+    /// wrong: a delta just under a level's span can carry into the next
+    /// digit, mapping the entry into the slot `current` occupies — which
+    /// drain would then re-place identically, forever.
+    fn place(&mut self, entry: WheelEntry<K>) {
+        let tick = entry.deadline.as_micros();
+        // Already due: clamp *up* to `current` so the slot resolves to
+        // the present position (drained by the very next advance).
+        // `deadline` stays exact either way.
+        let effective = tick.max(self.current);
+        let diff = effective ^ self.current;
+        let (level, slot) = if diff >> (SLOT_BITS * LEVELS as u32) != 0 {
+            // The deadline lies past the current top-level window. Its own
+            // top digit is still the right slot when it differs from
+            // `current`'s — `slot_time` classifies a behind-position slot
+            // as next-window, so it drains at the right wrap (and an
+            // ahead-position slot drains early and re-places, making
+            // window-sized progress). Only when the two top digits
+            // *collide* (deadline ≥ a full window away in that case) park
+            // one slot behind `current` — the last to come around — and
+            // re-evaluate on drain.
+            let shift = SLOT_BITS * (LEVELS as u32 - 1);
+            let s = (effective >> shift) & (SLOTS as u64 - 1);
+            let s_cur = (self.current >> shift) & (SLOTS as u64 - 1);
+            if s != s_cur {
+                (LEVELS - 1, s as usize)
+            } else {
+                (
+                    LEVELS - 1,
+                    ((s_cur + SLOTS as u64 - 1) & (SLOTS as u64 - 1)) as usize,
+                )
+            }
+        } else {
+            let level = if diff == 0 {
+                0 // same tick as `current`: due immediately
+            } else {
+                ((63 - diff.leading_zeros()) / SLOT_BITS) as usize
+            };
+            let slot =
+                ((effective >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+            (level, slot)
+        };
+        self.levels[level].occupied |= 1 << slot;
+        self.levels[level].slots[slot].push(entry);
+    }
+
+    /// Absolute tick lower bound of level `l` slot `s`, relative to
+    /// `current` (slots wrap within their level's window; a slot whose
+    /// window-position lies behind `current` belongs to the next window).
+    fn slot_time(&self, l: usize, s: usize) -> u64 {
+        let unit = 1u64 << (SLOT_BITS * l as u32);
+        let window = unit * SLOTS as u64;
+        let base = (self.current / window) * window;
+        let cand = base + unit * s as u64;
+        if cand + unit <= self.current {
+            cand + window
+        } else {
+            cand
+        }
+    }
+
+    /// Earliest tick at which any slot (live or tombstoned) demands work.
+    fn next_occupied_tick(&self) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        for (l, level) in self.levels.iter().enumerate() {
+            let mut bits = level.occupied;
+            while bits != 0 {
+                let s = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let t = self.slot_time(l, s).max(self.current);
+                best = Some(match best {
+                    Some(b) if b <= t => b,
+                    _ => t,
+                });
+            }
+        }
+        best
+    }
+
+    /// `true` when the slot addressed by `current` still holds entries
+    /// (placed while already due).
+    fn due_at_current(&self) -> bool {
+        let s = (self.current & (SLOTS as u64 - 1)) as usize;
+        self.levels[0].occupied & (1 << s) != 0
+    }
+
+    /// Drains every slot addressed by `current`: level-0 entries at or
+    /// before `current` expire, later entries and higher-level slot
+    /// contents cascade back in relative to the new `current`.
+    fn drain_tick(&mut self, out: &mut Vec<(SimTime, u64, K)>) {
+        for l in 0..LEVELS {
+            let s = ((self.current >> (SLOT_BITS * l as u32)) & (SLOTS as u64 - 1)) as usize;
+            if self.levels[l].occupied & (1 << s) == 0 {
+                continue;
+            }
+            // Only drain a slot whose window has actually arrived.
+            if self.slot_time(l, s) > self.current {
+                continue;
+            }
+            let entries = std::mem::take(&mut self.levels[l].slots[s]);
+            self.levels[l].occupied &= !(1 << s);
+            for e in entries {
+                if !self.is_live(&e) {
+                    continue; // tombstone (cancelled or rescheduled)
+                }
+                if e.deadline.as_micros() <= self.current {
+                    self.keys.remove(&e.key);
+                    out.push((e.deadline, e.seq, e.key));
+                } else {
+                    self.place(e); // cascade down
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimRng;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn fires_in_deadline_order() {
+        let mut w = TimerWheel::new();
+        w.schedule("b", t(2_000));
+        w.schedule("a", t(1_000));
+        w.schedule("c", t(90_000_000));
+        let mut out = Vec::new();
+        w.advance(t(100_000_000), &mut out);
+        assert_eq!(
+            out,
+            vec![(t(1_000), "a"), (t(2_000), "b"), (t(90_000_000), "c")]
+        );
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn reschedule_replaces_deadline() {
+        let mut w = TimerWheel::new();
+        w.schedule(1u32, t(500));
+        w.schedule(1u32, t(5_000));
+        assert_eq!(w.len(), 1);
+        let mut out = Vec::new();
+        w.advance(t(1_000), &mut out);
+        assert!(out.is_empty(), "old deadline must not fire: {out:?}");
+        w.advance(t(10_000), &mut out);
+        assert_eq!(out, vec![(t(5_000), 1u32)]);
+    }
+
+    #[test]
+    fn cancel_disarms() {
+        let mut w = TimerWheel::new();
+        w.schedule(7u64, t(100));
+        assert!(w.cancel(&7));
+        assert!(!w.cancel(&7));
+        let mut out = Vec::new();
+        w.advance(t(1_000), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn next_deadline_is_exact_across_levels() {
+        let mut w = TimerWheel::new();
+        w.schedule("far", t(3_600_000_000)); // 1 h
+        w.schedule("near", t(123_456));
+        assert_eq!(w.next_deadline(), Some(t(123_456)));
+        w.cancel(&"near");
+        assert_eq!(w.next_deadline(), Some(t(3_600_000_000)));
+    }
+
+    #[test]
+    fn due_now_fires_on_next_advance() {
+        let mut w = TimerWheel::new();
+        let mut out = Vec::new();
+        w.advance(t(1_000), &mut out);
+        w.schedule("late", t(500)); // already past
+        assert_eq!(w.next_deadline(), Some(t(500)));
+        w.advance(t(1_000), &mut out);
+        assert_eq!(out, vec![(t(500), "late")]);
+    }
+
+    #[test]
+    fn partial_advance_holds_future_entries() {
+        let mut w = TimerWheel::new();
+        w.schedule(1u8, t(10));
+        w.schedule(2u8, t(20));
+        let mut out = Vec::new();
+        w.advance(t(15), &mut out);
+        assert_eq!(out, vec![(t(10), 1u8)]);
+        w.advance(t(25), &mut out);
+        assert_eq!(out, vec![(t(10), 1u8), (t(20), 2u8)]);
+    }
+
+    #[test]
+    fn far_future_beyond_span_is_clamped_not_lost() {
+        let mut w = TimerWheel::new();
+        // ~139 years in µs — beyond the 7-level span.
+        let far = t(1u64 << 52);
+        w.schedule("eon", far);
+        let mut out = Vec::new();
+        w.advance(t(1u64 << 40), &mut out);
+        assert!(out.is_empty());
+        w.advance(far, &mut out);
+        assert_eq!(out, vec![(far, "eon")]);
+    }
+
+    #[test]
+    fn equal_deadlines_fire_in_schedule_order() {
+        let mut w = TimerWheel::new();
+        for k in 0..10u32 {
+            w.schedule(k, t(777));
+        }
+        let mut out = Vec::new();
+        w.advance(t(1_000), &mut out);
+        let keys: Vec<u32> = out.into_iter().map(|(_, k)| k).collect();
+        assert_eq!(keys, (0..10).collect::<Vec<_>>());
+    }
+
+    /// Randomized model check against a sorted-vec reference: schedules,
+    /// reschedules, cancels, and partial advances all agree.
+    #[test]
+    fn model_check_against_reference() {
+        for seed in 0..8u64 {
+            let mut rng = SimRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5);
+            let mut wheel: TimerWheel<u64> = TimerWheel::new();
+            // Reference: key -> (deadline, seq of last schedule).
+            let mut model: HashMap<u64, (u64, u64)> = HashMap::new();
+            let mut now = 0u64;
+            let mut seq = 0u64;
+            for _ in 0..2_000 {
+                match rng.gen_range(0..10u32) {
+                    0..=4 => {
+                        let key = rng.gen_range(0..64u64);
+                        let delta = match rng.gen_range(0..5u32) {
+                            0 => rng.gen_range(0..100u64),
+                            1 => rng.gen_range(0..10_000u64),
+                            2 => rng.gen_range(0..5_000_000u64),
+                            3 => rng.gen_range(0..2_000_000_000u64),
+                            // Straddle the top-level window span (2^42 µs):
+                            // the next-top-window placement cases.
+                            _ => rng.gen_range(0..(1u64 << 43)),
+                        };
+                        wheel.schedule(key, t(now + delta));
+                        model.insert(key, (now + delta, seq));
+                        seq += 1;
+                    }
+                    5 => {
+                        let key = rng.gen_range(0..64u64);
+                        assert_eq!(wheel.cancel(&key), model.remove(&key).is_some());
+                    }
+                    6..=8 => {
+                        // Mostly small steps; occasionally leap across
+                        // top-level windows so far-parked entries drain.
+                        let step = if rng.gen_range(0..10u32) == 0 {
+                            rng.gen_range(0..(1u64 << 42))
+                        } else {
+                            rng.gen_range(0..3_000_000u64)
+                        };
+                        now += step;
+                        let mut fired = Vec::new();
+                        wheel.advance(t(now), &mut fired);
+                        let mut expect: Vec<(u64, u64, u64)> = model
+                            .iter()
+                            .filter(|(_, &(d, _))| d <= now)
+                            .map(|(&k, &(d, s))| (d, s, k))
+                            .collect();
+                        expect.sort_unstable();
+                        for (_, _, k) in &expect {
+                            model.remove(k);
+                        }
+                        let got: Vec<(u64, u64)> =
+                            fired.into_iter().map(|(d, k)| (d.as_micros(), k)).collect();
+                        let want: Vec<(u64, u64)> =
+                            expect.into_iter().map(|(d, _, k)| (d, k)).collect();
+                        assert_eq!(got, want, "seed {seed} at now={now}");
+                    }
+                    _ => {
+                        // next_deadline must equal the model's minimum.
+                        let want = model.values().map(|&(d, _)| d).min();
+                        assert_eq!(
+                            wheel.next_deadline().map(|d| d.as_micros()),
+                            want,
+                            "seed {seed} at now={now}"
+                        );
+                    }
+                }
+                assert_eq!(wheel.len(), model.len());
+            }
+        }
+    }
+
+}

@@ -161,7 +161,11 @@ pub struct RunnerConfig {
 
 struct Slot<P> {
     node: P,
-    timers: HashMap<TimerKind, EventId>,
+    /// Armed timer per [`TimerKind`], dense-indexed by discriminant. A
+    /// fixed array instead of a `HashMap<TimerKind, EventId>`: timer
+    /// set/cancel is on the per-step hot path (every heartbeat re-arm paid
+    /// an allocation + hash), and eleven slots fit in a cache line.
+    timers: [Option<EventId>; TimerKind::COUNT],
     up: bool,
 }
 
@@ -244,7 +248,7 @@ impl<P: ConsensusProtocol> Runner<P> {
                         n.id(),
                         Slot {
                             node: n,
-                            timers: HashMap::new(),
+                            timers: [None; TimerKind::COUNT],
                             up: true,
                         },
                     )
@@ -376,11 +380,10 @@ impl<P: ConsensusProtocol> Runner<P> {
                 let armed = self
                     .slots
                     .get(&node)
-                    .and_then(|s| s.timers.get(&kind))
-                    .copied();
+                    .and_then(|s| s.timers[kind.index()]);
                 if armed == Some(firing_id) {
                     if let Some(slot) = self.slots.get_mut(&node) {
-                        slot.timers.remove(&kind);
+                        slot.timers[kind.index()] = None;
                     }
                     self.with_node(node, |n, out| n.on_timer(kind, out));
                 }
@@ -467,7 +470,7 @@ impl<P: ConsensusProtocol> Runner<P> {
                         .sim
                         .schedule_after(after, SimEvent::Timer { node: from, kind });
                     if let Some(slot) = self.slots.get_mut(&from) {
-                        if let Some(old) = slot.timers.insert(kind, id) {
+                        if let Some(old) = slot.timers[kind.index()].replace(id) {
                             self.sim.cancel(old);
                         }
                     } else {
@@ -476,7 +479,7 @@ impl<P: ConsensusProtocol> Runner<P> {
                 }
                 wire::TimerCmd::Cancel { kind } => {
                     if let Some(slot) = self.slots.get_mut(&from) {
-                        if let Some(old) = slot.timers.remove(&kind) {
+                        if let Some(old) = slot.timers[kind.index()].take() {
                             self.sim.cancel(old);
                         }
                     }
@@ -763,8 +766,10 @@ impl<P: ConsensusProtocol> Runner<P> {
             FaultAction::SilentLeave(node) | FaultAction::Crash(node) => {
                 if let Some(slot) = self.slots.get_mut(&node) {
                     slot.up = false;
-                    for (_, id) in slot.timers.drain() {
-                        self.sim.cancel(id);
+                    for armed in &mut slot.timers {
+                        if let Some(id) = armed.take() {
+                            self.sim.cancel(id);
+                        }
                     }
                 }
                 self.net.set_down(node);

@@ -1,0 +1,179 @@
+//! Property tests for the shard router: key → group assignment is
+//! **total** (every hash maps to a group), **deterministic** (a pure
+//! function of the op history), and **stable** (an applied op changes
+//! assignments only inside the range it names; a rejected op changes
+//! nothing).
+
+use proptest::prelude::*;
+use shard::{key_hash, ReconfigOp, ShardRouter, RECONFIG_MAGIC};
+use wire::GroupId;
+
+/// Raw op material; concretized against the live table so most generated
+/// ops validate while rejections still occur (empty splits, no-op moves,
+/// colliding group ids).
+#[derive(Clone, Debug)]
+enum OpSeed {
+    Split { point: u64 },
+    Move { which: u64, to: u32 },
+}
+
+fn arb_seeds() -> impl Strategy<Value = (u32, Vec<OpSeed>)> {
+    (
+        1u32..=8,
+        proptest::collection::vec(
+            prop_oneof![
+                any::<u64>().prop_map(|point| OpSeed::Split { point }),
+                (any::<u64>(), 0u32..16).prop_map(|(which, to)| OpSeed::Move { which, to }),
+            ],
+            0..24,
+        ),
+    )
+}
+
+/// Turns a seed into a concrete op against the current table: splits name
+/// the true owner of the split point and mint a fresh group id; moves pick
+/// an existing boundary (the target may collide or no-op — those reject).
+fn concretize(router: &ShardRouter, seed: &OpSeed, fresh: &mut u32) -> ReconfigOp {
+    match *seed {
+        OpSeed::Split { point } => {
+            let op = ReconfigOp::SplitGroup {
+                group: router.group_for_hash(point),
+                at: point,
+                new_group: GroupId(*fresh),
+            };
+            *fresh += 1;
+            op
+        }
+        OpSeed::Move { which, to } => {
+            let ranges = router.ranges();
+            let (start, _) = ranges[(which % ranges.len() as u64) as usize];
+            ReconfigOp::MoveRange {
+                start,
+                to: GroupId(to),
+            }
+        }
+    }
+}
+
+/// Hash points probed for stability: every boundary and its neighbours
+/// (the edges an off-by-one would clip) plus a deterministic scatter.
+fn probes(router: &ShardRouter) -> Vec<u64> {
+    let mut ps = Vec::new();
+    for &(start, _) in router.ranges() {
+        ps.extend([start, start.wrapping_sub(1), start.saturating_add(1)]);
+    }
+    for i in 0..64u64 {
+        ps.push(key_hash(&i.to_be_bytes()));
+    }
+    ps
+}
+
+proptest! {
+    /// Totality + determinism: the table invariant (sorted strictly
+    /// increasing, first start 0) survives any op sequence, every probe
+    /// maps consistently, and replaying the ops rebuilds the identical
+    /// table.
+    #[test]
+    fn assignment_total_and_deterministic((groups, seeds) in arb_seeds()) {
+        let mut router = ShardRouter::uniform(groups);
+        let mut fresh = groups;
+        let mut ops = Vec::new();
+        for seed in &seeds {
+            let op = concretize(&router, seed, &mut fresh);
+            let _ = router.apply(&op);
+            ops.push(op);
+
+            prop_assert_eq!(router.ranges()[0].0, 0);
+            prop_assert!(router.ranges().windows(2).all(|w| w[0].0 < w[1].0));
+            for h in probes(&router) {
+                prop_assert_eq!(router.group_for_hash(h), router.group_for_hash(h));
+                prop_assert_eq!(
+                    router.assign(&h.to_be_bytes()),
+                    router.group_for_hash(key_hash(&h.to_be_bytes()))
+                );
+            }
+        }
+        let mut replay = ShardRouter::uniform(groups);
+        for op in &ops {
+            let _ = replay.apply(op);
+        }
+        prop_assert_eq!(replay, router);
+    }
+
+    /// Stability: an applied op moves exactly the hashes inside the range
+    /// it names (to the op's target group) and no others; a rejected op
+    /// leaves table and epoch untouched.
+    #[test]
+    fn ops_touch_only_their_range((groups, seeds) in arb_seeds()) {
+        let mut router = ShardRouter::uniform(groups);
+        let mut fresh = groups;
+        for seed in &seeds {
+            let op = concretize(&router, seed, &mut fresh);
+            let before = router.clone();
+            let points = probes(&before);
+            let prior: Vec<GroupId> =
+                points.iter().map(|&h| before.group_for_hash(h)).collect();
+            match router.apply(&op) {
+                Ok(()) => {
+                    // The affected interval, computed under the old table.
+                    let (lo, hi, new_owner) = match op {
+                        ReconfigOp::SplitGroup { at, new_group, .. } => {
+                            let i = before
+                                .ranges()
+                                .partition_point(|&(s, _)| s <= at) - 1;
+                            (at, before.ranges().get(i + 1).map(|&(s, _)| s), new_group)
+                        }
+                        ReconfigOp::MoveRange { start, to } => {
+                            let i = before
+                                .ranges()
+                                .iter()
+                                .position(|&(s, _)| s == start)
+                                .expect("applied move names a boundary");
+                            (start, before.ranges().get(i + 1).map(|&(s, _)| s), to)
+                        }
+                    };
+                    let inside = |h: u64| h >= lo && hi.is_none_or(|end| h < end);
+                    for (&h, &was) in points.iter().zip(&prior) {
+                        let now = router.group_for_hash(h);
+                        if inside(h) {
+                            prop_assert_eq!(
+                                now, new_owner,
+                                "hash {} inside [{}, {:?}) kept old owner", h, lo, hi
+                            );
+                        } else {
+                            prop_assert_eq!(
+                                now, was,
+                                "hash {} outside [{}, {:?}) changed owner", h, lo, hi
+                            );
+                        }
+                    }
+                    prop_assert_eq!(router.epoch(), before.epoch() + 1);
+                }
+                Err(_) => prop_assert_eq!(&router, &before),
+            }
+        }
+    }
+
+    /// Reconfig payloads round-trip through the wire encoding, and
+    /// arbitrary non-magic bytes never decode as an op.
+    #[test]
+    fn payload_roundtrip_and_magic_gate(
+        group in any::<u32>(), at in any::<u64>(), new in any::<u32>(),
+        start in any::<u64>(), to in any::<u32>(),
+        junk in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        for op in [
+            ReconfigOp::SplitGroup {
+                group: GroupId(group),
+                at,
+                new_group: GroupId(new),
+            },
+            ReconfigOp::MoveRange { start, to: GroupId(to) },
+        ] {
+            prop_assert_eq!(ReconfigOp::decode_payload(&op.encode_payload()), Some(op));
+        }
+        if !junk.starts_with(&RECONFIG_MAGIC[..]) {
+            prop_assert_eq!(ReconfigOp::decode_payload(&junk), None);
+        }
+    }
+}

@@ -43,6 +43,37 @@ pub enum TimerKind {
     GlobalJoinRetry,
 }
 
+impl TimerKind {
+    /// Number of timer kinds; the valid range of [`TimerKind::index`].
+    /// Embeddings use it to size dense per-node timer tables (a fixed
+    /// array beats a `HashMap` on the arm/cancel hot path).
+    pub const COUNT: usize = 11;
+
+    /// Dense discriminant in `0..Self::COUNT`, stable across a process.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The kind with dense discriminant `i`, the inverse of
+    /// [`TimerKind::index`].
+    pub const fn from_index(i: usize) -> Option<TimerKind> {
+        match i {
+            0 => Some(TimerKind::Election),
+            1 => Some(TimerKind::Heartbeat),
+            2 => Some(TimerKind::LeaderTick),
+            3 => Some(TimerKind::ProposalRetry),
+            4 => Some(TimerKind::JoinRetry),
+            5 => Some(TimerKind::BatchFlush),
+            6 => Some(TimerKind::GlobalElection),
+            7 => Some(TimerKind::GlobalHeartbeat),
+            8 => Some(TimerKind::GlobalLeaderTick),
+            9 => Some(TimerKind::GlobalProposalRetry),
+            10 => Some(TimerKind::GlobalJoinRetry),
+            _ => None,
+        }
+    }
+}
+
 /// A timer instruction emitted by a protocol node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TimerCmd {

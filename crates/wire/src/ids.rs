@@ -32,6 +32,37 @@ impl From<u64> for NodeId {
     }
 }
 
+/// Identifier of an independent consensus group in a sharded deployment.
+///
+/// The keyspace hierarchy axis: where [`ClusterId`] names a *site grouping*
+/// in C-Raft's two-level log, `GroupId` names one of many independent
+/// replicated logs a single process multiplexes (the shard router maps each
+/// key's hash range to exactly one group). Linearizability is per-group;
+/// see `docs/CONSISTENCY.md`.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct GroupId(pub u32);
+
+impl GroupId {
+    /// The raw id.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl From<u32> for GroupId {
+    fn from(v: u32) -> Self {
+        GroupId(v)
+    }
+}
+
 /// Identifier of a cluster in C-Raft's hierarchy.
 #[derive(
     Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,

@@ -36,6 +36,7 @@ mod client;
 mod codec;
 mod config;
 mod entry;
+mod envelope;
 mod ids;
 mod lease;
 mod log;
@@ -54,7 +55,8 @@ pub use client::{
 pub use codec::{DecodeError, Decoder, Encoder, Wire};
 pub use config::{AppendBudget, Configuration};
 pub use entry::{Approval, Batch, BatchItem, EntryList, GlobalState, LogEntry, Payload};
-pub use ids::{ClusterId, EntryId, LogIndex, NodeId, Term};
+pub use envelope::{GroupFrame, ShardEnvelope};
+pub use ids::{ClusterId, EntryId, GroupId, LogIndex, NodeId, Term};
 pub use lease::{LeaseState, VoteHold};
 pub use log::{SparseLog, MAX_INSERT_WINDOW};
 pub use quorum::{
